@@ -1,0 +1,31 @@
+// Ablation A3 (paper Section III): the value of reclaiming non-exchange
+// slots when a new exchange becomes possible.
+#include "bench/bench_common.h"
+
+using namespace p2pex;
+using namespace p2pex::bench;
+
+int main() {
+  SimConfig base = base_config();
+  base.policy = ExchangePolicy::kShortestFirst;
+  print_header(
+      "Ablation A3 — preemption of non-exchange transfers",
+      "slots 'reclaimed as soon as another exchange becomes possible' "
+      "increase the exchange fraction and the sharers' advantage",
+      base);
+
+  TablePrinter t({"preemption", "sharing (min)", "non-sharing (min)",
+                  "ratio", "exch %", "preemptions", "rings"});
+  for (bool preempt : {true, false}) {
+    SimConfig cfg = scaled(base);
+    cfg.preemption = preempt;
+    const RunResult r = run_experiment(cfg);
+    t.add_row({preempt ? "on" : "off", num(r.mean_dl_minutes_sharing),
+               num(r.mean_dl_minutes_nonsharing), num(r.dl_time_ratio, 2),
+               num(100.0 * r.exchange_fraction),
+               std::to_string(r.preemptions),
+               std::to_string(r.rings_formed)});
+  }
+  print_table(t);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared scaffolding for the figure/table bench binaries.
+//
+// Every bench prints: the experiment id it reproduces, the paper's
+// expectation for the shape of the result, the configuration (Table II +
+// calibration), and then the regenerated rows. REPRO_SCALE scales the
+// simulated duration of every run (e.g. REPRO_SCALE=0.1 for a smoke run).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/config.h"
+#include "core/experiment.h"
+#include "util/table.h"
+
+namespace p2pex::bench {
+
+/// The operating point all figure benches run at: Table II with the
+/// documented calibration (see SimConfig::calibrated_defaults()).
+inline SimConfig base_config() {
+  SimConfig c = SimConfig::calibrated_defaults();
+  c.seed = 1903;  // fixed; figures are single-seed like the paper's
+  return c;
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_expectation,
+                         const SimConfig& config) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("config: %s\n", config.describe().c_str());
+  std::printf("duration scale: %.2f (REPRO_SCALE)\n", repro_scale());
+  std::printf("================================================================\n\n");
+}
+
+inline void print_table(const TablePrinter& t) {
+  std::printf("%s\n", t.to_string().c_str());
+}
+
+inline std::string num(double v, int precision = 1) {
+  return TablePrinter::num(v, precision);
+}
+
+}  // namespace p2pex::bench

@@ -1,0 +1,30 @@
+// Figure 5: fraction of exchange sessions vs upload capacity for the
+// pairwise, 5-2-way and 2-5-way policies.
+#include "bench/bench_common.h"
+
+using namespace p2pex;
+using namespace p2pex::bench;
+
+int main() {
+  SimConfig base = base_config();
+  print_header(
+      "Figure 5 — fraction of exchange transfers vs upload capacity",
+      "the exchange fraction grows with load (shrinking capacity); "
+      "pairwise sits slightly below the n-way variants",
+      base);
+
+  TablePrinter t({"upload kbit/s", "pairwise", "5-2-way", "2-5-way"});
+  for (double ul = 140.0; ul >= 40.0; ul -= 20.0) {
+    std::vector<std::string> row{num(ul, 0)};
+    for (const SimConfig& variant : paper_policy_variants(base)) {
+      if (variant.policy == ExchangePolicy::kNoExchange) continue;
+      SimConfig cfg = scaled(variant);
+      cfg.upload_capacity_kbps = ul;
+      const RunResult r = run_experiment(cfg);
+      row.push_back(num(100.0 * r.exchange_fraction) + "%");
+    }
+    t.add_row(row);
+  }
+  print_table(t);
+  return 0;
+}

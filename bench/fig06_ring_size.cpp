@@ -1,0 +1,41 @@
+// Figure 6: differentiation of mean download times for sharing vs
+// non-sharing users as a function of the maximum exchange ring size N
+// (N-2-way prefers long rings, 2-N-way prefers short ones; N = 1 means
+// no exchanges at all).
+#include "bench/bench_common.h"
+
+using namespace p2pex;
+using namespace p2pex::bench;
+
+int main() {
+  SimConfig base = base_config();
+  print_header(
+      "Figure 6 — mean download time vs maximum ring size N",
+      "a significant gain from N=2 to N=3; little further improvement "
+      "beyond N=5",
+      base);
+
+  TablePrinter t({"N", "order", "sharing (min)", "non-sharing (min)",
+                  "ratio", "exch %"});
+  for (std::size_t n = 1; n <= 7; ++n) {
+    using Orders = std::vector<std::pair<std::string, ExchangePolicy>>;
+    const Orders orders =
+        n == 1   ? Orders{{"no exchange", ExchangePolicy::kNoExchange}}
+        : n == 2 ? Orders{{"pairwise", ExchangePolicy::kPairwiseOnly}}
+                 : Orders{{std::to_string(n) + "-2-way",
+                           ExchangePolicy::kLongestFirst},
+                          {"2-" + std::to_string(n) + "-way",
+                           ExchangePolicy::kShortestFirst}};
+    for (const auto& [label, policy] : orders) {
+      SimConfig cfg = scaled(base);
+      cfg.policy = policy;
+      cfg.max_ring_size = std::max<std::size_t>(2, n);
+      const RunResult r = run_experiment(cfg, label);
+      t.add_row({std::to_string(n), label, num(r.mean_dl_minutes_sharing),
+                 num(r.mean_dl_minutes_nonsharing), num(r.dl_time_ratio, 2),
+                 num(100.0 * r.exchange_fraction)});
+    }
+  }
+  print_table(t);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 12: mean download times vs the fraction of non-sharing peers.
+#include "bench/bench_common.h"
+
+using namespace p2pex;
+using namespace p2pex::bench;
+
+int main() {
+  SimConfig base = base_config();
+  print_header(
+      "Figure 12 — mean download time vs fraction of non-sharing peers",
+      "the gap persists at every fraction: with few free-riders the "
+      "sharers approach the no-exchange baseline while free-riders pay a "
+      "large penalty; with many free-riders the rare sharer reaps a large "
+      "reward",
+      base);
+
+  TablePrinter t({"non-sharing frac", "policy", "sharing (min)",
+                  "non-sharing (min)", "ratio"});
+  for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    for (const SimConfig& variant : paper_policy_variants(base)) {
+      SimConfig cfg = scaled(variant);
+      cfg.nonsharing_fraction = frac;
+      const RunResult r = run_experiment(cfg);
+      t.add_row({num(frac), r.label, num(r.mean_dl_minutes_sharing),
+                 num(r.mean_dl_minutes_nonsharing),
+                 num(r.dl_time_ratio, 2)});
+    }
+  }
+  print_table(t);
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Microbenchmarks (google-benchmark) for the hot data structures: event
+// queue, power-law sampling, Bloom filters, IRQ operations, request-tree
+// construction and ring search.
+#include <benchmark/benchmark.h>
+
+#include "core/exchange_finder.h"
+#include "proto/irq.h"
+#include "proto/request_tree.h"
+#include "sim/event_queue.h"
+#include "util/bloom_filter.h"
+#include "util/power_law.h"
+#include "util/rng.h"
+
+namespace p2pex {
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < n; ++i)
+      q.schedule(static_cast<double>((i * 7919) % 1000), [] {});
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().first);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(10000);
+
+void BM_PowerLawSample(benchmark::State& state) {
+  const PowerLawSampler s(static_cast<std::size_t>(state.range(0)), 0.8);
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(s.sample(rng));
+}
+BENCHMARK(BM_PowerLawSample)->Arg(300)->Arg(45000);
+
+void BM_BloomInsertQuery(benchmark::State& state) {
+  BloomFilter f = BloomFilter::for_items(1000, 0.02);
+  Rng rng(2);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    f.insert(++k);
+    benchmark::DoNotOptimize(f.maybe_contains(k * 2654435761ULL));
+  }
+}
+BENCHMARK(BM_BloomInsertQuery);
+
+void BM_IrqAddRemove(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    IncomingRequestQueue q(static_cast<std::size_t>(n) + 1);
+    for (int i = 0; i < n; ++i) {
+      IrqEntry e;
+      e.requester = PeerId{static_cast<std::uint32_t>(i % 50)};
+      e.object = ObjectId{static_cast<std::uint32_t>(i)};
+      q.add(e);
+    }
+    for (int i = 0; i < n; ++i)
+      q.remove(RequestKey{PeerId{static_cast<std::uint32_t>(i % 50)},
+                          ObjectId{static_cast<std::uint32_t>(i)}});
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IrqAddRemove)->Arg(100)->Arg(1000);
+
+/// Synthetic request graph shaped like a loaded system: `n` peers, each
+/// with requests from `deg` random others.
+class SyntheticGraph : public ExchangeGraphView {
+ public:
+  SyntheticGraph(std::size_t n, std::size_t deg) : n_(n), edges_(n) {
+    Rng rng(7);
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t d = 0; d < deg; ++d)
+        edges_[p].emplace_back(
+            PeerId{static_cast<std::uint32_t>(rng.index(n))},
+            ObjectId{static_cast<std::uint32_t>(rng.index(1000))});
+  }
+  std::size_t num_peers() const override { return n_; }
+  std::vector<PeerId> requesters_of(PeerId p) const override {
+    std::vector<PeerId> out;
+    out.reserve(edges_[p.value].size());
+    for (const auto& [r, o] : edges_[p.value]) out.push_back(r);
+    return out;
+  }
+  ObjectId request_between(PeerId p, PeerId r) const override {
+    for (const auto& [req, o] : edges_[p.value])
+      if (req == r) return o;
+    return ObjectId{};
+  }
+  std::vector<ObjectId> close_objects(PeerId, PeerId provider) const override {
+    // Sparse closures so the BFS usually runs to exhaustion (worst case).
+    if (provider.value % 97 == 3) return {ObjectId{provider.value}};
+    return {};
+  }
+  std::vector<std::pair<ObjectId, std::vector<PeerId>>> want_providers(
+      PeerId) const override {
+    return {};
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<std::pair<PeerId, ObjectId>>> edges_;
+};
+
+void BM_RingSearch(benchmark::State& state) {
+  const SyntheticGraph g(200, static_cast<std::size_t>(state.range(0)));
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
+  std::uint32_t root = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.find(g, PeerId{root}, 8));
+    root = (root + 1) % 200;
+  }
+}
+BENCHMARK(BM_RingSearch)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RequestTreeBuild(benchmark::State& state) {
+  const SyntheticGraph g(200, static_cast<std::size_t>(state.range(0)));
+  EdgeFn edges = [&g](PeerId p) {
+    std::vector<std::pair<PeerId, ObjectId>> out;
+    for (PeerId r : g.requesters_of(p))
+      out.emplace_back(r, g.request_between(p, r));
+    return out;
+  };
+  for (auto _ : state)
+    benchmark::DoNotOptimize(RequestTree::build(PeerId{0}, 5, 4096, edges));
+}
+BENCHMARK(BM_RequestTreeBuild)->Arg(4)->Arg(16);
+
+void BM_BloomSummaryRebuild(benchmark::State& state) {
+  const SyntheticGraph g(200, 16);
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  for (auto _ : state) f.rebuild_summaries(g, 64, 0.02);
+}
+BENCHMARK(BM_BloomSummaryRebuild);
+
+}  // namespace
+}  // namespace p2pex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+#include "baselines/credit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2pex {
+
+void CreditLedger::add_uploaded_to_me(PeerId remote, Bytes bytes) {
+  ledger_[remote].uploaded_to_me += bytes;
+}
+
+void CreditLedger::add_downloaded_from_me(PeerId remote, Bytes bytes) {
+  ledger_[remote].downloaded_from_me += bytes;
+}
+
+Bytes CreditLedger::uploaded_to_me(PeerId remote) const {
+  const auto it = ledger_.find(remote);
+  return it == ledger_.end() ? 0 : it->second.uploaded_to_me;
+}
+
+Bytes CreditLedger::downloaded_from_me(PeerId remote) const {
+  const auto it = ledger_.find(remote);
+  return it == ledger_.end() ? 0 : it->second.downloaded_from_me;
+}
+
+double CreditLedger::credit_modifier(PeerId remote) const {
+  const auto it = ledger_.find(remote);
+  if (it == ledger_.end()) return 1.0;
+  const double up = static_cast<double>(it->second.uploaded_to_me);
+  const double down = static_cast<double>(it->second.downloaded_from_me);
+  if (up < 1e6) return 1.0;  // eMule: no credit below 1 MB uploaded
+  const double ratio1 = down <= 0.0 ? 10.0 : 2.0 * up / down;
+  const double ratio2 = std::sqrt(up / 1e6 + 2.0);
+  return std::clamp(std::min(ratio1, ratio2), 1.0, 10.0);
+}
+
+double CreditLedger::queue_rank(PeerId remote, double waiting_seconds) const {
+  return std::max(0.0, waiting_seconds) * credit_modifier(remote);
+}
+
+}  // namespace p2pex

@@ -1,0 +1,15 @@
+#include "baselines/participation.h"
+
+namespace p2pex {
+
+double ParticipationLevel::honest_level() const {
+  if (downloaded_ <= 0) {
+    // New user: KaZaA started everyone at a neutral medium level.
+    return uploaded_ > 0 ? kMaxLevel : 100.0;
+  }
+  const double level =
+      static_cast<double>(uploaded_) / static_cast<double>(downloaded_) * 100.0;
+  return std::clamp(level, kMinLevel, kMaxLevel);
+}
+
+}  // namespace p2pex

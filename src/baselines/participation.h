@@ -1,0 +1,48 @@
+// KaZaA-style self-reported "participation level" (paper Sections I–II).
+//
+// Each peer announces a participation level computed locally from its
+// upload/download volumes; providers prioritize requests from peers that
+// *claim* high levels. Because the value is self-reported, a trivially
+// modified client can claim the maximum — the paper cites exactly this
+// hack as the reason such schemes fail. We model both honest reporters
+// and liars so the ablation bench can show free-riding liars matching
+// genuine contributors.
+#pragma once
+
+#include <algorithm>
+
+#include "util/types.h"
+
+namespace p2pex {
+
+/// Tracks genuine volumes and produces the (possibly fraudulent) claim.
+class ParticipationLevel {
+ public:
+  static constexpr double kMinLevel = 0.0;
+  static constexpr double kMaxLevel = 1000.0;
+
+  /// `lies` — if true, claimed_level() always returns kMaxLevel.
+  explicit ParticipationLevel(bool lies = false) : lies_(lies) {}
+
+  void add_uploaded(Bytes b) { uploaded_ += b; }
+  void add_downloaded(Bytes b) { downloaded_ += b; }
+
+  /// KaZaA computed its level as uploaded/downloaded * 100, clamped.
+  [[nodiscard]] double honest_level() const;
+
+  /// What the client actually announces.
+  [[nodiscard]] double claimed_level() const {
+    return lies_ ? kMaxLevel : honest_level();
+  }
+
+  [[nodiscard]] bool lies() const { return lies_; }
+  [[nodiscard]] Bytes uploaded() const { return uploaded_; }
+  [[nodiscard]] Bytes downloaded() const { return downloaded_; }
+
+ private:
+  bool lies_;
+  Bytes uploaded_ = 0;
+  Bytes downloaded_ = 0;
+};
+
+}  // namespace p2pex

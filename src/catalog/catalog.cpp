@@ -1,0 +1,60 @@
+#include "catalog/catalog.h"
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+Catalog::Catalog(const CatalogConfig& config, Rng& rng)
+    : config_(config),
+      object_size_(config.object_size),
+      category_sampler_(config.num_categories, config.category_popularity_f) {
+  P2PEX_ASSERT_MSG(config.num_categories >= 1, "need at least one category");
+  P2PEX_ASSERT_MSG(config.min_objects_per_category >= 1 &&
+                       config.min_objects_per_category <=
+                           config.max_objects_per_category,
+                   "bad objects-per-category range");
+  P2PEX_ASSERT_MSG(config.object_size > 0, "non-positive object size");
+
+  first_object_.reserve(config.num_categories + 1);
+  object_samplers_.reserve(config.num_categories);
+  std::uint32_t next = 0;
+  for (std::size_t c = 0; c < config.num_categories; ++c) {
+    first_object_.push_back(next);
+    const auto count = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(config.min_objects_per_category),
+        static_cast<std::int64_t>(config.max_objects_per_category)));
+    object_samplers_.emplace_back(count, config.object_popularity_f);
+    for (std::size_t i = 0; i < count; ++i)
+      category_of_.push_back(static_cast<std::uint32_t>(c));
+    next += static_cast<std::uint32_t>(count);
+  }
+  first_object_.push_back(next);
+}
+
+std::size_t Catalog::category_size(CategoryId c) const {
+  P2PEX_ASSERT(c.value < num_categories());
+  return first_object_[c.value + 1] - first_object_[c.value];
+}
+
+CategoryId Catalog::category_of(ObjectId o) const {
+  P2PEX_ASSERT(o.value < num_objects());
+  return CategoryId{category_of_[o.value]};
+}
+
+ObjectId Catalog::object_at(CategoryId c, std::size_t rank) const {
+  P2PEX_ASSERT(c.value < num_categories());
+  P2PEX_ASSERT(rank < category_size(c));
+  return ObjectId{first_object_[c.value] + static_cast<std::uint32_t>(rank)};
+}
+
+CategoryId Catalog::sample_category(Rng& rng) const {
+  return CategoryId{static_cast<std::uint32_t>(category_sampler_.sample(rng))};
+}
+
+ObjectId Catalog::sample_object_in(CategoryId c, Rng& rng) const {
+  P2PEX_ASSERT(c.value < num_categories());
+  const std::size_t rank = object_samplers_[c.value].sample(rng);
+  return object_at(c, rank);
+}
+
+}  // namespace p2pex

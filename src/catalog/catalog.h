@@ -1,0 +1,76 @@
+// Content catalog: the universe of categories and objects, with the
+// paper's rank-based popularity model (Section IV-A).
+//
+// Objects are organized in categories. Category popularity over ranks and
+// object popularity within a category both follow p(i) ∝ i^-f (f = 0
+// uniform, f -> 1 zipf-like; paper default f = 0.2 for both). The number
+// of objects per category is uniform(1, 300) by default; all objects have
+// the same size (paper: 20 MB).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/power_law.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace p2pex {
+
+/// Configuration for building a Catalog.
+struct CatalogConfig {
+  std::size_t num_categories = 300;
+  std::size_t min_objects_per_category = 1;
+  std::size_t max_objects_per_category = 300;
+  double category_popularity_f = 0.2;  ///< skew of category ranks
+  double object_popularity_f = 0.2;    ///< skew of object ranks in a category
+  Bytes object_size = megabytes(20);   ///< identical for all objects
+};
+
+/// Immutable universe of categories and objects.
+///
+/// ObjectIds are dense 0-based indices grouped contiguously by category,
+/// so category membership is a range query.
+class Catalog {
+ public:
+  /// Builds the catalog; object counts per category are drawn from `rng`.
+  Catalog(const CatalogConfig& config, Rng& rng);
+
+  [[nodiscard]] std::size_t num_categories() const { return first_object_.size() - 1; }
+  [[nodiscard]] std::size_t num_objects() const { return first_object_.back(); }
+
+  /// Number of objects in a category.
+  [[nodiscard]] std::size_t category_size(CategoryId c) const;
+
+  /// Category of an object.
+  [[nodiscard]] CategoryId category_of(ObjectId o) const;
+
+  /// i-th object (by popularity rank, 0 = most popular) of category c.
+  [[nodiscard]] ObjectId object_at(CategoryId c, std::size_t rank) const;
+
+  /// Size in bytes of an object (uniform across the catalog).
+  [[nodiscard]] Bytes object_size(ObjectId) const { return object_size_; }
+
+  /// Samples a category by global category popularity.
+  [[nodiscard]] CategoryId sample_category(Rng& rng) const;
+
+  /// Samples an object within category c by object popularity.
+  [[nodiscard]] ObjectId sample_object_in(CategoryId c, Rng& rng) const;
+
+  [[nodiscard]] const CatalogConfig& config() const { return config_; }
+
+ private:
+  CatalogConfig config_;
+  Bytes object_size_;
+  /// first_object_[c] = id of first object of category c;
+  /// first_object_[num_categories] = total object count.
+  std::vector<std::uint32_t> first_object_;
+  /// category_of_[o] = category of object o.
+  std::vector<std::uint32_t> category_of_;
+  PowerLawSampler category_sampler_;
+  /// One sampler per distinct category size actually present, built
+  /// lazily-by-construction: object_samplers_[c] indexes samplers_.
+  std::vector<PowerLawSampler> object_samplers_;
+};
+
+}  // namespace p2pex

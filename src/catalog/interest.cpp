@@ -1,0 +1,56 @@
+#include "catalog/interest.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+InterestProfile::InterestProfile(const Catalog& catalog,
+                                 std::size_t num_categories, Rng& rng) {
+  P2PEX_ASSERT_MSG(num_categories >= 1, "peer needs at least one category");
+  P2PEX_ASSERT_MSG(num_categories <= catalog.num_categories(),
+                   "more interests than categories exist");
+  // Distinct draws by popularity: re-draw on duplicates. num_categories is
+  // tiny (paper: <= 8) relative to 300 categories, so this terminates fast.
+  while (categories_.size() < num_categories) {
+    const CategoryId c = catalog.sample_category(rng);
+    if (std::find(categories_.begin(), categories_.end(), c) ==
+        categories_.end())
+      categories_.push_back(c);
+  }
+  // Uniform-random local preference weights, independent of popularity.
+  std::vector<double> w(num_categories);
+  double total = 0.0;
+  for (auto& x : w) {
+    x = rng.uniform_real(0.05, 1.0);  // bounded away from 0 so every
+                                      // interest is actually exercised
+    total += x;
+  }
+  cum_weights_.resize(num_categories);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < num_categories; ++i) {
+    acc += w[i] / total;
+    cum_weights_[i] = acc;
+  }
+  cum_weights_.back() = 1.0;
+}
+
+CategoryId InterestProfile::sample_category(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it =
+      std::lower_bound(cum_weights_.begin(), cum_weights_.end(), u);
+  return categories_[static_cast<std::size_t>(it - cum_weights_.begin())];
+}
+
+double InterestProfile::weight(std::size_t i) const {
+  P2PEX_ASSERT(i < cum_weights_.size());
+  return i == 0 ? cum_weights_[0] : cum_weights_[i] - cum_weights_[i - 1];
+}
+
+bool InterestProfile::interested_in(CategoryId c) const {
+  return std::find(categories_.begin(), categories_.end(), c) !=
+         categories_.end();
+}
+
+}  // namespace p2pex

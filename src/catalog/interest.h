@@ -1,0 +1,45 @@
+// Per-peer interest profile (Section IV-A).
+//
+// Each peer is interested in a fixed set of categories chosen at
+// initialization (drawn by global category popularity). On top of those,
+// the peer has a *local preference distribution* with uniformly random
+// weights, independent of global popularity. A request first picks a
+// category from the local preference distribution, then an object within
+// that category by global object popularity.
+#pragma once
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace p2pex {
+
+/// A peer's category interests and local preference weights.
+class InterestProfile {
+ public:
+  /// Draws `num_categories` distinct categories by global category
+  /// popularity and assigns uniform-random preference weights.
+  /// Requires 1 <= num_categories <= catalog.num_categories().
+  InterestProfile(const Catalog& catalog, std::size_t num_categories,
+                  Rng& rng);
+
+  /// Samples a category from the local preference distribution.
+  [[nodiscard]] CategoryId sample_category(Rng& rng) const;
+
+  [[nodiscard]] const std::vector<CategoryId>& categories() const {
+    return categories_;
+  }
+
+  /// Normalized preference weight of the i-th interest category.
+  [[nodiscard]] double weight(std::size_t i) const;
+
+  [[nodiscard]] bool interested_in(CategoryId c) const;
+
+ private:
+  std::vector<CategoryId> categories_;
+  std::vector<double> cum_weights_;  // normalized cumulative weights
+};
+
+}  // namespace p2pex

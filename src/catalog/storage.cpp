@@ -1,0 +1,76 @@
+#include "catalog/storage.h"
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+Storage::Storage(std::size_t capacity) : capacity_(capacity) {
+  P2PEX_ASSERT_MSG(capacity >= 1, "zero-capacity storage");
+}
+
+bool Storage::add(ObjectId o) {
+  if (index_.count(o) != 0) return false;
+  index_[o] = objects_.size();
+  objects_.push_back(o);
+  return true;
+}
+
+void Storage::swap_remove(std::size_t slot) {
+  const ObjectId victim = objects_[slot];
+  const ObjectId last = objects_.back();
+  objects_[slot] = last;
+  index_[last] = slot;
+  objects_.pop_back();
+  index_.erase(victim);
+}
+
+bool Storage::remove(ObjectId o) {
+  const auto it = index_.find(o);
+  if (it == index_.end()) return false;
+  P2PEX_ASSERT_MSG(!pinned(o), "removing a pinned object");
+  swap_remove(it->second);
+  return true;
+}
+
+bool Storage::contains(ObjectId o) const { return index_.count(o) != 0; }
+
+void Storage::pin(ObjectId o) {
+  P2PEX_ASSERT_MSG(contains(o), "pinning an absent object");
+  ++pins_[o];
+}
+
+void Storage::unpin(ObjectId o) {
+  const auto it = pins_.find(o);
+  P2PEX_ASSERT_MSG(it != pins_.end() && it->second > 0,
+                   "unpin without matching pin");
+  if (--it->second == 0) pins_.erase(it);
+}
+
+bool Storage::pinned(ObjectId o) const {
+  const auto it = pins_.find(o);
+  return it != pins_.end() && it->second > 0;
+}
+
+std::vector<ObjectId> Storage::evict_over_capacity(Rng& rng) {
+  std::vector<ObjectId> evicted;
+  while (objects_.size() > capacity_) {
+    if (pins_.empty()) {
+      const std::size_t slot = rng.index(objects_.size());
+      evicted.push_back(objects_[slot]);
+      swap_remove(slot);
+    } else {
+      // Pinned objects are postponed: draw among unpinned ones only.
+      std::vector<std::size_t> candidates;
+      candidates.reserve(objects_.size());
+      for (std::size_t i = 0; i < objects_.size(); ++i)
+        if (!pinned(objects_[i])) candidates.push_back(i);
+      if (candidates.empty()) break;  // everything pinned; postpone all
+      const std::size_t slot = candidates[rng.index(candidates.size())];
+      evicted.push_back(objects_[slot]);
+      swap_remove(slot);
+    }
+  }
+  return evicted;
+}
+
+}  // namespace p2pex

@@ -1,0 +1,59 @@
+// Bounded per-peer object store (Section IV-A).
+//
+// Each peer stores up to a fixed number of complete objects
+// (paper: capacity uniform(5, 40)). At regular intervals the peer evicts
+// *random* objects while over capacity, but postpones removing an object
+// that is pinned (in use by an ongoing exchange or upload).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace p2pex {
+
+/// Set of complete objects held by one peer, with pin-aware random
+/// eviction. Supports O(1) contains/add/remove and deterministic random
+/// selection.
+class Storage {
+ public:
+  explicit Storage(std::size_t capacity);
+
+  /// Adds an object; returns false if already present.
+  bool add(ObjectId o);
+
+  /// Removes an object; returns false if absent. Requires it not pinned.
+  bool remove(ObjectId o);
+
+  [[nodiscard]] bool contains(ObjectId o) const;
+
+  [[nodiscard]] std::size_t size() const { return objects_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool over_capacity() const { return objects_.size() > capacity_; }
+
+  /// Pins an object (refcounted): it will not be evicted while pinned.
+  /// Pinning an absent object is an error.
+  void pin(ObjectId o);
+  void unpin(ObjectId o);
+  [[nodiscard]] bool pinned(ObjectId o) const;
+
+  /// Evicts uniformly random unpinned objects until at or under capacity
+  /// (or only pinned objects remain). Returns the evicted ids.
+  std::vector<ObjectId> evict_over_capacity(Rng& rng);
+
+  /// Stable snapshot of held objects (unordered).
+  [[nodiscard]] const std::vector<ObjectId>& objects() const { return objects_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<ObjectId> objects_;                    // dense, for random pick
+  std::unordered_map<ObjectId, std::size_t> index_;  // object -> slot
+  std::unordered_map<ObjectId, int> pins_;
+
+  void swap_remove(std::size_t slot);
+};
+
+}  // namespace p2pex

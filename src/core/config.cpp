@@ -1,0 +1,74 @@
+#include "core/config.h"
+
+#include <sstream>
+
+namespace p2pex {
+
+void SimConfig::validate() const {
+  auto fail = [](const std::string& msg) { throw ConfigError(msg); };
+
+  if (num_peers < 2) fail("num_peers must be at least 2");
+  if (nonsharing_fraction < 0.0 || nonsharing_fraction > 1.0)
+    fail("nonsharing_fraction must be in [0, 1]");
+  if (slot_kbps <= 0.0) fail("slot_kbps must be positive");
+  if (upload_capacity_kbps < slot_kbps)
+    fail("upload capacity below one slot — peers could never serve");
+  if (download_capacity_kbps < slot_kbps)
+    fail("download capacity below one slot — peers could never download");
+  if (catalog.num_categories == 0) fail("catalog needs categories");
+  if (min_categories_per_peer < 1 ||
+      min_categories_per_peer > max_categories_per_peer)
+    fail("bad categories-per-peer range");
+  if (max_categories_per_peer > catalog.num_categories)
+    fail("categories_per_peer exceeds catalog categories");
+  if (min_storage_objects < 1 || min_storage_objects > max_storage_objects)
+    fail("bad storage range");
+  if (initial_fill_fraction <= 0.0 || initial_fill_fraction > 1.0)
+    fail("initial_fill_fraction must be in (0, 1]");
+  if (irq_capacity < 1) fail("irq_capacity must be positive");
+  if (max_pending < 1) fail("max_pending must be positive");
+  if (lookup_fraction <= 0.0 || lookup_fraction > 1.0)
+    fail("lookup_fraction must be in (0, 1]");
+  if (max_providers_per_request < 1)
+    fail("max_providers_per_request must be positive");
+  if (max_ring_size < 2 && policy != ExchangePolicy::kNoExchange)
+    fail("max_ring_size must be >= 2 when exchanges are enabled");
+  if (max_ring_attempts_per_search < 1)
+    fail("max_ring_attempts_per_search must be positive");
+  if (bloom_fpp <= 0.0 || bloom_fpp >= 1.0)
+    fail("bloom_fpp must be in (0, 1)");
+  if (liar_fraction < 0.0 || liar_fraction > 1.0)
+    fail("liar_fraction must be in [0, 1]");
+  if (search_interval <= 0.0) fail("search_interval must be positive");
+  if (eviction_interval <= 0.0) fail("eviction_interval must be positive");
+  if (sim_duration <= 0.0) fail("sim_duration must be positive");
+  if (warmup_fraction < 0.0 || warmup_fraction >= 1.0)
+    fail("warmup_fraction must be in [0, 1)");
+}
+
+std::string SimConfig::describe() const {
+  std::ostringstream os;
+  os << "peers=" << num_peers
+     << " nonsharing=" << nonsharing_fraction
+     << " dl=" << download_capacity_kbps << "kbps"
+     << " ul=" << upload_capacity_kbps << "kbps"
+     << " slot=" << slot_kbps << "kbps"
+     << " categories=" << catalog.num_categories
+     << " f_cat=" << catalog.category_popularity_f
+     << " f_obj=" << catalog.object_popularity_f
+     << " object=" << catalog.object_size / 1000000 << "MB"
+     << " storage=[" << min_storage_objects << "," << max_storage_objects << "]"
+     << " cats/peer=[" << min_categories_per_peer << ","
+     << max_categories_per_peer << "]"
+     << " irq=" << irq_capacity
+     << " pending=" << max_pending
+     << " policy=" << policy_label(policy, max_ring_size)
+     << " scheduler=" << to_string(scheduler)
+     << " preemption=" << (preemption ? "on" : "off")
+     << " tree=" << to_string(tree_mode)
+     << " duration=" << sim_duration << "s"
+     << " seed=" << seed;
+  return os.str();
+}
+
+}  // namespace p2pex

@@ -1,0 +1,131 @@
+// Core runtime entities: sessions, downloads, rings, peers.
+//
+// All entities live in dense id-indexed tables owned by the System; ids
+// are never reused within a run, so a stale id is detectable (the entity's
+// `active` flag is false).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "baselines/credit.h"
+#include "baselines/participation.h"
+#include "catalog/interest.h"
+#include "catalog/storage.h"
+#include "metrics/records.h"
+#include "proto/irq.h"
+#include "sim/event_queue.h"
+#include "util/types.h"
+
+namespace p2pex {
+
+/// One provider->requester transfer stream at the fixed slot rate.
+///
+/// A session consumes one upload slot at the provider and one download
+/// slot at the requester for its whole life. Bytes accrue linearly at
+/// `rate`; `bytes` is brought up to date (and `last_update` advanced)
+/// whenever the surrounding download's session set changes.
+struct Session {
+  SessionId id;
+  PeerId provider;
+  PeerId requester;
+  ObjectId object;
+  DownloadId download;
+  RingId ring;       ///< invalid for non-exchange sessions
+  SessionType type;  ///< ring size, or 0 for non-exchange
+  SimTime request_time = 0.0;  ///< when the object was first requested
+  SimTime start_time = 0.0;
+  SimTime last_update = 0.0;
+  double bytes = 0.0;  ///< fractional: the fluid model accrues rate*dt
+  Rate rate = 0.0;
+  bool active = true;
+
+  [[nodiscard]] bool is_exchange() const { return ring.valid(); }
+};
+
+/// One in-progress object download at a peer. Partial transfers are
+/// supported: multiple concurrent sessions (from different providers)
+/// feed the same download, each contributing distinct parts.
+struct Download {
+  DownloadId id;
+  PeerId peer;
+  ObjectId object;
+  Bytes size = 0;
+  double received = 0.0;       ///< accrued up to last_update (fractional)
+  SimTime last_update = 0.0;
+  SimTime issue_time = 0.0;
+  /// Owners discovered at lookup time. Ring closure may use any of these
+  /// (paper: "it can use the original provider list to compute a cycle
+  /// containing a peer P_j even if it did not originally transmit a
+  /// request to P_j").
+  std::unordered_set<PeerId> discovered;
+  /// Providers where a request is actually registered (IRQ entry exists).
+  std::unordered_set<PeerId> registered;
+  std::vector<SessionId> sessions;  ///< currently active sessions
+  EventHandle completion;           ///< pending completion event
+  bool active = true;
+
+  [[nodiscard]] double remaining() const {
+    return static_cast<double>(size) - received;
+  }
+};
+
+/// One live n-way exchange ring: `sessions[i]` serves member i+1 from
+/// member i (indices mod n). Collapses as a unit when any member session
+/// terminates.
+struct Ring {
+  RingId id;
+  std::vector<SessionId> sessions;
+  bool active = true;
+
+  [[nodiscard]] std::size_t size() const { return sessions.size(); }
+};
+
+/// One participant node.
+struct Peer {
+  PeerId id;
+  bool shares = true;  ///< false = freeloader: never serves anyone
+  bool online = true;
+  bool lies_about_participation = false;  ///< participation baseline only
+  bool retry_pending = false;  ///< a request-issue retry is scheduled
+
+  int upload_slots = 8;
+  int download_slots = 80;
+  int upload_in_use = 0;
+  int download_in_use = 0;
+
+  Storage storage;
+  InterestProfile interests;
+  IncomingRequestQueue irq;
+
+  /// Active downloads by object (at most SimConfig::max_pending).
+  std::unordered_map<ObjectId, DownloadId> pending;
+  /// Same downloads in issue order (deterministic iteration).
+  std::vector<DownloadId> pending_list;
+  /// Upload sessions this peer is currently serving, in start order
+  /// (used to pick preemption victims: newest non-exchange first).
+  std::vector<SessionId> uploads;
+
+  CreditLedger credit;                ///< kCredit baseline state
+  ParticipationLevel participation;   ///< kParticipation baseline state
+
+  Peer(PeerId id_, Storage storage_, InterestProfile interests_,
+       std::size_t irq_capacity, bool lies)
+      : id(id_),
+        storage(std::move(storage_)),
+        interests(std::move(interests_)),
+        irq(irq_capacity),
+        participation(lies) {
+    lies_about_participation = lies;
+  }
+
+  [[nodiscard]] int free_upload_slots() const {
+    return upload_slots - upload_in_use;
+  }
+  [[nodiscard]] int free_download_slots() const {
+    return download_slots - download_in_use;
+  }
+};
+
+}  // namespace p2pex

@@ -1,0 +1,219 @@
+#include "core/exchange_finder.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+ExchangeFinder::ExchangeFinder(ExchangePolicy policy,
+                               std::size_t max_ring_size, TreeMode mode)
+    : policy_(policy), max_ring_(max_ring_size), mode_(mode) {
+  if (policy == ExchangePolicy::kPairwiseOnly) max_ring_ = 2;
+}
+
+std::vector<RingProposal> ExchangeFinder::find(const ExchangeGraphView& view,
+                                               PeerId root,
+                                               std::size_t max_candidates) {
+  if (policy_ == ExchangePolicy::kNoExchange || max_candidates == 0) return {};
+  ++stats_.searches;
+  return mode_ == TreeMode::kFullTree ? find_full(view, root, max_candidates)
+                                      : find_bloom(view, root, max_candidates);
+}
+
+std::optional<RingProposal> ExchangeFinder::make_proposal(
+    const ExchangeGraphView& view, const std::vector<PeerId>& path,
+    ObjectId close_object) const {
+  RingProposal proposal;
+  proposal.links.reserve(path.size());
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const ObjectId o = view.request_between(path[i], path[i + 1]);
+    if (!o.valid()) return std::nullopt;
+    proposal.links.push_back(RingLink{path[i], path[i + 1], o});
+  }
+  proposal.links.push_back(RingLink{path.back(), path.front(), close_object});
+  if (!proposal.well_formed()) return std::nullopt;
+  return proposal;
+}
+
+std::vector<RingProposal> ExchangeFinder::find_full(
+    const ExchangeGraphView& view, PeerId root, std::size_t max_candidates) {
+  // BFS over requester edges with a global visited set: each peer is
+  // reached along one (shortest) path, matching the paper's "peers always
+  // pick the first feasible exchange in the search process".
+  const std::size_t n = view.num_peers();
+  std::vector<bool> visited(n, false);
+  std::vector<PeerId> parent(n);
+  std::vector<std::size_t> depth(n, 0);
+
+  std::vector<RingProposal> out;
+  std::deque<PeerId> frontier;
+  visited[root.value] = true;
+  depth[root.value] = 1;
+  frontier.push_back(root);
+
+  const bool shortest_first = policy_ != ExchangePolicy::kLongestFirst;
+
+  while (!frontier.empty()) {
+    const PeerId x = frontier.front();
+    frontier.pop_front();
+    ++stats_.nodes_visited;
+    const std::size_t d = depth[x.value];
+
+    if (x != root) {
+      for (ObjectId o : view.close_objects(root, x)) {
+        // Reconstruct the path root -> ... -> x from parent pointers.
+        std::vector<PeerId> path;
+        for (PeerId p = x; p != root; p = parent[p.value]) path.push_back(p);
+        path.push_back(root);
+        std::reverse(path.begin(), path.end());
+        if (auto proposal = make_proposal(view, path, o)) {
+          out.push_back(std::move(*proposal));
+          ++stats_.candidates;
+          if (shortest_first && out.size() >= max_candidates) return out;
+        }
+      }
+    }
+
+    if (d >= max_ring_) continue;  // children would exceed the ring cap
+    for (PeerId child : view.requesters_of(x)) {
+      if (child.value >= n || visited[child.value]) continue;
+      visited[child.value] = true;
+      parent[child.value] = x;
+      depth[child.value] = d + 1;
+      frontier.push_back(child);
+    }
+  }
+
+  if (!shortest_first) {
+    // kLongestFirst: prefer the deepest rings; stable to keep BFS order
+    // within a size class.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const RingProposal& a, const RingProposal& b) {
+                       return a.size() > b.size();
+                     });
+    if (out.size() > max_candidates) out.resize(max_candidates);
+  }
+  return out;
+}
+
+void ExchangeFinder::rebuild_summaries(const ExchangeGraphView& view,
+                                       std::size_t expected_per_level,
+                                       double fpp) {
+  const std::size_t n = view.num_peers();
+  const std::size_t levels = max_ring_ >= 2 ? max_ring_ - 1 : 1;
+  summaries_.clear();
+  summaries_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    summaries_.emplace_back(levels, expected_per_level, fpp);
+
+  // Level 1: each peer's direct requesters.
+  std::vector<std::vector<PeerId>> children(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    children[i] = view.requesters_of(PeerId{static_cast<std::uint32_t>(i)});
+    for (PeerId c : children[i]) summaries_[i].insert(1, c);
+  }
+  // Level k = union of the children's level k-1 filters — exactly the
+  // protocol's merge of forwarded summaries, so false positives compound
+  // with depth as they would on the wire. Writing level k only reads
+  // level k-1, so in-place iteration is sound.
+  for (std::size_t k = 2; k <= levels; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (PeerId c : children[i]) {
+        if (c.value >= n) continue;
+        summaries_[i].merge_into_level(k, summaries_[c.value].level(k - 1));
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Depth-first next-hop walk: find a path of exactly `remaining` further
+/// hops from `node` to `target`, guided by the children's Bloom levels.
+/// Consumes from `budget`; increments `dead_ends` whenever a
+/// Bloom-endorsed branch fizzles (a false positive or staleness).
+bool reconstruct_hops(const ExchangeGraphView& view,
+                      const std::vector<BloomTreeSummary>& summaries,
+                      PeerId node, PeerId target, std::size_t remaining,
+                      std::vector<PeerId>& path, std::size_t& budget,
+                      std::uint64_t& dead_ends) {
+  if (budget == 0) return false;
+  --budget;
+  for (PeerId child : view.requesters_of(node)) {
+    if (std::find(path.begin(), path.end(), child) != path.end()) continue;
+    if (remaining == 1) {
+      if (child == target) {
+        path.push_back(child);
+        return true;
+      }
+      continue;
+    }
+    if (child.value >= summaries.size()) continue;
+    if (!summaries[child.value].maybe_at_level(remaining - 1, target))
+      continue;
+    path.push_back(child);
+    if (reconstruct_hops(view, summaries, child, target, remaining - 1, path,
+                         budget, dead_ends))
+      return true;
+    path.pop_back();
+    ++dead_ends;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<RingProposal> ExchangeFinder::find_bloom(
+    const ExchangeGraphView& view, PeerId root, std::size_t max_candidates) {
+  std::vector<RingProposal> out;
+  if (summaries_.size() != view.num_peers()) return out;  // not built yet
+
+  struct Hit {
+    ObjectId object;
+    PeerId provider;
+    std::size_t level;  // ring size = level + 1
+  };
+  std::vector<Hit> hits;
+  const std::size_t max_level = max_ring_ >= 2 ? max_ring_ - 1 : 1;
+  const auto& mine = summaries_[root.value];
+  for (const auto& [object, providers] : view.want_providers(root)) {
+    for (PeerId p : providers) {
+      const std::size_t k = mine.first_level_maybe(p, max_level);
+      if (k != 0) {
+        hits.push_back(Hit{object, p, k});
+        ++stats_.bloom_detections;
+      }
+    }
+  }
+
+  const bool shortest_first = policy_ != ExchangePolicy::kLongestFirst;
+  std::stable_sort(hits.begin(), hits.end(), [&](const Hit& a, const Hit& b) {
+    return shortest_first ? a.level < b.level : a.level > b.level;
+  });
+
+  for (const Hit& hit : hits) {
+    if (out.size() >= max_candidates) break;
+    std::vector<PeerId> path{root};
+    std::size_t budget = 256;  // bounds next-hop lookups per attempt
+    if (reconstruct_hops(view, summaries_, root, hit.provider, hit.level,
+                         path, budget, stats_.bloom_dead_ends)) {
+      if (auto proposal = make_proposal(view, path, hit.object)) {
+        out.push_back(std::move(*proposal));
+        ++stats_.candidates;
+        ++stats_.bloom_reconstructions;
+      }
+    } else {
+      ++stats_.bloom_dead_ends;
+    }
+  }
+  return out;
+}
+
+std::size_t ExchangeFinder::summary_wire_bytes(PeerId peer) const {
+  if (mode_ != TreeMode::kBloom || peer.value >= summaries_.size()) return 0;
+  return summaries_[peer.value].serialized_size_bytes();
+}
+
+}  // namespace p2pex

@@ -1,0 +1,128 @@
+// n-way exchange ring search (paper Section III-A).
+//
+// The request graph G has an edge A -> B labelled o when A has a
+// registered request for o in B's IRQ; any cycle of length n is a
+// feasible n-way exchange. A peer B searches its *request tree* — the
+// peers transitively requesting from it, pruned to depth max_ring_size —
+// for a peer P that owns an object B wants and that B discovered as a
+// provider at lookup time. The tree path B -> C1 -> ... -> P then closes
+// into a ring where each peer serves its tree child and P serves B.
+//
+// Two search modes:
+//  * kFullTree — exact search over the live graph (paper Section IV);
+//    equivalent to perfectly fresh full request trees.
+//  * kBloom — Section V's per-level Bloom summaries: the root detects
+//    that a cycle *may* exist from its own merged summary, then
+//    reconstructs the path with hop-by-hop next-hop lookups against each
+//    child's summary. False positives send it down dead ends; summaries
+//    are rebuilt periodically, so they can also be stale.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.h"
+#include "proto/bloom_summary.h"
+#include "proto/token.h"
+#include "util/types.h"
+
+namespace p2pex {
+
+/// Read-only view of the simulation state the finder needs. Implemented
+/// by the System; tests provide hand-built fixtures.
+class ExchangeGraphView {
+ public:
+  virtual ~ExchangeGraphView() = default;
+
+  /// Total peers (ids are dense in [0, num_peers)).
+  [[nodiscard]] virtual std::size_t num_peers() const = 0;
+
+  /// Distinct requesters with at least one ring-usable request in
+  /// `provider`'s IRQ (queued, or active non-exchange and thus
+  /// upgradeable), in first-arrival order.
+  [[nodiscard]] virtual std::vector<PeerId> requesters_of(
+      PeerId provider) const = 0;
+
+  /// The object of the oldest ring-usable request `requester` has
+  /// registered at `provider`; invalid ObjectId if none.
+  [[nodiscard]] virtual ObjectId request_between(PeerId provider,
+                                                 PeerId requester) const = 0;
+
+  /// Objects `root` wants that `provider` can close a ring with: root has
+  /// an active download of the object, discovered `provider` as an owner
+  /// at lookup time, and `provider` still stores it. Order: issue order.
+  [[nodiscard]] virtual std::vector<ObjectId> close_objects(
+      PeerId root, PeerId provider) const = 0;
+
+  /// (object, discovered-and-still-owning providers) for each of root's
+  /// active downloads — the candidate ring closers used in Bloom mode.
+  [[nodiscard]] virtual std::vector<std::pair<ObjectId, std::vector<PeerId>>>
+  want_providers(PeerId root) const = 0;
+};
+
+/// Search statistics (Bloom-mode ablation reporting).
+struct FinderStats {
+  std::uint64_t searches = 0;
+  std::uint64_t candidates = 0;
+  std::uint64_t bloom_detections = 0;      ///< level hits in root summary
+  std::uint64_t bloom_reconstructions = 0; ///< paths successfully rebuilt
+  std::uint64_t bloom_dead_ends = 0;       ///< next-hop walks that fizzled
+  std::uint64_t nodes_visited = 0;
+};
+
+/// Finds candidate exchange rings rooted at a peer.
+class ExchangeFinder {
+ public:
+  /// `max_ring_size` — largest ring considered (paper: 5 by default).
+  ExchangeFinder(ExchangePolicy policy, std::size_t max_ring_size,
+                 TreeMode mode);
+
+  /// Returns up to `max_candidates` well-formed ring proposals rooted at
+  /// `root`, ordered per policy (kShortestFirst: ascending size;
+  /// kLongestFirst: descending size). Empty under kNoExchange or when
+  /// nothing closes. In kBloom mode, uses the last rebuilt summaries.
+  [[nodiscard]] std::vector<RingProposal> find(const ExchangeGraphView& view,
+                                               PeerId root,
+                                               std::size_t max_candidates);
+
+  /// Rebuilds all per-peer per-level Bloom summaries from the live graph
+  /// (kBloom mode; the System calls this on its periodic sweep, modelling
+  /// incremental summary propagation latency).
+  void rebuild_summaries(const ExchangeGraphView& view,
+                         std::size_t expected_per_level, double fpp);
+
+  [[nodiscard]] const FinderStats& stats() const { return stats_; }
+  [[nodiscard]] ExchangePolicy policy() const { return policy_; }
+  [[nodiscard]] std::size_t max_ring_size() const { return max_ring_; }
+
+  /// Wire bytes one request would carry in the current mode: the full
+  /// tree is counted by the caller (it knows tree sizes); this reports
+  /// the per-request summary size in Bloom mode, 0 in full-tree mode.
+  [[nodiscard]] std::size_t summary_wire_bytes(PeerId peer) const;
+
+ private:
+  std::vector<RingProposal> find_full(const ExchangeGraphView& view,
+                                      PeerId root,
+                                      std::size_t max_candidates);
+  std::vector<RingProposal> find_bloom(const ExchangeGraphView& view,
+                                       PeerId root,
+                                       std::size_t max_candidates);
+
+  /// Builds the proposal for tree path `path` (root first) closed by the
+  /// last element serving `close_object` to the root. Returns nullopt if
+  /// any hop lacks a usable request (possible in Bloom mode where hops
+  /// are probabilistic).
+  std::optional<RingProposal> make_proposal(
+      const ExchangeGraphView& view, const std::vector<PeerId>& path,
+      ObjectId close_object) const;
+
+  ExchangePolicy policy_;
+  std::size_t max_ring_;
+  TreeMode mode_;
+  FinderStats stats_;
+  std::vector<BloomTreeSummary> summaries_;  ///< per peer, kBloom mode
+};
+
+}  // namespace p2pex

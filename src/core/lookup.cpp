@@ -1,0 +1,56 @@
+#include "core/lookup.h"
+
+#include <algorithm>
+
+namespace p2pex {
+
+void LookupService::add_owner(ObjectId object, PeerId peer) {
+  owners_[object].insert(peer);
+}
+
+void LookupService::remove_owner(ObjectId object, PeerId peer) {
+  const auto it = owners_.find(object);
+  if (it == owners_.end()) return;
+  it->second.erase(peer);
+  if (it->second.empty()) owners_.erase(it);
+}
+
+void LookupService::remove_peer(PeerId peer) {
+  for (auto it = owners_.begin(); it != owners_.end();) {
+    it->second.erase(peer);
+    if (it->second.empty())
+      it = owners_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::vector<PeerId> LookupService::owners(ObjectId object,
+                                          PeerId except) const {
+  std::vector<PeerId> out;
+  const auto it = owners_.find(object);
+  if (it == owners_.end()) return out;
+  out.reserve(it->second.size());
+  for (PeerId p : it->second)
+    if (p != except) out.push_back(p);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<PeerId> LookupService::query(ObjectId object, PeerId except,
+                                         double fraction, Rng& rng) const {
+  std::vector<PeerId> all = owners(object, except);
+  if (fraction >= 1.0) return all;
+  std::vector<PeerId> out;
+  out.reserve(all.size());
+  for (PeerId p : all)
+    if (rng.chance(fraction)) out.push_back(p);
+  return out;
+}
+
+std::size_t LookupService::owner_count(ObjectId object) const {
+  const auto it = owners_.find(object);
+  return it == owners_.end() ? 0 : it->second.size();
+}
+
+}  // namespace p2pex

@@ -1,0 +1,50 @@
+// Idealized object-lookup service (paper Section III).
+//
+// The paper deliberately abstracts object lookup: "our approach can work
+// with several known search mechanisms including broadcast in
+// Gnutella-like networks or a DHT query"; a requester can "locate up to a
+// certain fraction of peers that currently have the object". We model
+// this with a global ownership index that the simulation keeps current
+// (sharing peers only), sampled with per-owner discovery probability
+// `lookup_fraction`.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace p2pex {
+
+/// Global object -> sharing-owners index with sampled queries.
+class LookupService {
+ public:
+  /// Registers that `peer` (a sharing peer) now serves `object`.
+  void add_owner(ObjectId object, PeerId peer);
+
+  /// Removes an ownership fact (eviction or peer departure).
+  void remove_owner(ObjectId object, PeerId peer);
+
+  /// Drops every ownership fact for `peer`.
+  void remove_peer(PeerId peer);
+
+  /// All current owners of `object` except `except` (unsampled, for tests
+  /// and ring-closure ground truth), in ascending peer order.
+  [[nodiscard]] std::vector<PeerId> owners(ObjectId object,
+                                           PeerId except) const;
+
+  /// Simulates one lookup: each owner (excluding `except`) is discovered
+  /// independently with probability `fraction`. Result in ascending peer
+  /// order (determinism), possibly empty.
+  [[nodiscard]] std::vector<PeerId> query(ObjectId object, PeerId except,
+                                          double fraction, Rng& rng) const;
+
+  [[nodiscard]] std::size_t owner_count(ObjectId object) const;
+
+ private:
+  std::unordered_map<ObjectId, std::unordered_set<PeerId>> owners_;
+};
+
+}  // namespace p2pex

@@ -1,0 +1,102 @@
+#include "core/nonring.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+namespace {
+constexpr ObjectId kX{0};
+constexpr ObjectId kY{1};
+}  // namespace
+
+double MixedExchange::upload_used(std::size_t i) const {
+  double total = 0.0;
+  for (const MixedFlow& f : flows)
+    if (f.from == i) total += f.rate;
+  return total;
+}
+
+double MixedExchange::receive_rate(std::size_t i, ObjectId o) const {
+  double total = 0.0;
+  for (const MixedFlow& f : flows)
+    if (f.to == i && f.object == o) total += f.rate;
+  return total;
+}
+
+bool MixedExchange::feasible() const {
+  for (std::size_t i = 0; i < peers.size(); ++i)
+    if (upload_used(i) > peers[i].upload_capacity + 1e-9) return false;
+  for (const MixedFlow& f : flows) {
+    if (f.from >= peers.size() || f.to >= peers.size() || f.rate <= 0.0)
+      return false;
+    const MixedPeer& sender = peers[f.from];
+    const bool holds = std::find(sender.has.begin(), sender.has.end(),
+                                 f.object) != sender.has.end();
+    if (!holds) {
+      // Relay: a forwarded stream cannot outpace the stream feeding it
+      // (forwarding the same bytes to several peers is fine — each copy
+      // is a separate outgoing flow at up to the incoming rate).
+      if (f.rate > receive_rate(f.from, f.object) + 1e-9) return false;
+    }
+  }
+  return true;
+}
+
+std::string MixedExchange::describe() const {
+  std::ostringstream os;
+  for (const MixedFlow& f : flows)
+    os << peers[f.from].name << " -> " << peers[f.to].name << " : "
+       << (f.object == kX ? "x" : "y") << " @ " << f.rate << "\n";
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    os << peers[i].name << ": upload " << upload_used(i) << "/"
+       << peers[i].upload_capacity;
+    for (ObjectId o : peers[i].wants)
+      os << ", receives " << (o == kX ? "x" : "y") << " @ "
+         << receive_rate(i, o);
+    os << "\n";
+  }
+  return os.str();
+}
+
+MixedExchange paper_table1_scenario() {
+  MixedExchange e;
+  e.peers = {
+      MixedPeer{"A", 10.0, {}, {kX}},
+      MixedPeer{"B", 5.0, {kX}, {kY}},
+      MixedPeer{"C", 10.0, {kY}, {kX}},
+      MixedPeer{"D", 10.0, {kY}, {kX}},
+  };
+  // Figure 3: B sends x to A; A relays x to C and D; C and D send y to B.
+  e.flows = {
+      MixedFlow{1, 0, kX, 5.0},  // B -> A : x
+      MixedFlow{0, 2, kX, 5.0},  // A -> C : x (relay)
+      MixedFlow{0, 3, kX, 5.0},  // A -> D : x (relay)
+      MixedFlow{2, 1, kY, 5.0},  // C -> B : y
+      MixedFlow{3, 1, kY, 5.0},  // D -> B : y
+  };
+  P2PEX_ASSERT(e.feasible());
+  return e;
+}
+
+MixedExchange paper_table1_pure_pairwise() {
+  MixedExchange e;
+  e.peers = {
+      MixedPeer{"A", 10.0, {}, {kX}},
+      MixedPeer{"B", 5.0, {kX}, {kY}},
+      MixedPeer{"C", 10.0, {kY}, {kX}},
+      MixedPeer{"D", 10.0, {kY}, {kX}},
+  };
+  // Without capacity mixing only B <-> C (or B <-> D) can trade, at B's
+  // 5-unit budget; A has nothing to offer and D is left out.
+  e.flows = {
+      MixedFlow{1, 2, kX, 5.0},  // B -> C : x
+      MixedFlow{2, 1, kY, 5.0},  // C -> B : y
+  };
+  P2PEX_ASSERT(e.feasible());
+  return e;
+}
+
+}  // namespace p2pex

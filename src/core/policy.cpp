@@ -1,0 +1,43 @@
+#include "core/policy.h"
+
+namespace p2pex {
+
+std::string to_string(ExchangePolicy p) {
+  switch (p) {
+    case ExchangePolicy::kNoExchange:    return "no-exchange";
+    case ExchangePolicy::kPairwiseOnly:  return "pairwise-only";
+    case ExchangePolicy::kShortestFirst: return "shortest-first";
+    case ExchangePolicy::kLongestFirst:  return "longest-first";
+  }
+  return "unknown";
+}
+
+std::string to_string(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::kFifo:          return "fifo";
+    case SchedulerKind::kCredit:        return "credit";
+    case SchedulerKind::kParticipation: return "participation";
+  }
+  return "unknown";
+}
+
+std::string to_string(TreeMode m) {
+  switch (m) {
+    case TreeMode::kFullTree: return "full-tree";
+    case TreeMode::kBloom:    return "bloom";
+  }
+  return "unknown";
+}
+
+std::string policy_label(ExchangePolicy p, std::size_t max_ring_size) {
+  const std::string n = std::to_string(max_ring_size);
+  switch (p) {
+    case ExchangePolicy::kNoExchange:    return "no exchange";
+    case ExchangePolicy::kPairwiseOnly:  return "pairwise";
+    case ExchangePolicy::kShortestFirst: return "2-" + n + "-way";
+    case ExchangePolicy::kLongestFirst:  return n + "-2-way";
+  }
+  return "unknown";
+}
+
+}  // namespace p2pex

@@ -1,0 +1,45 @@
+// Exchange and scheduling policy knobs (paper Sections III–IV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace p2pex {
+
+/// Which exchange mechanism a run uses. The paper's figure legends map as:
+///   "no exchange" -> kNoExchange
+///   "pairwise"    -> kPairwiseOnly
+///   "2-N-way"     -> kShortestFirst with max_ring_size = N
+///   "N-2-way"     -> kLongestFirst  with max_ring_size = N
+enum class ExchangePolicy : std::uint8_t {
+  kNoExchange,     ///< every transfer is granted FIFO; no priority
+  kPairwiseOnly,   ///< only 2-way exchanges
+  kShortestFirst,  ///< prefer the shortest feasible ring (2-N-way)
+  kLongestFirst,   ///< prefer the longest feasible ring (N-2-way)
+};
+
+/// Service order for non-exchange transfers (and for every transfer under
+/// kNoExchange). kFifo is the paper's model; the others are the related-
+/// work baselines for the incentive-comparison ablation.
+enum class SchedulerKind : std::uint8_t {
+  kFifo,           ///< arrival order
+  kCredit,         ///< eMule queue rank (waiting time x credit modifier)
+  kParticipation,  ///< KaZaA self-reported participation level
+};
+
+/// How ring search obtains remote request-tree information.
+enum class TreeMode : std::uint8_t {
+  kFullTree,  ///< complete request trees (paper Sections III-A, IV)
+  kBloom,     ///< per-level Bloom summaries (Section V), with false
+              ///< positives and hop-by-hop ring reconstruction
+};
+
+[[nodiscard]] std::string to_string(ExchangePolicy p);
+[[nodiscard]] std::string to_string(SchedulerKind k);
+[[nodiscard]] std::string to_string(TreeMode m);
+
+/// Paper-style label, e.g. "pairwise", "2-5-way", "5-2-way", "no exchange".
+[[nodiscard]] std::string policy_label(ExchangePolicy p,
+                                       std::size_t max_ring_size);
+
+}  // namespace p2pex

@@ -1,0 +1,274 @@
+// System construction, workload generation and periodic maintenance.
+// Transfer/exchange mechanics live in system_transfer.cpp; the
+// ExchangeGraphView implementation and invariant audit in system_view.cpp.
+#include "core/system.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+System::System(const SimConfig& config)
+    : cfg_(config),
+      rng_((config.validate(), config.seed)),
+      catalog_(cfg_.catalog, rng_),
+      finder_(cfg_.policy, cfg_.max_ring_size, cfg_.tree_mode),
+      metrics_(cfg_.warmup()) {
+  build_peers();
+  place_initial_objects();
+}
+
+Peer& System::peer_mut(PeerId p) {
+  P2PEX_ASSERT(p.value < peers_.size());
+  return peers_[p.value];
+}
+
+const Peer& System::peer(PeerId p) const {
+  P2PEX_ASSERT(p.value < peers_.size());
+  return peers_[p.value];
+}
+
+Download& System::download(DownloadId d) {
+  P2PEX_ASSERT(d.value < downloads_.size());
+  return downloads_[d.value];
+}
+
+Session& System::session(SessionId s) {
+  P2PEX_ASSERT(s.value < sessions_.size());
+  return sessions_[s.value];
+}
+
+void System::build_peers() {
+  const std::size_t n = cfg_.num_peers;
+  // Exactly round(n * fraction) freeloaders, assigned to random peers.
+  const auto num_nonsharing = static_cast<std::size_t>(
+      static_cast<double>(n) * cfg_.nonsharing_fraction + 0.5);
+  std::vector<std::uint8_t> nonsharing(n, 0);
+  for (std::size_t i = 0; i < std::min(num_nonsharing, n); ++i)
+    nonsharing[i] = 1;
+  rng_.shuffle(nonsharing);
+
+  peers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cap = static_cast<std::size_t>(rng_.uniform_int(
+        static_cast<std::int64_t>(cfg_.min_storage_objects),
+        static_cast<std::int64_t>(cfg_.max_storage_objects)));
+    const auto cats = static_cast<std::size_t>(rng_.uniform_int(
+        static_cast<std::int64_t>(cfg_.min_categories_per_peer),
+        static_cast<std::int64_t>(cfg_.max_categories_per_peer)));
+    const bool lies = nonsharing[i] != 0 && rng_.chance(cfg_.liar_fraction);
+    peers_.emplace_back(PeerId{static_cast<std::uint32_t>(i)}, Storage(cap),
+                        InterestProfile(catalog_, cats, rng_),
+                        cfg_.irq_capacity, lies);
+    Peer& p = peers_.back();
+    p.shares = nonsharing[i] == 0;
+    p.upload_slots = cfg_.upload_slots();
+    p.download_slots = cfg_.download_slots();
+    if (p.shares) ++num_sharing_;
+  }
+}
+
+void System::place_initial_objects() {
+  // Fill each peer's storage with objects drawn from its own interest
+  // profile (paper: "we initially place objects on each peer based on the
+  // peer's category preferences").
+  for (Peer& p : peers_) {
+    const auto target = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(p.storage.capacity()) *
+               cfg_.initial_fill_fraction));
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 60 * target;
+    while (p.storage.size() < target && attempts++ < max_attempts) {
+      const CategoryId c = p.interests.sample_category(rng_);
+      const ObjectId o = catalog_.sample_object_in(c, rng_);
+      p.storage.add(o);  // duplicate adds are rejected, costing an attempt
+    }
+    if (p.shares)
+      for (ObjectId o : p.storage.objects()) lookup_.add_owner(o, p.id);
+  }
+}
+
+void System::run() {
+  run_to(cfg_.sim_duration);
+  if (!finished_) finalize();
+}
+
+void System::run_to(SimTime t) {
+  P2PEX_ASSERT_MSG(t <= cfg_.sim_duration, "run_to beyond sim_duration");
+  if (!started_) {
+    started_ = true;
+    sim_.schedule_periodic(cfg_.eviction_interval, [this] {
+      eviction_sweep();
+      drain_dirty();
+    });
+    sim_.schedule_periodic(cfg_.search_interval, [this] { search_sweep(); });
+    if (cfg_.tree_mode == TreeMode::kBloom)
+      finder_.rebuild_summaries(*this, cfg_.bloom_expected_per_level,
+                                cfg_.bloom_fpp);
+    // Closed-loop workload: every peer immediately fills its pending set
+    // (paper: "requests are generated fast enough so that each peer
+    // reaches this maximum early enough in the simulation").
+    for (std::size_t i = 0; i < peers_.size(); ++i)
+      issue_requests(PeerId{static_cast<std::uint32_t>(i)});
+    drain_dirty();
+  }
+  sim_.run_until(t);
+}
+
+void System::issue_requests(PeerId p) {
+  Peer& peer = peers_[p.value];
+  while (peer.online && peer.pending_list.size() < cfg_.max_pending) {
+    if (!issue_one_request(p)) {
+      // Nothing issuable right now (lookup failures or interest
+      // exhaustion). Retry later — availability changes as other peers
+      // complete downloads and replicate objects.
+      if (!peer.retry_pending) {
+        peer.retry_pending = true;
+        sim_.schedule_in(cfg_.request_retry_interval, [this, p] {
+          peers_[p.value].retry_pending = false;
+          issue_requests(p);
+          drain_dirty();
+        });
+      }
+      break;
+    }
+  }
+}
+
+bool System::issue_one_request(PeerId p) {
+  Peer& peer = peers_[p.value];
+  // "Continue to generate candidate requests until a miss is found";
+  // bounded so a pathological configuration cannot spin forever.
+  for (int attempt = 0; attempt < 300; ++attempt) {
+    const CategoryId c = peer.interests.sample_category(rng_);
+    const ObjectId o = catalog_.sample_object_in(c, rng_);
+    if (peer.storage.contains(o) || peer.pending.count(o) != 0)
+      continue;  // cache hit — ignored per the paper
+
+    const std::vector<PeerId> discovered =
+        lookup_.query(o, p, cfg_.lookup_fraction, rng_);
+    if (discovered.empty()) {
+      ++counters_.lookup_failures;
+      continue;
+    }
+
+    const DownloadId did{static_cast<std::uint32_t>(downloads_.size())};
+    downloads_.push_back(Download{});
+    Download& d = downloads_.back();
+    d.id = did;
+    d.peer = p;
+    d.object = o;
+    d.size = catalog_.object_size(o);
+    d.last_update = sim_.now();
+    d.issue_time = sim_.now();
+    d.discovered.insert(discovered.begin(), discovered.end());
+
+    // Register at a random subset of the discovered owners; the rest stay
+    // usable for ring closure only.
+    const std::vector<PeerId> targets =
+        rng_.sample(discovered, cfg_.max_providers_per_request);
+    for (PeerId provider : targets) {
+      IrqEntry entry;
+      entry.requester = p;
+      entry.object = o;
+      entry.download = did;
+      entry.enqueue_time = sim_.now();
+      entry.request_time = sim_.now();
+      if (peers_[provider.value].irq.add(entry)) {
+        d.registered.insert(provider);
+        mark_dirty(provider);  // "on receipt of each request ..."
+      }
+    }
+    if (d.registered.empty()) {
+      downloads_.pop_back();  // nothing references it yet
+      continue;
+    }
+    peer.pending[o] = did;
+    peer.pending_list.push_back(did);
+    ++counters_.requests_issued;
+    mark_dirty(p);  // "prior to transmission of a request ..."
+    return true;
+  }
+  return false;
+}
+
+void System::cancel_download(DownloadId did) {
+  Download& d = download(did);
+  if (!d.active) return;
+  accrue_download(d);
+  for (SessionId sid : std::vector<SessionId>(d.sessions))
+    if (session(sid).active) end_session(sid, SessionEnd::kRequesterCancelled);
+  std::vector<PeerId> providers(d.registered.begin(), d.registered.end());
+  std::sort(providers.begin(), providers.end());
+  for (PeerId provider : providers)
+    peers_[provider.value].irq.remove(RequestKey{d.peer, d.object});
+  sim_.cancel(d.completion);
+  d.active = false;
+  Peer& peer = peers_[d.peer.value];
+  peer.pending.erase(d.object);
+  peer.pending_list.erase(
+      std::find(peer.pending_list.begin(), peer.pending_list.end(), did));
+  ++counters_.downloads_starved;
+  issue_requests(d.peer);
+}
+
+void System::eviction_sweep() {
+  for (Peer& p : peers_) {
+    if (!p.online) continue;
+    const std::vector<ObjectId> evicted = p.storage.evict_over_capacity(rng_);
+    if (evicted.empty()) continue;
+    for (ObjectId o : evicted)
+      if (p.shares) lookup_.remove_owner(o, p.id);
+    // Queued requests for an evicted object can never be served here any
+    // more: drop them and tell the requesters. (Requests being served are
+    // impossible — serving pins the object.)
+    std::vector<std::pair<RequestKey, DownloadId>> doomed;
+    for (const IrqEntry& e : p.irq.entries()) {
+      if (std::find(evicted.begin(), evicted.end(), e.object) !=
+          evicted.end()) {
+        P2PEX_ASSERT_MSG(e.state == RequestState::kQueued,
+                         "active upload of an evicted object");
+        doomed.emplace_back(RequestKey{e.requester, e.object}, e.download);
+      }
+    }
+    std::vector<DownloadId> starved;
+    for (const auto& [key, did] : doomed) {
+      p.irq.remove(key);
+      Download& d = download(did);
+      d.registered.erase(p.id);
+      if (d.active && d.registered.empty() && d.sessions.empty())
+        starved.push_back(did);
+    }
+    for (DownloadId did : starved) cancel_download(did);
+  }
+}
+
+void System::search_sweep() {
+  // "Each peer regularly examines its incoming request queue": the sweep
+  // revisits every peer, both to catch exchange opportunities created by
+  // slot churn and to retry non-exchange service that was previously
+  // blocked on requester download capacity.
+  if (cfg_.tree_mode == TreeMode::kBloom)
+    finder_.rebuild_summaries(*this, cfg_.bloom_expected_per_level,
+                              cfg_.bloom_fpp);
+  for (const Peer& p : peers_)
+    if (p.online && p.shares && !p.irq.empty()) mark_dirty(p.id);
+  drain_dirty();
+}
+
+void System::finalize() {
+  finished_ = true;
+  // Censored records: sessions still running when the run ends carry
+  // their partial volume (SessionEnd::kSimulationEnd); in-flight
+  // downloads are not recorded (the paper measures completed downloads).
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i].active)
+      end_session(SessionId{static_cast<std::uint32_t>(i)},
+                  SessionEnd::kSimulationEnd);
+  }
+  for (Ring& r : rings_) r.active = false;
+}
+
+}  // namespace p2pex

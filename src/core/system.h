@@ -1,0 +1,148 @@
+// The file-sharing system simulation (paper Section IV).
+//
+// Owns the virtual clock, the peer population, the content catalog, the
+// lookup service, the exchange machinery and the metrics pipeline, and
+// wires them into the closed-loop workload of the paper: every peer keeps
+// `max_pending` object downloads outstanding, requests register in
+// provider IRQs, providers give absolute priority to exchange transfers
+// (discovered via ring search over the request graph) and serve
+// non-exchange requests only with spare slots, preempting them when a new
+// exchange becomes possible.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/config.h"
+#include "core/entities.h"
+#include "core/exchange_finder.h"
+#include "core/lookup.h"
+#include "metrics/collector.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace p2pex {
+
+/// Event counters exposed for benches and tests.
+struct SystemCounters {
+  std::uint64_t requests_issued = 0;
+  std::uint64_t lookup_failures = 0;     ///< lookups that found no owner
+  std::uint64_t downloads_completed = 0;
+  std::uint64_t downloads_starved = 0;   ///< lost every provider; reissued
+  std::uint64_t rings_formed = 0;
+  std::uint64_t ring_attempts = 0;       ///< token walks started
+  std::uint64_t ring_rejects = 0;        ///< token walks that failed
+  std::uint64_t rings_by_size[9] = {};   ///< index = ring size (2..8)
+  std::uint64_t preemptions = 0;         ///< non-exchange sessions displaced
+  std::uint64_t sessions_started = 0;
+};
+
+/// One complete simulation instance.
+class System final : public ExchangeGraphView {
+ public:
+  /// Validates the config and builds the initial world (peers, catalog,
+  /// initial object placement). The workload starts on run().
+  explicit System(const SimConfig& config);
+
+  /// Runs the whole configured duration (idempotent: second call no-ops).
+  void run();
+
+  /// Advances to absolute simulated time `t` (must not exceed
+  /// sim_duration; finalization happens only in run()).
+  void run_to(SimTime t);
+
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+  [[nodiscard]] const MetricsCollector& metrics() const { return metrics_; }
+  [[nodiscard]] const SystemCounters& counters() const { return counters_; }
+  [[nodiscard]] const FinderStats& finder_stats() const {
+    return finder_.stats();
+  }
+  [[nodiscard]] SimTime now() const { return sim_.now(); }
+  [[nodiscard]] const Catalog& catalog() const { return catalog_; }
+  [[nodiscard]] const LookupService& lookup() const { return lookup_; }
+
+  [[nodiscard]] std::size_t num_peers() const override { return peers_.size(); }
+  [[nodiscard]] const Peer& peer(PeerId p) const;
+  [[nodiscard]] std::size_t num_sharing() const { return num_sharing_; }
+
+  /// Invariant audit used by property tests: slot accounting matches live
+  /// sessions, rings are consistent, IRQ states match sessions, download
+  /// byte counts are sane. Throws AssertionError on violation.
+  void check_invariants() const;
+
+  // --- ExchangeGraphView ---
+  [[nodiscard]] std::vector<PeerId> requesters_of(
+      PeerId provider) const override;
+  [[nodiscard]] ObjectId request_between(PeerId provider,
+                                         PeerId requester) const override;
+  [[nodiscard]] std::vector<ObjectId> close_objects(
+      PeerId root, PeerId provider) const override;
+  [[nodiscard]] std::vector<std::pair<ObjectId, std::vector<PeerId>>>
+  want_providers(PeerId root) const override;
+
+  /// Mean full-request-tree wire size over sharing peers right now
+  /// (Section V cost accounting; used by the Bloom ablation).
+  [[nodiscard]] double mean_request_tree_bytes() const;
+  /// Mean Bloom-summary wire size (0 unless TreeMode::kBloom).
+  [[nodiscard]] double mean_bloom_summary_bytes() const;
+
+ private:
+  // --- construction ---
+  void build_peers();
+  void place_initial_objects();
+
+  // --- workload ---
+  void issue_requests(PeerId p);
+  bool issue_one_request(PeerId p);
+  void cancel_download(DownloadId d);
+
+  // --- transfers (fluid model) ---
+  SessionId start_session(PeerId provider, IrqEntry& entry,
+                          RingId ring, std::uint8_t ring_size);
+  void end_session(SessionId s, SessionEnd reason);
+  void accrue_download(Download& d);
+  void reschedule_completion(Download& d);
+  void complete_download(DownloadId id);
+
+  // --- exchange machinery ---
+  void mark_dirty(PeerId p);
+  void drain_dirty();
+  void process_peer(PeerId p);
+  bool try_form_ring(const RingProposal& proposal);
+  void collapse_ring(RingId r, SessionId cause);
+  void fill_free_slots(PeerId provider);
+  IrqEntry* pick_non_exchange(Peer& provider);
+
+  // --- maintenance ---
+  void eviction_sweep();
+  void search_sweep();
+  void finalize();
+
+  [[nodiscard]] Peer& peer_mut(PeerId p);
+  [[nodiscard]] Download& download(DownloadId d);
+  [[nodiscard]] Session& session(SessionId s);
+
+  SimConfig cfg_;
+  Rng rng_;
+  Simulator sim_;
+  Catalog catalog_;
+  LookupService lookup_;
+  ExchangeFinder finder_;
+  MetricsCollector metrics_;
+
+  std::vector<Peer> peers_;
+  std::vector<Download> downloads_;
+  std::vector<Session> sessions_;
+  std::vector<Ring> rings_;
+
+  std::set<PeerId> dirty_;
+  bool draining_ = false;
+  bool started_ = false;
+  bool finished_ = false;
+  std::size_t num_sharing_ = 0;
+  SystemCounters counters_;
+};
+
+}  // namespace p2pex

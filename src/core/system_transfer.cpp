@@ -1,0 +1,440 @@
+// Transfer sessions (fluid model), download completion, exchange-ring
+// formation/collapse and the exchange-priority upload scheduler.
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/system.h"
+#include "util/assert.h"
+
+namespace p2pex {
+
+// ---------------------------------------------------------------------------
+// Fluid transfer model
+// ---------------------------------------------------------------------------
+
+void System::accrue_download(Download& d) {
+  const SimTime now = sim_.now();
+  const SimTime dt = now - d.last_update;
+  if (dt > 0.0) {
+    double total = 0.0;
+    for (SessionId sid : d.sessions) {
+      Session& s = sessions_[sid.value];
+      const double add = s.rate * dt;
+      s.bytes += add;
+      s.last_update = now;
+      total += add;
+    }
+    d.received = std::min(static_cast<double>(d.size), d.received + total);
+  }
+  d.last_update = now;
+}
+
+void System::reschedule_completion(Download& d) {
+  sim_.cancel(d.completion);
+  d.completion = EventHandle{};
+  if (!d.active || d.sessions.empty()) return;
+  const Rate rate =
+      cfg_.slot_rate() * static_cast<double>(d.sessions.size());
+  const SimTime dt = std::max(0.0, d.remaining() / rate);
+  const DownloadId did = d.id;
+  d.completion = sim_.schedule_in(dt, [this, did] {
+    complete_download(did);
+    drain_dirty();
+  });
+}
+
+SessionId System::start_session(PeerId provider, IrqEntry& entry,
+                                RingId ring, std::uint8_t ring_size) {
+  Peer& prov = peers_[provider.value];
+  Peer& req = peers_[entry.requester.value];
+  P2PEX_ASSERT_MSG(prov.free_upload_slots() > 0, "no upload slot free");
+  P2PEX_ASSERT_MSG(req.free_download_slots() > 0, "no download slot free");
+  P2PEX_ASSERT_MSG(prov.storage.contains(entry.object),
+                   "serving an object not stored");
+
+  Download& d = download(entry.download);
+  P2PEX_ASSERT_MSG(d.active, "session for a finished download");
+  accrue_download(d);
+
+  const SessionId sid{static_cast<std::uint32_t>(sessions_.size())};
+  Session s;
+  s.id = sid;
+  s.provider = provider;
+  s.requester = entry.requester;
+  s.object = entry.object;
+  s.download = entry.download;
+  s.ring = ring;
+  s.type = SessionType{ring_size};
+  s.request_time = entry.request_time;
+  s.start_time = sim_.now();
+  s.last_update = sim_.now();
+  s.rate = cfg_.slot_rate();
+  sessions_.push_back(s);
+
+  ++prov.upload_in_use;
+  prov.uploads.push_back(sid);
+  prov.storage.pin(entry.object);
+  ++req.download_in_use;
+
+  entry.state = ring.valid() ? RequestState::kActiveExchange
+                             : RequestState::kActiveNonExchange;
+  entry.session = sid;
+
+  // Re-acquire: the push_back above may have invalidated `d`? No —
+  // downloads_ was not touched; sessions_ was. d stays valid.
+  d.sessions.push_back(sid);
+  reschedule_completion(d);
+  ++counters_.sessions_started;
+  return sid;
+}
+
+void System::end_session(SessionId sid, SessionEnd reason) {
+  Session& s = sessions_[sid.value];
+  if (!s.active) return;
+  Download& d = download(s.download);
+  accrue_download(d);  // brings s.bytes up to date
+  s.active = false;
+
+  Peer& prov = peers_[s.provider.value];
+  Peer& req = peers_[s.requester.value];
+  --prov.upload_in_use;
+  prov.uploads.erase(
+      std::find(prov.uploads.begin(), prov.uploads.end(), sid));
+  prov.storage.unpin(s.object);
+  --req.download_in_use;
+
+  const auto it = std::find(d.sessions.begin(), d.sessions.end(), sid);
+  P2PEX_ASSERT(it != d.sessions.end());
+  d.sessions.erase(it);
+  reschedule_completion(d);
+
+  // The request, unless fulfilled/withdrawn, goes back to waiting in the
+  // provider's IRQ.
+  if (IrqEntry* e = prov.irq.find(RequestKey{s.requester, s.object});
+      e != nullptr && e->session == sid) {
+    e->state = RequestState::kQueued;
+    e->session = SessionId{};
+  }
+
+  const auto bytes = static_cast<Bytes>(s.bytes);
+  SessionRecord rec;
+  rec.provider = s.provider;
+  rec.requester = s.requester;
+  rec.object = s.object;
+  rec.type = s.type;
+  rec.requester_shares = req.shares;
+  rec.request_time = s.request_time;
+  rec.start_time = s.start_time;
+  rec.end_time = sim_.now();
+  rec.bytes = bytes;
+  rec.end = reason;
+  metrics_.record_session(rec);
+  metrics_.count_uploaded(bytes);
+  metrics_.count_downloaded(bytes);
+
+  // Baseline ledgers (only consulted under their scheduler kinds, but
+  // always maintained so ablations can read both sides of a run).
+  req.credit.add_uploaded_to_me(s.provider, bytes);
+  prov.credit.add_downloaded_from_me(s.requester, bytes);
+  prov.participation.add_uploaded(bytes);
+  req.participation.add_downloaded(bytes);
+
+  // An exchange ring dies as a unit with its first terminating member.
+  if (s.ring.valid() && reason != SessionEnd::kRingCollapsed && !finished_)
+    collapse_ring(s.ring, sid);
+
+  if (!finished_) {
+    mark_dirty(s.provider);   // upload slot freed
+    mark_dirty(s.requester);  // download slot freed
+  }
+}
+
+void System::collapse_ring(RingId rid, SessionId cause) {
+  Ring& r = rings_[rid.value];
+  if (!r.active) return;
+  r.active = false;
+  for (SessionId sid : std::vector<SessionId>(r.sessions)) {
+    if (sid != cause && sessions_[sid.value].active)
+      end_session(sid, SessionEnd::kRingCollapsed);
+  }
+}
+
+void System::complete_download(DownloadId did) {
+  Download& d = download(did);
+  if (!d.active) return;
+  accrue_download(d);
+  if (d.remaining() > 1.0) {
+    // Stale completion event (session set changed at this instant);
+    // the reschedule that raced us is authoritative.
+    return;
+  }
+  d.received = static_cast<double>(d.size);
+
+  for (SessionId sid : std::vector<SessionId>(d.sessions))
+    if (sessions_[sid.value].active)
+      end_session(sid, SessionEnd::kDownloadComplete);
+
+  std::vector<PeerId> providers(d.registered.begin(), d.registered.end());
+  std::sort(providers.begin(), providers.end());
+  for (PeerId provider : providers)
+    peers_[provider.value].irq.remove(RequestKey{d.peer, d.object});
+
+  sim_.cancel(d.completion);
+  d.active = false;
+  Peer& peer = peers_[d.peer.value];
+  peer.pending.erase(d.object);
+  const auto it =
+      std::find(peer.pending_list.begin(), peer.pending_list.end(), did);
+  P2PEX_ASSERT(it != peer.pending_list.end());
+  peer.pending_list.erase(it);
+
+  DownloadRecord rec;
+  rec.peer = d.peer;
+  rec.object = d.object;
+  rec.peer_shares = peer.shares;
+  rec.issue_time = d.issue_time;
+  rec.complete_time = sim_.now();
+  rec.bytes = d.size;
+  metrics_.record_download(rec);
+  ++counters_.downloads_completed;
+
+  // The finished object enters storage and (for sharers) the lookup
+  // index; periodic eviction trims any overflow later.
+  const ObjectId object = d.object;
+  const PeerId owner = d.peer;
+  if (peer.storage.add(object) && peer.shares)
+    lookup_.add_owner(object, owner);
+
+  issue_requests(owner);  // closed loop: replace the completed request
+}
+
+// ---------------------------------------------------------------------------
+// Exchange-priority scheduling
+// ---------------------------------------------------------------------------
+
+void System::mark_dirty(PeerId p) { dirty_.insert(p); }
+
+void System::drain_dirty() {
+  if (draining_) return;
+  draining_ = true;
+  std::uint64_t guard = 0;
+  while (!dirty_.empty()) {
+    P2PEX_ASSERT_MSG(++guard < 5'000'000, "scheduling pass diverged");
+    const PeerId p = *dirty_.begin();
+    dirty_.erase(dirty_.begin());
+    process_peer(p);
+  }
+  draining_ = false;
+}
+
+void System::process_peer(PeerId pid) {
+  Peer& p = peers_[pid.value];
+  if (!p.online) return;
+
+  // Exchange transfers take absolute priority: a sharing peer with wants
+  // and incoming requests searches its request tree first, preempting
+  // non-exchange uploads if a ring validates.
+  if (cfg_.policy != ExchangePolicy::kNoExchange && p.shares &&
+      !p.pending_list.empty() && !p.irq.empty()) {
+    // Ring formation rounds: each successful ring changes the graph, so
+    // re-search until nothing more validates (bounded by upload slots).
+    for (int round = 0; round < p.upload_slots + 1; ++round) {
+      bool can_serve = p.free_upload_slots() > 0;
+      if (!can_serve && cfg_.preemption) {
+        for (SessionId sid : p.uploads)
+          if (!sessions_[sid.value].ring.valid()) {
+            can_serve = true;
+            break;
+          }
+      }
+      if (!can_serve) break;
+      const auto candidates =
+          finder_.find(*this, pid, cfg_.max_ring_attempts_per_search);
+      bool formed = false;
+      for (const RingProposal& proposal : candidates) {
+        ++counters_.ring_attempts;
+        if (try_form_ring(proposal)) {
+          formed = true;
+          break;
+        }
+        ++counters_.ring_rejects;
+      }
+      if (!formed) break;
+    }
+  }
+
+  fill_free_slots(pid);
+}
+
+namespace {
+/// Per-link execution plan produced by validation.
+struct PlanItem {
+  enum class Upload { kFreeSlot, kUpgrade, kPreempt } upload;
+  SessionId victim;     ///< session to end first (upgrade or preemption)
+  bool create_entry;    ///< closing link with no registered request yet
+};
+}  // namespace
+
+bool System::try_form_ring(const RingProposal& proposal) {
+  P2PEX_ASSERT_MSG(proposal.well_formed(), "malformed ring proposal");
+  const std::size_t n = proposal.size();
+  if (n < 2 || n > cfg_.max_ring_size) return false;
+
+  // --- Token walk: validate every link against live state. ---
+  std::vector<PlanItem> plan(n);
+  std::unordered_set<SessionId> claimed_victims;
+  // Download-slot balance: sessions we will end free slots at their
+  // requesters before the new ring sessions start.
+  std::unordered_map<PeerId, int> freed_download_slots;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const RingLink& link = proposal.links[i];
+    Peer& x = peers_[link.provider.value];
+    Peer& y = peers_[link.requester.value];
+    if (!x.online || !y.online || !x.shares) return false;
+    if (!x.storage.contains(link.object)) return false;
+    const auto want = y.pending.find(link.object);
+    if (want == y.pending.end()) return false;
+    if (!downloads_[want->second.value].active) return false;
+
+    IrqEntry* e = x.irq.find(RequestKey{link.requester, link.object});
+    plan[i].create_entry = (e == nullptr);
+    plan[i].victim = SessionId{};
+    if (e != nullptr) {
+      if (e->state == RequestState::kActiveExchange) return false;
+      if (e->download != want->second) return false;
+    } else {
+      // Only the ring-closing link may lack a registered request (the
+      // paper: the initiator may use any peer on its original provider
+      // list); it gets registered as part of ring initiation.
+      if (x.irq.size() >= x.irq.capacity()) return false;
+    }
+
+    if (e != nullptr && e->state == RequestState::kActiveNonExchange) {
+      // The request is already being served on a spare slot: upgrade in
+      // place (end the old session, reuse its slots).
+      plan[i].upload = PlanItem::Upload::kUpgrade;
+      plan[i].victim = e->session;
+    } else if (x.free_upload_slots() > 0) {
+      plan[i].upload = PlanItem::Upload::kFreeSlot;
+    } else if (cfg_.preemption) {
+      // Reclaim the youngest non-exchange upload at x.
+      SessionId victim;
+      for (auto it = x.uploads.rbegin(); it != x.uploads.rend(); ++it) {
+        const Session& cand = sessions_[it->value];
+        if (!cand.ring.valid() && claimed_victims.count(*it) == 0) {
+          victim = *it;
+          break;
+        }
+      }
+      if (!victim.valid()) return false;
+      plan[i].upload = PlanItem::Upload::kPreempt;
+      plan[i].victim = victim;
+    } else {
+      return false;
+    }
+    if (plan[i].victim.valid()) {
+      claimed_victims.insert(plan[i].victim);
+      ++freed_download_slots[sessions_[plan[i].victim.value].requester];
+    }
+  }
+
+  // Download-capacity check (each peer is requester in exactly one link).
+  for (std::size_t i = 0; i < n; ++i) {
+    const RingLink& link = proposal.links[i];
+    const Peer& y = peers_[link.requester.value];
+    int avail = y.free_download_slots();
+    const auto it = freed_download_slots.find(link.requester);
+    if (it != freed_download_slots.end()) avail += it->second;
+    if (avail < 1) return false;
+  }
+
+  // --- Execute atomically (control plane is instantaneous). ---
+  const RingId rid{static_cast<std::uint32_t>(rings_.size())};
+  rings_.push_back(Ring{rid, {}, true});
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (plan[i].victim.valid() && sessions_[plan[i].victim.value].active) {
+      // True preemptions displace an unrelated transfer; upgrades merely
+      // restart the same request as an exchange (not counted).
+      if (plan[i].upload == PlanItem::Upload::kPreempt)
+        ++counters_.preemptions;
+      end_session(plan[i].victim, SessionEnd::kPreempted);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const RingLink& link = proposal.links[i];
+    Peer& x = peers_[link.provider.value];
+    IrqEntry* e = x.irq.find(RequestKey{link.requester, link.object});
+    if (e == nullptr) {
+      P2PEX_ASSERT(plan[i].create_entry);
+      const Peer& y = peers_[link.requester.value];
+      const Download& d =
+          downloads_[y.pending.at(link.object).value];
+      IrqEntry fresh;
+      fresh.requester = link.requester;
+      fresh.object = link.object;
+      fresh.download = d.id;
+      fresh.enqueue_time = sim_.now();
+      fresh.request_time = d.issue_time;
+      const bool added = x.irq.add(fresh);
+      P2PEX_ASSERT_MSG(added, "IRQ filled during token walk");
+      e = x.irq.find(RequestKey{link.requester, link.object});
+      downloads_[d.id.value].registered.insert(link.provider);
+    }
+    const SessionId sid =
+        start_session(link.provider, *e, rid, static_cast<std::uint8_t>(n));
+    rings_[rid.value].sessions.push_back(sid);
+  }
+
+  ++counters_.rings_formed;
+  ++counters_.rings_by_size[std::min<std::size_t>(n, 8)];
+  return true;
+}
+
+IrqEntry* System::pick_non_exchange(Peer& provider) {
+  IrqEntry* best = nullptr;
+  double best_score = -1.0;
+  for (IrqEntry& e : provider.irq.entries()) {
+    if (e.state != RequestState::kQueued) continue;
+    const Peer& req = peers_[e.requester.value];
+    if (!req.online || req.free_download_slots() < 1) continue;
+    P2PEX_ASSERT_MSG(provider.storage.contains(e.object),
+                     "IRQ entry for an object not stored");
+    switch (cfg_.scheduler) {
+      case SchedulerKind::kFifo:
+        return &e;  // entries iterate in arrival order
+      case SchedulerKind::kCredit: {
+        const double score = provider.credit.queue_rank(
+            e.requester, sim_.now() - e.enqueue_time);
+        if (score > best_score) {
+          best_score = score;
+          best = &e;
+        }
+        break;
+      }
+      case SchedulerKind::kParticipation: {
+        const double score = req.participation.claimed_level();
+        if (score > best_score) {
+          best_score = score;
+          best = &e;
+        }
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+void System::fill_free_slots(PeerId pid) {
+  Peer& p = peers_[pid.value];
+  if (!p.online || !p.shares) return;
+  while (p.free_upload_slots() > 0) {
+    IrqEntry* e = pick_non_exchange(p);
+    if (e == nullptr) break;
+    start_session(pid, *e, RingId{}, 0);
+  }
+}
+
+}  // namespace p2pex

@@ -1,0 +1,187 @@
+// ExchangeGraphView implementation (the live request graph the ring
+// search walks), Section V wire-cost accounting, and the invariant audit
+// used by property tests.
+#include <algorithm>
+
+#include "core/system.h"
+#include "proto/request_tree.h"
+#include "util/assert.h"
+
+namespace p2pex {
+
+std::vector<PeerId> System::requesters_of(PeerId provider) const {
+  const Peer& p = peers_[provider.value];
+  std::vector<PeerId> out;
+  std::vector<bool> seen(peers_.size(), false);
+  for (const IrqEntry& e : p.irq.entries()) {
+    if (e.state == RequestState::kActiveExchange) continue;  // ring-bound
+    if (seen[e.requester.value]) continue;
+    if (!peers_[e.requester.value].online) continue;
+    seen[e.requester.value] = true;
+    out.push_back(e.requester);
+  }
+  return out;
+}
+
+ObjectId System::request_between(PeerId provider, PeerId requester) const {
+  const Peer& p = peers_[provider.value];
+  for (const IrqEntry& e : p.irq.entries()) {
+    if (e.requester != requester) continue;
+    if (e.state == RequestState::kActiveExchange) continue;
+    return e.object;
+  }
+  return ObjectId{};
+}
+
+std::vector<ObjectId> System::close_objects(PeerId root,
+                                            PeerId provider) const {
+  const Peer& r = peers_[root.value];
+  const Peer& prov = peers_[provider.value];
+  std::vector<ObjectId> out;
+  if (!prov.online || !prov.shares) return out;
+  for (DownloadId did : r.pending_list) {
+    const Download& d = downloads_[did.value];
+    if (!d.active) continue;
+    if (d.discovered.count(provider) == 0) continue;
+    if (!prov.storage.contains(d.object)) continue;
+    // Skip wants this provider is already serving us in a ring.
+    if (const IrqEntry* e = prov.irq.find(RequestKey{root, d.object});
+        e != nullptr && e->state == RequestState::kActiveExchange)
+      continue;
+    out.push_back(d.object);
+  }
+  return out;
+}
+
+std::vector<std::pair<ObjectId, std::vector<PeerId>>> System::want_providers(
+    PeerId root) const {
+  const Peer& r = peers_[root.value];
+  std::vector<std::pair<ObjectId, std::vector<PeerId>>> out;
+  for (DownloadId did : r.pending_list) {
+    const Download& d = downloads_[did.value];
+    if (!d.active) continue;
+    std::vector<PeerId> providers;
+    providers.reserve(d.discovered.size());
+    for (PeerId p : d.discovered) {
+      const Peer& prov = peers_[p.value];
+      if (prov.online && prov.shares && prov.storage.contains(d.object))
+        providers.push_back(p);
+    }
+    std::sort(providers.begin(), providers.end());
+    if (!providers.empty()) out.emplace_back(d.object, std::move(providers));
+  }
+  return out;
+}
+
+double System::mean_request_tree_bytes() const {
+  // Full-tree wire cost: the tree each sharing peer would attach to a new
+  // outgoing request (its live request tree, pruned to the ring depth).
+  EdgeFn edges = [this](PeerId provider) {
+    std::vector<std::pair<PeerId, ObjectId>> out;
+    for (const IrqEntry& e : peers_[provider.value].irq.entries())
+      out.emplace_back(e.requester, e.object);
+    return out;
+  };
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (const Peer& p : peers_) {
+    if (!p.shares || !p.online) continue;
+    const RequestTree tree =
+        RequestTree::build(p.id, cfg_.max_ring_size, 4096, edges);
+    total += static_cast<double>(tree.serialized_size_bytes());
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double System::mean_bloom_summary_bytes() const {
+  if (cfg_.tree_mode != TreeMode::kBloom) return 0.0;
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (const Peer& p : peers_) {
+    if (!p.shares || !p.online) continue;
+    total += static_cast<double>(finder_.summary_wire_bytes(p.id));
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+void System::check_invariants() const {
+  std::vector<int> up(peers_.size(), 0);
+  std::vector<int> down(peers_.size(), 0);
+
+  for (const Session& s : sessions_) {
+    if (!s.active) continue;
+    ++up[s.provider.value];
+    ++down[s.requester.value];
+    P2PEX_ASSERT_MSG(peers_[s.provider.value].storage.contains(s.object),
+                     "active session serving an unstored object");
+    P2PEX_ASSERT_MSG(peers_[s.provider.value].storage.pinned(s.object),
+                     "active session's object is not pinned");
+    const Download& d = downloads_[s.download.value];
+    P2PEX_ASSERT_MSG(d.active, "active session feeding a dead download");
+    P2PEX_ASSERT_MSG(
+        std::find(d.sessions.begin(), d.sessions.end(), s.id) !=
+            d.sessions.end(),
+        "session not listed by its download");
+    const IrqEntry* e = peers_[s.provider.value].irq.find(
+        RequestKey{s.requester, s.object});
+    P2PEX_ASSERT_MSG(e != nullptr && e->session == s.id &&
+                         e->state != RequestState::kQueued,
+                     "active session without matching IRQ entry state");
+    P2PEX_ASSERT_MSG(s.ring.valid() == s.type.is_exchange(),
+                     "session ring/type mismatch");
+  }
+
+  for (const Peer& p : peers_) {
+    P2PEX_ASSERT_MSG(p.upload_in_use == up[p.id.value],
+                     "upload slot accounting drift");
+    P2PEX_ASSERT_MSG(p.download_in_use == down[p.id.value],
+                     "download slot accounting drift");
+    P2PEX_ASSERT_MSG(p.upload_in_use <= p.upload_slots,
+                     "upload capacity exceeded");
+    P2PEX_ASSERT_MSG(p.download_in_use <= p.download_slots,
+                     "download capacity exceeded");
+    P2PEX_ASSERT_MSG(p.uploads.size() ==
+                         static_cast<std::size_t>(p.upload_in_use),
+                     "uploads list out of sync");
+    P2PEX_ASSERT_MSG(p.pending.size() == p.pending_list.size(),
+                     "pending map/list out of sync");
+    P2PEX_ASSERT_MSG(p.pending_list.size() <= cfg_.max_pending,
+                     "pending cap exceeded");
+    for (const IrqEntry& e : p.irq.entries()) {
+      P2PEX_ASSERT_MSG(p.storage.contains(e.object),
+                       "IRQ entry for an unstored object");
+      const Download& d = downloads_[e.download.value];
+      P2PEX_ASSERT_MSG(d.active && d.peer == e.requester &&
+                           d.object == e.object,
+                       "IRQ entry inconsistent with its download");
+    }
+  }
+
+  for (const Ring& r : rings_) {
+    if (!r.active) continue;
+    P2PEX_ASSERT_MSG(r.sessions.size() >= 2, "degenerate ring");
+    for (SessionId sid : r.sessions) {
+      const Session& s = sessions_[sid.value];
+      P2PEX_ASSERT_MSG(s.active && s.ring == r.id,
+                       "ring member session inconsistent");
+    }
+  }
+
+  for (const Download& d : downloads_) {
+    if (!d.active) continue;
+    P2PEX_ASSERT_MSG(d.received <= static_cast<double>(d.size) + 1.0,
+                     "download overshot its size");
+    for (PeerId provider : d.registered) {
+      const IrqEntry* e =
+          peers_[provider.value].irq.find(RequestKey{d.peer, d.object});
+      P2PEX_ASSERT_MSG(e != nullptr, "registered provider lost the entry");
+    }
+  }
+
+  P2PEX_ASSERT_MSG(metrics_.uploaded() == metrics_.downloaded(),
+                   "byte conservation violated");
+}
+
+}  // namespace p2pex

@@ -1,0 +1,114 @@
+#include "metrics/collector.h"
+
+namespace p2pex {
+
+std::string SessionType::name() const {
+  switch (ring_size) {
+    case 0: return "non-exchange";
+    case 2: return "pairwise";
+    default: return std::to_string(static_cast<int>(ring_size)) + "-way";
+  }
+}
+
+std::string to_string(SessionEnd e) {
+  switch (e) {
+    case SessionEnd::kDownloadComplete:   return "download-complete";
+    case SessionEnd::kRingCollapsed:      return "ring-collapsed";
+    case SessionEnd::kPreempted:          return "preempted";
+    case SessionEnd::kProviderLeft:       return "provider-left";
+    case SessionEnd::kObjectDeleted:      return "object-deleted";
+    case SessionEnd::kRequesterCancelled: return "requester-cancelled";
+    case SessionEnd::kSimulationEnd:      return "simulation-end";
+  }
+  return "unknown";
+}
+
+const SampleSet MetricsCollector::kEmpty{};
+
+MetricsCollector::MetricsCollector(SimTime warmup) : warmup_(warmup) {}
+
+void MetricsCollector::record_download(const DownloadRecord& r) {
+  if (r.issue_time < warmup_) return;
+  downloads_.push_back(r);
+  (r.peer_shares ? dl_time_sharing_ : dl_time_nonsharing_)
+      .add(r.download_time());
+}
+
+void MetricsCollector::record_session(const SessionRecord& r) {
+  if (r.start_time < warmup_) return;
+  auto& pt = per_type_[r.type];
+  pt.volume.add(static_cast<double>(r.bytes));
+  pt.waiting.add(r.waiting_time());
+  ++pt.count;
+  ++sessions_total_;
+  if (r.type.is_exchange()) ++sessions_exchange_;
+  (r.requester_shares ? session_volume_sharing_ : session_volume_nonsharing_)
+      .add(static_cast<double>(r.bytes));
+}
+
+double MetricsCollector::mean_download_time_sharing() const {
+  return dl_time_sharing_.mean();
+}
+
+double MetricsCollector::mean_download_time_nonsharing() const {
+  return dl_time_nonsharing_.mean();
+}
+
+double MetricsCollector::mean_download_time_all() const {
+  RunningStats all = dl_time_sharing_;
+  all.merge(dl_time_nonsharing_);
+  return all.mean();
+}
+
+std::size_t MetricsCollector::downloads_sharing() const {
+  return dl_time_sharing_.count();
+}
+
+std::size_t MetricsCollector::downloads_nonsharing() const {
+  return dl_time_nonsharing_.count();
+}
+
+double MetricsCollector::download_time_ratio() const {
+  if (dl_time_sharing_.empty() || dl_time_nonsharing_.empty()) return 0.0;
+  if (dl_time_sharing_.mean() <= 0.0) return 0.0;
+  return dl_time_nonsharing_.mean() / dl_time_sharing_.mean();
+}
+
+double MetricsCollector::exchange_session_fraction() const {
+  return sessions_total_ == 0
+             ? 0.0
+             : static_cast<double>(sessions_exchange_) /
+                   static_cast<double>(sessions_total_);
+}
+
+const SampleSet& MetricsCollector::volume_by_type(SessionType t) const {
+  const auto it = per_type_.find(t);
+  return it == per_type_.end() ? kEmpty : it->second.volume;
+}
+
+const SampleSet& MetricsCollector::waiting_by_type(SessionType t) const {
+  const auto it = per_type_.find(t);
+  return it == per_type_.end() ? kEmpty : it->second.waiting;
+}
+
+double MetricsCollector::mean_session_volume_sharing() const {
+  return session_volume_sharing_.mean();
+}
+
+double MetricsCollector::mean_session_volume_nonsharing() const {
+  return session_volume_nonsharing_.mean();
+}
+
+std::size_t MetricsCollector::session_count_by_type(SessionType t) const {
+  const auto it = per_type_.find(t);
+  return it == per_type_.end() ? 0 : it->second.count;
+}
+
+std::vector<SessionType> MetricsCollector::session_types() const {
+  std::vector<SessionType> out;
+  out.reserve(per_type_.size());
+  for (const auto& [t, _] : per_type_) out.push_back(t);
+  return out;
+}
+
+}  // namespace p2pex

@@ -1,0 +1,102 @@
+// Metrics collector: receives session and download records from the core,
+// applies the warmup filter, and aggregates everything the paper's
+// figures need — mean download time split by sharing class, per-type
+// session counts/volumes/waiting times, and byte-conservation counters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "metrics/records.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace p2pex {
+
+/// Aggregated statistics for one run.
+class MetricsCollector {
+ public:
+  /// Records with their defining timestamp before `warmup` are dropped
+  /// (downloads: issue time; sessions: start time), so the fill-up
+  /// transient does not pollute steady-state statistics.
+  explicit MetricsCollector(SimTime warmup = 0.0);
+
+  void record_download(const DownloadRecord& r);
+  void record_session(const SessionRecord& r);
+
+  /// Byte-conservation hooks: every simulated byte is counted once on the
+  /// upload side and once on the download side; tests assert equality.
+  void count_uploaded(Bytes b) { uploaded_ += b; }
+  void count_downloaded(Bytes b) { downloaded_ += b; }
+  [[nodiscard]] Bytes uploaded() const { return uploaded_; }
+  [[nodiscard]] Bytes downloaded() const { return downloaded_; }
+
+  // --- Download-time views (paper's key metric) ---
+
+  /// Mean download time in seconds for sharers / free-riders / everyone.
+  [[nodiscard]] double mean_download_time_sharing() const;
+  [[nodiscard]] double mean_download_time_nonsharing() const;
+  [[nodiscard]] double mean_download_time_all() const;
+
+  [[nodiscard]] std::size_t downloads_sharing() const;
+  [[nodiscard]] std::size_t downloads_nonsharing() const;
+
+  /// Ratio non-sharing / sharing mean download time (Fig. 11's speedup);
+  /// 0 when either class has no completions.
+  [[nodiscard]] double download_time_ratio() const;
+
+  // --- Session views ---
+
+  /// Fraction of (post-warmup) sessions that are exchange transfers
+  /// (Fig. 5).
+  [[nodiscard]] double exchange_session_fraction() const;
+
+  /// Per-session transfer volume samples by type (Fig. 7).
+  [[nodiscard]] const SampleSet& volume_by_type(SessionType t) const;
+  /// Per-session waiting time samples by type (Fig. 8).
+  [[nodiscard]] const SampleSet& waiting_by_type(SessionType t) const;
+
+  /// Mean per-session transfer volume for sessions whose *requesters*
+  /// share / don't share (Fig. 10 splits by user class).
+  [[nodiscard]] double mean_session_volume_sharing() const;
+  [[nodiscard]] double mean_session_volume_nonsharing() const;
+
+  [[nodiscard]] std::size_t session_count() const { return sessions_total_; }
+  [[nodiscard]] std::size_t session_count_by_type(SessionType t) const;
+
+  /// Session types seen, ascending ring size (0 first).
+  [[nodiscard]] std::vector<SessionType> session_types() const;
+
+  /// All retained download records (for custom analyses / tests).
+  [[nodiscard]] const std::vector<DownloadRecord>& downloads() const {
+    return downloads_;
+  }
+
+  [[nodiscard]] SimTime warmup() const { return warmup_; }
+
+ private:
+  SimTime warmup_;
+
+  std::vector<DownloadRecord> downloads_;
+  RunningStats dl_time_sharing_;
+  RunningStats dl_time_nonsharing_;
+
+  struct PerType {
+    SampleSet volume;
+    SampleSet waiting;
+    std::size_t count = 0;
+  };
+  std::map<SessionType, PerType> per_type_;
+  std::size_t sessions_total_ = 0;
+  std::size_t sessions_exchange_ = 0;
+  RunningStats session_volume_sharing_;
+  RunningStats session_volume_nonsharing_;
+
+  Bytes uploaded_ = 0;
+  Bytes downloaded_ = 0;
+
+  static const SampleSet kEmpty;
+};
+
+}  // namespace p2pex

@@ -1,0 +1,66 @@
+// Measurement records emitted by the simulation core.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.h"
+
+namespace p2pex {
+
+/// Classification of a transfer session for the paper's per-type CDFs:
+/// 0 = non-exchange, n >= 2 = member of an n-way exchange ring.
+struct SessionType {
+  std::uint8_t ring_size = 0;
+
+  [[nodiscard]] bool is_exchange() const { return ring_size >= 2; }
+  [[nodiscard]] std::string name() const;
+
+  friend constexpr auto operator<=>(SessionType, SessionType) = default;
+};
+
+/// Why a session ended.
+enum class SessionEnd : std::uint8_t {
+  kDownloadComplete,  ///< the requester finished the whole object
+  kRingCollapsed,     ///< another member of the ring terminated
+  kPreempted,         ///< non-exchange transfer displaced by an exchange
+  kProviderLeft,      ///< provider went offline
+  kObjectDeleted,     ///< provider evicted the object mid-transfer
+  kRequesterCancelled,///< requester withdrew the request
+  kSimulationEnd,     ///< still running when the run ended (censored)
+};
+
+[[nodiscard]] std::string to_string(SessionEnd e);
+
+/// One provider->requester transfer stream, from start to termination.
+struct SessionRecord {
+  PeerId provider;
+  PeerId requester;
+  ObjectId object;
+  SessionType type;
+  bool requester_shares = true;
+  SimTime request_time = 0.0;  ///< when the object request was first issued
+  SimTime start_time = 0.0;    ///< when bytes started flowing
+  SimTime end_time = 0.0;
+  Bytes bytes = 0;
+  SessionEnd end = SessionEnd::kDownloadComplete;
+
+  /// Paper Fig. 8: waiting time = transfer start - original request.
+  [[nodiscard]] SimTime waiting_time() const { return start_time - request_time; }
+  [[nodiscard]] SimTime duration() const { return end_time - start_time; }
+};
+
+/// One completed object download at a peer.
+struct DownloadRecord {
+  PeerId peer;
+  ObjectId object;
+  bool peer_shares = true;
+  SimTime issue_time = 0.0;     ///< when the request was issued
+  SimTime complete_time = 0.0;  ///< when the last byte arrived
+  Bytes bytes = 0;
+
+  /// Paper's key metric: object download time.
+  [[nodiscard]] SimTime download_time() const { return complete_time - issue_time; }
+};
+
+}  // namespace p2pex

@@ -1,0 +1,102 @@
+#include "metrics/report.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace p2pex {
+
+namespace {
+std::string minutes(double seconds) {
+  return TablePrinter::num(seconds / 60.0, 1) + " min";
+}
+std::string mb(double bytes) {
+  return TablePrinter::num(bytes / 1e6, 2) + " MB";
+}
+}  // namespace
+
+std::string format_summary_line(const MetricsCollector& m) {
+  std::ostringstream os;
+  os << "sharing " << minutes(m.mean_download_time_sharing())
+     << ", non-sharing " << minutes(m.mean_download_time_nonsharing())
+     << ", ratio " << TablePrinter::num(m.download_time_ratio(), 2)
+     << ", exchange "
+     << TablePrinter::num(100.0 * m.exchange_session_fraction(), 1) << "%, "
+     << (m.downloads_sharing() + m.downloads_nonsharing()) << " downloads";
+  return os.str();
+}
+
+std::string format_report(const MetricsCollector& m,
+                          const ReportOptions& options) {
+  std::ostringstream os;
+
+  if (options.download_times) {
+    TablePrinter t({"class", "completed", "mean download time"});
+    t.add_row({"sharing", std::to_string(m.downloads_sharing()),
+               minutes(m.mean_download_time_sharing())});
+    t.add_row({"non-sharing", std::to_string(m.downloads_nonsharing()),
+               minutes(m.mean_download_time_nonsharing())});
+    t.add_row({"all",
+               std::to_string(m.downloads_sharing() +
+                              m.downloads_nonsharing()),
+               minutes(m.mean_download_time_all())});
+    os << "-- download times --\n" << t.to_string() << '\n';
+  }
+
+  if (options.session_mix) {
+    TablePrinter t({"session type", "count", "share"});
+    for (SessionType ty : m.session_types()) {
+      const auto count = m.session_count_by_type(ty);
+      const double share =
+          m.session_count() == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(count) /
+                    static_cast<double>(m.session_count());
+      t.add_row({ty.name(), std::to_string(count),
+                 TablePrinter::num(share, 1) + "%"});
+    }
+    os << "-- session mix (exchange fraction "
+       << TablePrinter::num(100.0 * m.exchange_session_fraction(), 1)
+       << "%) --\n"
+       << t.to_string() << '\n';
+  }
+
+  if (options.per_type_volume) {
+    TablePrinter t({"session type", "mean volume", "p50", "p95"});
+    for (SessionType ty : m.session_types()) {
+      const auto& set = m.volume_by_type(ty);
+      if (set.empty()) continue;
+      t.add_row({ty.name(), mb(set.mean()), mb(set.percentile(50)),
+                 mb(set.percentile(95))});
+    }
+    os << "-- per-session transfer volume --\n" << t.to_string() << '\n';
+  }
+
+  if (options.per_type_waiting) {
+    TablePrinter t({"session type", "mean wait", "p50", "p95"});
+    for (SessionType ty : m.session_types()) {
+      const auto& set = m.waiting_by_type(ty);
+      if (set.empty()) continue;
+      t.add_row({ty.name(), minutes(set.mean()), minutes(set.percentile(50)),
+                 minutes(set.percentile(95))});
+    }
+    os << "-- waiting time (request -> first byte) --\n" << t.to_string()
+       << '\n';
+  }
+
+  if (options.cdf_points > 0) {
+    for (SessionType ty : m.session_types()) {
+      const auto& set = m.volume_by_type(ty);
+      if (set.empty()) continue;
+      TablePrinter t({"volume", "F(x)"});
+      for (const auto& [x, fx] : set.cdf_points(options.cdf_points))
+        t.add_row({mb(x), TablePrinter::num(fx, 3)});
+      os << "-- volume CDF: " << ty.name() << " --\n" << t.to_string()
+         << '\n';
+    }
+  }
+
+  return os.str();
+}
+
+}  // namespace p2pex

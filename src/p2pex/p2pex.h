@@ -1,0 +1,47 @@
+// p2pex — exchange-based incentive mechanisms for peer-to-peer file
+// sharing.
+//
+// Umbrella header for the public API. A reproduction of Anagnostakis &
+// Greenwald, "Exchange-Based Incentive Mechanisms for Peer-to-Peer File
+// Sharing" (ICDCS 2004).
+//
+// Typical use:
+//
+//   p2pex::SimConfig cfg = p2pex::SimConfig::paper_defaults();
+//   cfg.policy = p2pex::ExchangePolicy::kShortestFirst;  // "2-5-way"
+//   p2pex::System system(cfg);
+//   system.run();
+//   double sharers = system.metrics().mean_download_time_sharing();
+#pragma once
+
+#include "baselines/credit.h"
+#include "baselines/participation.h"
+#include "catalog/catalog.h"
+#include "catalog/interest.h"
+#include "catalog/storage.h"
+#include "core/config.h"
+#include "core/entities.h"
+#include "core/exchange_finder.h"
+#include "core/experiment.h"
+#include "core/lookup.h"
+#include "core/nonring.h"
+#include "core/policy.h"
+#include "core/system.h"
+#include "metrics/collector.h"
+#include "metrics/report.h"
+#include "metrics/records.h"
+#include "proto/bloom_summary.h"
+#include "proto/irq.h"
+#include "proto/request.h"
+#include "proto/request_tree.h"
+#include "proto/token.h"
+#include "security/blacklist.h"
+#include "security/block_exchange.h"
+#include "security/cheat_study.h"
+#include "security/mediator.h"
+#include "sim/simulator.h"
+#include "util/bloom_filter.h"
+#include "util/power_law.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"

@@ -1,0 +1,71 @@
+#include "proto/bloom_summary.h"
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+namespace {
+std::uint64_t peer_key(PeerId p) {
+  // Spread the small dense ids over the 64-bit key space.
+  return (static_cast<std::uint64_t>(p.value) + 1) * 0x9E3779B97F4A7C15ULL;
+}
+}  // namespace
+
+BloomTreeSummary::BloomTreeSummary(std::size_t max_levels,
+                                   std::size_t expected_per_level,
+                                   double fpp) {
+  P2PEX_ASSERT_MSG(max_levels >= 1, "summary needs at least one level");
+  levels_.reserve(max_levels);
+  for (std::size_t i = 0; i < max_levels; ++i)
+    levels_.push_back(BloomFilter::for_items(expected_per_level, fpp));
+}
+
+void BloomTreeSummary::insert(std::size_t k, PeerId peer) {
+  P2PEX_ASSERT(k >= 1 && k <= levels_.size());
+  levels_[k - 1].insert(peer_key(peer));
+}
+
+bool BloomTreeSummary::maybe_at_level(std::size_t k, PeerId peer) const {
+  P2PEX_ASSERT(k >= 1 && k <= levels_.size());
+  return levels_[k - 1].maybe_contains(peer_key(peer));
+}
+
+std::size_t BloomTreeSummary::first_level_maybe(PeerId peer,
+                                                std::size_t max_k) const {
+  const std::size_t limit = std::min(max_k, levels_.size());
+  for (std::size_t k = 1; k <= limit; ++k)
+    if (maybe_at_level(k, peer)) return k;
+  return 0;
+}
+
+void BloomTreeSummary::absorb_child(PeerId child,
+                                    const BloomTreeSummary& child_summary) {
+  P2PEX_ASSERT_MSG(levels() == child_summary.levels(),
+                   "absorbing summary of different shape");
+  insert(1, child);
+  for (std::size_t k = 1; k + 1 <= levels(); ++k)
+    levels_[k].merge(child_summary.levels_[k - 1]);
+}
+
+void BloomTreeSummary::merge_into_level(std::size_t k,
+                                        const BloomFilter& src) {
+  P2PEX_ASSERT(k >= 1 && k <= levels_.size());
+  levels_[k - 1].merge(src);
+}
+
+std::size_t BloomTreeSummary::serialized_size_bytes() const {
+  std::size_t total = 0;
+  for (const auto& f : levels_) total += f.serialized_size_bytes();
+  return total;
+}
+
+const BloomFilter& BloomTreeSummary::level(std::size_t k) const {
+  P2PEX_ASSERT(k >= 1 && k <= levels_.size());
+  return levels_[k - 1];
+}
+
+void BloomTreeSummary::clear() {
+  for (auto& f : levels_) f.clear();
+}
+
+}  // namespace p2pex

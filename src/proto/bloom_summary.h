@@ -1,0 +1,67 @@
+// Bloom-filter request-tree summaries (Section V).
+//
+// Shipping full request trees is expensive for peers with large IRQs. The
+// paper proposes representing, per tree level, only the *set of peers* at
+// that level with a Bloom filter — one filter per level so that a peer can
+// trim the tree by one level when it forwards its own request upstream.
+// The initiator can then detect that a cycle exists but must reconstruct
+// the ring hop by hop with next-hop lookups, and false positives can send
+// it down dead ends.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bloom_filter.h"
+#include "util/types.h"
+
+namespace p2pex {
+
+/// Per-level Bloom summary of a request tree below one peer.
+///
+/// Level k (1-based) summarizes the peers exactly k edges below the owner
+/// in its request tree. A summary with `max_levels` levels supports rings
+/// of up to max_levels + 1 members.
+class BloomTreeSummary {
+ public:
+  /// Creates empty level filters, each sized for `expected_per_level`
+  /// peers at false-positive rate `fpp`.
+  BloomTreeSummary(std::size_t max_levels, std::size_t expected_per_level,
+                   double fpp);
+
+  /// Records `peer` at level `k` (1-based). Requires 1 <= k <= levels().
+  void insert(std::size_t k, PeerId peer);
+
+  /// May `peer` appear at level `k`? False positives possible.
+  [[nodiscard]] bool maybe_at_level(std::size_t k, PeerId peer) const;
+
+  /// May `peer` appear at any level in [1, max_k]? Returns the smallest
+  /// such level, or 0 if none.
+  [[nodiscard]] std::size_t first_level_maybe(PeerId peer,
+                                              std::size_t max_k) const;
+
+  /// Folds a child's summary into this one: the child itself goes to
+  /// level 1 and the child's level-k set becomes part of this level k+1.
+  /// This is the paper's per-level trim: levels deeper than ours are
+  /// dropped. Requires identical geometry.
+  void absorb_child(PeerId child, const BloomTreeSummary& child_summary);
+
+  /// Unions `src` into level `k` — how a parent folds the level k-1
+  /// filter received from a child into its own level k. Requires
+  /// identical filter geometry.
+  void merge_into_level(std::size_t k, const BloomFilter& src);
+
+  [[nodiscard]] std::size_t levels() const { return levels_.size(); }
+
+  /// Total wire size (all level filters).
+  [[nodiscard]] std::size_t serialized_size_bytes() const;
+
+  [[nodiscard]] const BloomFilter& level(std::size_t k) const;
+
+  void clear();
+
+ private:
+  std::vector<BloomFilter> levels_;  // levels_[k-1] = level k
+};
+
+}  // namespace p2pex

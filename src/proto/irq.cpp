@@ -1,0 +1,73 @@
+#include "proto/irq.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+IncomingRequestQueue::IncomingRequestQueue(std::size_t capacity)
+    : capacity_(capacity) {
+  P2PEX_ASSERT_MSG(capacity >= 1, "zero-capacity IRQ");
+}
+
+bool IncomingRequestQueue::add(const IrqEntry& entry) {
+  if (entries_.size() >= capacity_) return false;
+  const RequestKey key{entry.requester, entry.object};
+  if (by_key_.count(key) != 0) return false;
+  entries_.push_back(entry);
+  const auto it = std::prev(entries_.end());
+  by_key_[key] = it;
+  by_requester_[entry.requester].push_back(it);
+  return true;
+}
+
+bool IncomingRequestQueue::remove(RequestKey key) {
+  const auto kit = by_key_.find(key);
+  if (kit == by_key_.end()) return false;
+  const auto it = kit->second;
+  auto& from = by_requester_[key.requester];
+  from.erase(std::find(from.begin(), from.end(), it));
+  if (from.empty()) by_requester_.erase(key.requester);
+  entries_.erase(it);
+  by_key_.erase(kit);
+  return true;
+}
+
+IrqEntry* IncomingRequestQueue::find(RequestKey key) {
+  const auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : &*it->second;
+}
+
+const IrqEntry* IncomingRequestQueue::find(RequestKey key) const {
+  const auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : &*it->second;
+}
+
+IrqEntry* IncomingRequestQueue::oldest_queued() {
+  for (auto& e : entries_)
+    if (e.state == RequestState::kQueued) return &e;
+  return nullptr;
+}
+
+std::vector<PeerId> IncomingRequestQueue::distinct_requesters() const {
+  // First-arrival order: walk the FIFO and emit each requester once.
+  std::vector<PeerId> out;
+  out.reserve(by_requester_.size());
+  for (const auto& e : entries_) {
+    if (std::find(out.begin(), out.end(), e.requester) == out.end())
+      out.push_back(e.requester);
+  }
+  return out;
+}
+
+std::vector<IrqEntry*> IncomingRequestQueue::entries_from(PeerId requester) {
+  std::vector<IrqEntry*> out;
+  const auto it = by_requester_.find(requester);
+  if (it == by_requester_.end()) return out;
+  out.reserve(it->second.size());
+  for (auto lit : it->second) out.push_back(&*lit);
+  return out;
+}
+
+}  // namespace p2pex

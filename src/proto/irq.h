@@ -1,0 +1,79 @@
+// Incoming Request Queue (IRQ), Section III.
+//
+// Every peer keeps an IRQ "where remote peers register their interest for
+// a local file". The IRQ is bounded (paper: 1000 entries); registrations
+// beyond the bound are refused. Entries are kept in FIFO arrival order
+// (the order used to serve non-exchange transfers) and indexed both by
+// (requester, object) key and by requester, the latter providing the
+// adjacency lists of the request graph used by ring search.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/request.h"
+#include "util/types.h"
+
+namespace p2pex {
+
+/// One registered request at a provider.
+struct IrqEntry {
+  PeerId requester;
+  ObjectId object;
+  DownloadId download;    ///< the requester-side download this feeds
+  SimTime enqueue_time = 0.0;
+  SimTime request_time = 0.0;  ///< when the requester first issued the
+                               ///< object request (for waiting-time stats)
+  RequestState state = RequestState::kQueued;
+  SessionId session;      ///< valid iff state != kQueued
+};
+
+/// Bounded FIFO of registered requests with by-key and by-requester
+/// indexes. Iterators remain valid across unrelated insert/erase
+/// (std::list semantics), which the scheduler relies on.
+class IncomingRequestQueue {
+ public:
+  explicit IncomingRequestQueue(std::size_t capacity);
+
+  /// Registers a request; returns false (and does nothing) if the queue
+  /// is full or an entry with the same (requester, object) key exists.
+  bool add(const IrqEntry& entry);
+
+  /// Removes the entry with the given key; returns false if absent.
+  bool remove(RequestKey key);
+
+  /// Finds an entry; nullptr if absent. The pointer is invalidated by
+  /// removal of that entry only.
+  [[nodiscard]] IrqEntry* find(RequestKey key);
+  [[nodiscard]] const IrqEntry* find(RequestKey key) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Oldest queued (state == kQueued) entry, FIFO order; nullptr if none.
+  [[nodiscard]] IrqEntry* oldest_queued();
+
+  /// All entries in FIFO order.
+  [[nodiscard]] const std::list<IrqEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::list<IrqEntry>& entries() { return entries_; }
+
+  /// Distinct requesters currently registered, in first-arrival order.
+  /// These are the children of this peer in its request tree.
+  [[nodiscard]] std::vector<PeerId> distinct_requesters() const;
+
+  /// Entries registered by one requester (any state), FIFO order.
+  [[nodiscard]] std::vector<IrqEntry*> entries_from(PeerId requester);
+
+ private:
+  using List = std::list<IrqEntry>;
+
+  std::size_t capacity_;
+  List entries_;
+  std::unordered_map<RequestKey, List::iterator> by_key_;
+  std::unordered_map<PeerId, std::vector<List::iterator>> by_requester_;
+};
+
+}  // namespace p2pex

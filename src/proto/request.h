@@ -1,0 +1,44 @@
+// Request-protocol records shared between the requester and provider
+// sides of the simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace p2pex {
+
+/// State of one registered request inside a provider's incoming request
+/// queue (IRQ).
+enum class RequestState : std::uint8_t {
+  kQueued,             ///< waiting in the IRQ
+  kActiveNonExchange,  ///< being served on a spare (preemptible) slot
+  kActiveExchange,     ///< being served as part of an exchange ring
+};
+
+/// Key identifying a request: the paper allows at most one registered
+/// request per (requester, object) pair on a given provider
+/// (Section V: "a peer can only have one registered request on a given
+/// peer for a given object").
+struct RequestKey {
+  PeerId requester;
+  ObjectId object;
+
+  friend constexpr auto operator<=>(RequestKey, RequestKey) = default;
+
+  /// Packs into a 64-bit value for hashing.
+  [[nodiscard]] std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(requester.value) << 32) | object.value;
+  }
+};
+
+}  // namespace p2pex
+
+namespace std {
+template <>
+struct hash<p2pex::RequestKey> {
+  size_t operator()(const p2pex::RequestKey& k) const noexcept {
+    return std::hash<std::uint64_t>{}(k.packed());
+  }
+};
+}  // namespace std

@@ -1,0 +1,124 @@
+#include "proto/request_tree.h"
+
+#include <deque>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+namespace {
+
+struct Builder {
+  std::size_t max_depth;
+  std::size_t max_nodes;
+  const EdgeFn& edges_into;
+  std::size_t nodes = 0;
+  std::size_t deepest = 0;
+
+  // `path` holds the peers from root to `node` inclusive, used to avoid
+  // repeating a peer below itself.
+  void expand(RequestTree::Node& node, std::vector<PeerId>& path,
+              std::size_t depth) {
+    deepest = std::max(deepest, depth);
+    if (depth >= max_depth || nodes >= max_nodes) return;
+    for (const auto& [requester, object] : edges_into(node.peer)) {
+      if (nodes >= max_nodes) break;
+      bool on_path = false;
+      for (PeerId p : path)
+        if (p == requester) {
+          on_path = true;
+          break;
+        }
+      if (on_path) continue;
+      RequestTree::Node child;
+      child.peer = requester;
+      child.object_from_parent = object;
+      ++nodes;
+      path.push_back(requester);
+      expand(child, path, depth + 1);
+      path.pop_back();
+      node.children.push_back(std::move(child));
+    }
+  }
+};
+
+void walk_node(const RequestTree::Node& node, RequestTree::Path& path,
+               const std::function<bool(const RequestTree::Path&)>& visit,
+               bool& stop) {
+  if (stop) return;
+  path.emplace_back(node.peer, node.object_from_parent);
+  if (visit(path)) {
+    stop = true;
+  } else {
+    for (const auto& c : node.children) walk_node(c, path, visit, stop);
+  }
+  path.pop_back();
+}
+
+}  // namespace
+
+RequestTree RequestTree::build(PeerId root, std::size_t max_depth,
+                               std::size_t max_nodes,
+                               const EdgeFn& edges_into) {
+  P2PEX_ASSERT_MSG(max_depth >= 1, "tree needs at least the root level");
+  RequestTree tree;
+  tree.root_.peer = root;
+  tree.root_.object_from_parent = ObjectId{};
+  Builder b{max_depth, max_nodes, edges_into};
+  std::vector<PeerId> path{root};
+  b.nodes = 1;
+  b.deepest = 1;
+  b.expand(tree.root_, path, 1);
+  tree.node_count_ = b.nodes;
+  tree.depth_ = b.deepest;
+  return tree;
+}
+
+void RequestTree::walk_bfs(
+    const std::function<bool(const Path&)>& visit) const {
+  // Breadth-first over paths: keep the whole path per queue element. Trees
+  // are small (depth <= 7, node cap), so the copies are acceptable.
+  std::deque<std::pair<const Node*, Path>> queue;
+  queue.emplace_back(&root_, Path{{root_.peer, root_.object_from_parent}});
+  while (!queue.empty()) {
+    auto [node, path] = std::move(queue.front());
+    queue.pop_front();
+    if (visit(path)) return;
+    for (const auto& c : node->children) {
+      Path next = path;
+      next.emplace_back(c.peer, c.object_from_parent);
+      queue.emplace_back(&c, std::move(next));
+    }
+  }
+}
+
+std::vector<RequestTree::Path> RequestTree::find_paths(
+    const std::function<bool(PeerId, std::size_t)>& pred) const {
+  std::vector<Path> out;
+  walk_bfs([&](const Path& path) {
+    if (pred(path.back().first, path.size())) out.push_back(path);
+    return false;
+  });
+  return out;
+}
+
+std::size_t RequestTree::serialized_size_bytes(std::size_t id_bytes) const {
+  // peer id + object id per node, + 1 byte child count per node.
+  return node_count_ * (2 * id_bytes + 1);
+}
+
+std::string RequestTree::to_string() const {
+  std::ostringstream os;
+  std::function<void(const Node&, std::size_t)> rec = [&](const Node& n,
+                                                          std::size_t depth) {
+    os << std::string(2 * depth, ' ') << "P" << n.peer.value;
+    if (depth > 0) os << " (wants o" << n.object_from_parent.value << ")";
+    os << '\n';
+    for (const auto& c : n.children) rec(c, depth + 1);
+  };
+  rec(root_, 0);
+  return os.str();
+}
+
+}  // namespace p2pex

@@ -1,0 +1,85 @@
+// Request trees (Section III-A).
+//
+// The request graph G has an edge Pi -> Pj labelled o when Pi has a
+// registered request for object o in Pj's IRQ. A peer's Request Tree is
+// itself as an implicit root with, as children, the request trees attached
+// to each IRQ entry, pruned to a fixed depth (paper: 5). A peer B that
+// finds, anywhere in its tree at depth d, a peer P owning an object B
+// wants can initiate a d-way exchange ring along the tree path B -> ... ->
+// P closed by P serving B.
+//
+// This module materializes trees for protocol-level uses: wire-size
+// accounting (Section V cost discussion), demos, and tests. The in-
+// simulator ring search (core/exchange_finder) walks the same graph
+// without materializing, which is behaviourally identical under the
+// paper's zero-control-cost model.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace p2pex {
+
+/// Adjacency oracle: the (requester, object-requested) edges into a peer,
+/// i.e. that peer's IRQ contents, in FIFO order.
+using EdgeFn =
+    std::function<std::vector<std::pair<PeerId, ObjectId>>(PeerId)>;
+
+/// A materialized request tree.
+class RequestTree {
+ public:
+  struct Node {
+    PeerId peer;
+    /// Object this node requested from its parent; unused at the root.
+    ObjectId object_from_parent;
+    std::vector<Node> children;
+  };
+
+  /// One root-to-node path: (peer, object requested from the previous
+  /// path element). path[0] is the root with an invalid object.
+  using Path = std::vector<std::pair<PeerId, ObjectId>>;
+
+  /// Builds the tree of `root` with at most `max_depth` levels (root is
+  /// level 1) and at most `max_nodes` nodes in total (guards against
+  /// pathological fanout). Peers already on the current root-to-node path
+  /// are not repeated below themselves (a ring needs distinct members),
+  /// but the same peer may appear in different branches, as in the paper's
+  /// Figure 2.
+  static RequestTree build(PeerId root, std::size_t max_depth,
+                           std::size_t max_nodes, const EdgeFn& edges_into);
+
+  [[nodiscard]] const Node& root() const { return root_; }
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+
+  /// Visits nodes in breadth-first order; `visit(path)` receives the full
+  /// root-to-node path and returns true to stop the walk early.
+  void walk_bfs(
+      const std::function<bool(const Path&)>& visit) const;
+
+  /// All root-to-node paths whose terminal peer satisfies `pred`,
+  /// shallowest first. `pred(peer, depth)` sees 1-based depth.
+  [[nodiscard]] std::vector<Path> find_paths(
+      const std::function<bool(PeerId, std::size_t)>& pred) const;
+
+  /// Wire size if serialized naively: every node carries a peer
+  /// identifier and an object identifier (`id_bytes` each, defaulting to
+  /// 20-byte hashes as in deployed file-sharing networks) plus a child
+  /// count byte. Compare with BloomTreeSummary::serialized_size_bytes().
+  [[nodiscard]] std::size_t serialized_size_bytes(
+      std::size_t id_bytes = 20) const;
+
+  /// Indented human-readable rendering (for the ring-search demo).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Node root_;
+  std::size_t node_count_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace p2pex

@@ -1,0 +1,35 @@
+#include "proto/token.h"
+
+#include <unordered_set>
+
+namespace p2pex {
+
+bool RingProposal::well_formed() const {
+  if (links.size() < 2) return false;
+  std::unordered_set<PeerId> providers;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const auto& link = links[i];
+    const auto& next = links[(i + 1) % links.size()];
+    if (!link.provider.valid() || !link.requester.valid() ||
+        !link.object.valid())
+      return false;
+    if (link.requester != next.provider) return false;
+    if (!providers.insert(link.provider).second) return false;
+  }
+  return true;
+}
+
+std::string to_string(TokenOutcome o) {
+  switch (o) {
+    case TokenOutcome::kAccepted:       return "accepted";
+    case TokenOutcome::kMemberOffline:  return "member-offline";
+    case TokenOutcome::kObjectGone:     return "object-gone";
+    case TokenOutcome::kDownloadGone:   return "download-gone";
+    case TokenOutcome::kBusyInExchange: return "busy-in-exchange";
+    case TokenOutcome::kNoUploadSlot:   return "no-upload-slot";
+    case TokenOutcome::kNoDownloadSlot: return "no-download-slot";
+  }
+  return "unknown";
+}
+
+}  // namespace p2pex

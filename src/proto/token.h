@@ -1,0 +1,51 @@
+// Ring-initiation token (Section III-A).
+//
+// Before starting an n-way exchange the initiator circulates a token
+// through the proposed ring "to determine whether everyone is still
+// willing to serve". The ring can be invalid because peers went offline,
+// lost the object, committed their slots to rings created concurrently,
+// or completed the download in the meantime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace p2pex {
+
+/// One directed service edge of a proposed ring: `provider` uploads
+/// `object` to `requester` (its ring predecessor in the paper's wording).
+struct RingLink {
+  PeerId provider;
+  PeerId requester;
+  ObjectId object;
+};
+
+/// A complete ring proposal: links[i].requester == links[i+1 mod n].provider
+/// and every peer appears exactly once as provider and once as requester.
+struct RingProposal {
+  std::vector<RingLink> links;
+
+  [[nodiscard]] std::size_t size() const { return links.size(); }
+
+  /// Structural well-formedness (closure + distinct members). Does not
+  /// check live state — that is the token walk's job.
+  [[nodiscard]] bool well_formed() const;
+};
+
+/// Why a token walk rejected a proposal (or kAccepted).
+enum class TokenOutcome : std::uint8_t {
+  kAccepted,
+  kMemberOffline,    ///< a member peer left the system
+  kObjectGone,       ///< a provider no longer stores the promised object
+  kDownloadGone,     ///< a requester no longer wants the object
+  kBusyInExchange,   ///< the request is already served by another ring
+  kNoUploadSlot,     ///< provider has no free or preemptible upload slot
+  kNoDownloadSlot,   ///< requester has no free download slot
+};
+
+[[nodiscard]] std::string to_string(TokenOutcome o);
+
+}  // namespace p2pex

@@ -1,0 +1,21 @@
+#include "security/blacklist.h"
+
+namespace p2pex {
+
+bool CooperativeBlacklist::report(PeerId reporter, PeerId accused) {
+  auto& set = reports_[accused];
+  set.insert(reporter);
+  return set.size() >= threshold_;
+}
+
+bool CooperativeBlacklist::banned(PeerId p) const {
+  const auto it = reports_.find(p);
+  return it != reports_.end() && it->second.size() >= threshold_;
+}
+
+std::size_t CooperativeBlacklist::report_count(PeerId p) const {
+  const auto it = reports_.find(p);
+  return it == reports_.end() ? 0 : it->second.size();
+}
+
+}  // namespace p2pex

@@ -1,0 +1,49 @@
+// Blacklists for cheater containment (paper Section III-B).
+//
+// Local blacklists are weak in a large, dynamic system — a cheater who
+// can defraud each victim once still does well, and cheap identities let
+// him shed a tarnished name (Friedman & Resnick). Cooperative blacklists
+// help but need their own defenses; we model the simple report-threshold
+// variant so the cheating study can quantify the difference.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/types.h"
+
+namespace p2pex {
+
+/// One peer's private blacklist.
+class Blacklist {
+ public:
+  void add(PeerId p) { banned_.insert(p); }
+  [[nodiscard]] bool contains(PeerId p) const { return banned_.count(p) != 0; }
+  [[nodiscard]] std::size_t size() const { return banned_.size(); }
+  void clear() { banned_.clear(); }
+
+ private:
+  std::unordered_set<PeerId> banned_;
+};
+
+/// Shared report-based blacklist: a peer is banned once at least
+/// `threshold` distinct reporters accuse it.
+class CooperativeBlacklist {
+ public:
+  explicit CooperativeBlacklist(std::size_t threshold) : threshold_(threshold) {}
+
+  /// Registers an accusation; duplicate accusations from the same
+  /// reporter are ignored. Returns true if `accused` is now banned.
+  bool report(PeerId reporter, PeerId accused);
+
+  [[nodiscard]] bool banned(PeerId p) const;
+  [[nodiscard]] std::size_t report_count(PeerId p) const;
+  [[nodiscard]] std::size_t threshold() const { return threshold_; }
+
+ private:
+  std::size_t threshold_;
+  std::unordered_map<PeerId, std::unordered_set<PeerId>> reports_;
+};
+
+}  // namespace p2pex

@@ -1,0 +1,70 @@
+#include "security/block_exchange.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+BlockExchangeSession::BlockExchangeSession(const BlockExchangeConfig& config)
+    : config_(config), window_(config.initial_window) {
+  P2PEX_ASSERT_MSG(config.block_size > 0, "non-positive block size");
+  P2PEX_ASSERT_MSG(config.rtt > 0.0, "non-positive rtt");
+  P2PEX_ASSERT_MSG(config.slot_capacity > 0.0, "non-positive capacity");
+  P2PEX_ASSERT_MSG(config.initial_window >= 1 &&
+                       config.initial_window <= config.max_window,
+                   "bad window bounds");
+}
+
+BlockExchangeSession::RoundResult BlockExchangeSession::step(
+    bool a_sends_junk, bool b_sends_junk) {
+  P2PEX_ASSERT_MSG(!aborted_, "stepping an aborted session");
+  RoundResult r;
+  const Bytes batch = static_cast<Bytes>(window_) * config_.block_size;
+
+  // Round cost: blocks serialize at slot capacity, and the synchronous
+  // validate-then-continue handshake costs at least one RTT.
+  const double ser = static_cast<double>(batch) / config_.slot_capacity;
+  elapsed_ += std::max(ser, config_.rtt);
+  ++rounds_;
+
+  if (b_sends_junk) r.junk_to_a = batch; else r.valid_to_a = batch;
+  if (a_sends_junk) r.junk_to_b = batch; else r.valid_to_b = batch;
+
+  valid_a_ += r.valid_to_a;
+  valid_b_ += r.valid_to_b;
+  junk_ += r.junk_to_a + r.junk_to_b;
+
+  if (a_sends_junk || b_sends_junk) {
+    // The victim validates at the end of the round and walks away.
+    aborted_ = true;
+    r.aborted = true;
+    return r;
+  }
+
+  if (++clean_rounds_ >= config_.clean_rounds_before_growth &&
+      window_ < config_.max_window) {
+    window_ = std::min(config_.max_window, window_ * 2);
+    clean_rounds_ = 0;
+  }
+  return r;
+}
+
+Rate BlockExchangeSession::rate_ceiling(const BlockExchangeConfig& config,
+                                        int window) {
+  P2PEX_ASSERT(window >= 1);
+  const Rate pipe = static_cast<double>(window) *
+                    static_cast<double>(config.block_size) / config.rtt;
+  return std::min(pipe, config.slot_capacity);
+}
+
+int BlockExchangeSession::window_to_fill_capacity(
+    const BlockExchangeConfig& config) {
+  int w = 1;
+  while (w < config.max_window &&
+         rate_ceiling(config, w) < config.slot_capacity)
+    ++w;
+  return w;
+}
+
+}  // namespace p2pex

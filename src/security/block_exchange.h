@@ -1,0 +1,85 @@
+// Synchronous block-exchange window protocol (paper Section III-B).
+//
+// To bound the damage a junk-serving cheater can do, exchange partners
+// swap blocks synchronously and validate each received block against a
+// trusted checksum source before sending the next. The cheater's maximum
+// benefit is then one window of blocks. With block size B and round-trip
+// time R the exchange rate is capped at window*B/R, which may be below
+// the slot capacity, so peers grow the window after a number of clean
+// rounds to fill the capacity-delay product — trading throughput for
+// bounded risk. A cheater must serve real blocks to ever see a grown
+// window.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace p2pex {
+
+/// Parameters of the window protocol.
+struct BlockExchangeConfig {
+  Bytes block_size = 256 * 1024;   ///< paper's B_block
+  double rtt = 0.2;                ///< seconds between partners
+  Rate slot_capacity = kbps_to_bytes_per_sec(10.0);
+  int initial_window = 1;          ///< blocks in flight per round at start
+  int max_window = 64;
+  int clean_rounds_before_growth = 4;  ///< rounds before doubling
+};
+
+/// Pure state machine for one pairwise synchronous exchange.
+///
+/// Each `step()` is one round: both sides ship `window()` blocks, wait for
+/// the other side's blocks, validate. A side that received junk detects it
+/// at the end of the round (checksums are assumed trustworthy) and aborts.
+class BlockExchangeSession {
+ public:
+  explicit BlockExchangeSession(const BlockExchangeConfig& config);
+
+  struct RoundResult {
+    Bytes valid_to_a = 0;    ///< validated payload delivered to side A
+    Bytes valid_to_b = 0;
+    Bytes junk_to_a = 0;     ///< junk A received (wasted download)
+    Bytes junk_to_b = 0;
+    bool aborted = false;    ///< a side detected junk; session over
+  };
+
+  /// Executes one round. `a_sends_junk` / `b_sends_junk` model cheating
+  /// sides. Calling step() after an abort is an error.
+  RoundResult step(bool a_sends_junk, bool b_sends_junk);
+
+  [[nodiscard]] bool aborted() const { return aborted_; }
+  [[nodiscard]] int window() const { return window_; }
+  [[nodiscard]] int rounds() const { return rounds_; }
+
+  /// Simulated wall-clock spent so far: each round costs the larger of
+  /// the serialization time (window*B/capacity) and one RTT.
+  [[nodiscard]] double elapsed() const { return elapsed_; }
+
+  [[nodiscard]] Bytes total_valid_to_a() const { return valid_a_; }
+  [[nodiscard]] Bytes total_valid_to_b() const { return valid_b_; }
+  [[nodiscard]] Bytes total_junk() const { return junk_; }
+
+  /// Rate ceiling for a given window (paper: window*B_block/RTT, but never
+  /// above the slot capacity).
+  [[nodiscard]] static Rate rate_ceiling(const BlockExchangeConfig& config,
+                                         int window);
+
+  /// Smallest window whose ceiling reaches the slot capacity — the target
+  /// of window growth ("fill up the slot capacity-delay product").
+  [[nodiscard]] static int window_to_fill_capacity(
+      const BlockExchangeConfig& config);
+
+ private:
+  BlockExchangeConfig config_;
+  int window_;
+  int clean_rounds_ = 0;
+  int rounds_ = 0;
+  double elapsed_ = 0.0;
+  Bytes valid_a_ = 0;
+  Bytes valid_b_ = 0;
+  Bytes junk_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace p2pex

@@ -1,0 +1,136 @@
+#include "security/cheat_study.h"
+
+#include <vector>
+
+#include "security/blacklist.h"
+#include "util/assert.h"
+
+namespace p2pex {
+
+namespace {
+
+struct Actor {
+  PeerId identity;       // current (possibly whitewashed) identity
+  bool cheater = false;
+  Bytes goodput = 0;     // real bytes received
+  Bytes waste = 0;       // junk bytes received
+  std::size_t exchanges = 0;
+  Blacklist blacklist;   // identities this actor refuses to deal with
+};
+
+}  // namespace
+
+CheatStudyResult run_cheat_study(const CheatStudyConfig& config) {
+  P2PEX_ASSERT_MSG(config.honest_peers + config.cheaters >= 2,
+                   "need at least two actors");
+  Rng rng(config.seed);
+
+  std::vector<Actor> actors(config.honest_peers + config.cheaters);
+  std::uint32_t next_identity = 0;
+  for (std::size_t i = 0; i < actors.size(); ++i) {
+    actors[i].identity = PeerId{next_identity++};
+    actors[i].cheater = i >= config.honest_peers;
+  }
+
+  CooperativeBlacklist coop(config.coop_threshold);
+
+  const Bytes block = config.block_size;
+  const Bytes clean_batch =
+      block * static_cast<Bytes>(config.blocks_per_round);
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    // Whitewashing: cheaters assume fresh identities periodically,
+    // escaping both local and cooperative blacklists.
+    if (config.whitewash_every != 0 && round != 0 &&
+        round % config.whitewash_every == 0) {
+      for (auto& a : actors)
+        if (a.cheater) a.identity = PeerId{next_identity++};
+    }
+
+    // Random matching: shuffle and pair adjacent eligible actors.
+    std::vector<std::size_t> order(actors.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+
+    std::vector<bool> busy(actors.size(), false);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (busy[order[i]]) continue;
+      Actor& x = actors[order[i]];
+      // Find the next free partner x is willing to deal with.
+      for (std::size_t j = i + 1; j < order.size(); ++j) {
+        if (busy[order[j]]) continue;
+        Actor& y = actors[order[j]];
+        const bool x_refuses = x.blacklist.contains(y.identity) ||
+                               (config.cooperative_blacklist &&
+                                coop.banned(y.identity));
+        const bool y_refuses = y.blacklist.contains(x.identity) ||
+                               (config.cooperative_blacklist &&
+                                coop.banned(x.identity));
+        if (x_refuses || y_refuses) continue;
+
+        busy[order[i]] = busy[order[j]] = true;
+        ++x.exchanges;
+        ++y.exchanges;
+
+        auto serve = [&](Actor& sender, Actor& receiver) {
+          if (!sender.cheater) {
+            receiver.goodput += clean_batch;
+            return;
+          }
+          // Cheater serves junk. With synchronous validation the victim
+          // pays one block before detecting; without it, the whole batch.
+          const Bytes junk = config.synchronous_validation ? block
+                                                           : clean_batch;
+          receiver.waste += junk;
+          receiver.blacklist.add(sender.identity);
+          if (config.cooperative_blacklist)
+            coop.report(receiver.identity, sender.identity);
+        };
+        // Both directions happen block-synchronously; a cheater still
+        // receives in proportion to what the victim sent before
+        // detection.
+        if (x.cheater == y.cheater) {
+          serve(x, y);
+          serve(y, x);
+        } else {
+          Actor& cheater = x.cheater ? x : y;
+          Actor& victim = x.cheater ? y : x;
+          serve(cheater, victim);  // victim gets junk
+          // Victim ships real blocks until detection: one block under
+          // synchronous validation, the full batch otherwise.
+          cheater.goodput += config.synchronous_validation ? block
+                                                           : clean_batch;
+        }
+        break;
+      }
+    }
+  }
+
+  CheatStudyResult result;
+  Bytes hg = 0, hw = 0, cg = 0;
+  std::size_t he = 0, ce = 0;
+  for (const auto& a : actors) {
+    if (a.cheater) {
+      cg += a.goodput;
+      ce += a.exchanges;
+    } else {
+      hg += a.goodput;
+      hw += a.waste;
+      he += a.exchanges;
+    }
+  }
+  if (config.honest_peers > 0) {
+    result.honest_goodput_per_peer =
+        hg / static_cast<Bytes>(config.honest_peers);
+    result.honest_waste_per_peer =
+        hw / static_cast<Bytes>(config.honest_peers);
+  }
+  if (config.cheaters > 0)
+    result.cheater_goodput_per_peer =
+        cg / static_cast<Bytes>(config.cheaters);
+  result.honest_exchanges = he;
+  result.cheater_exchanges = ce;
+  return result;
+}
+
+}  // namespace p2pex

@@ -1,0 +1,58 @@
+// Round-based cheating study (ablation A5).
+//
+// A protocol-level mini-simulation, separate from the full file-sharing
+// simulator, that quantifies the Section III-B arguments: how much real
+// data a junk-serving cheater extracts under (a) no validation, (b) the
+// synchronous window protocol with local blacklists, (c) the same plus a
+// cooperative blacklist, and (d) with identity whitewashing (the cheater
+// re-registers under a fresh name every few rounds).
+//
+// Model: each round, every peer that still wants data is matched with a
+// random eligible partner for one window-protocol exchange of
+// `blocks_per_round` blocks. Honest peers serve real blocks; cheaters
+// always serve junk. A victim detects junk after the first block of a
+// round (synchronous validation) and blacklists the cheater.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace p2pex {
+
+/// Parameters of the cheating study.
+struct CheatStudyConfig {
+  std::size_t honest_peers = 90;
+  std::size_t cheaters = 10;
+  std::size_t rounds = 200;
+  Bytes block_size = 256 * 1024;
+  std::size_t blocks_per_round = 8;  ///< per clean exchange, per direction
+  bool synchronous_validation = true;   ///< detect junk after one block
+  bool cooperative_blacklist = false;   ///< share accusations
+  std::size_t coop_threshold = 3;       ///< reports needed to ban globally
+  /// Rounds between cheater identity changes; 0 disables whitewashing.
+  std::size_t whitewash_every = 0;
+  std::uint64_t seed = 42;
+};
+
+/// Aggregate outcome of a study run.
+struct CheatStudyResult {
+  Bytes honest_goodput_per_peer = 0;   ///< mean real bytes an honest peer got
+  Bytes cheater_goodput_per_peer = 0;  ///< mean real bytes a cheater got
+  Bytes honest_waste_per_peer = 0;     ///< mean junk bytes an honest peer got
+  std::size_t cheater_exchanges = 0;   ///< exchanges a cheater got into
+  std::size_t honest_exchanges = 0;
+
+  /// Cheater benefit relative to playing honestly (1.0 = parity).
+  [[nodiscard]] double cheater_advantage() const {
+    if (honest_goodput_per_peer <= 0) return 0.0;
+    return static_cast<double>(cheater_goodput_per_peer) /
+           static_cast<double>(honest_goodput_per_peer);
+  }
+};
+
+/// Runs the study; deterministic for a given config (seed included).
+CheatStudyResult run_cheat_study(const CheatStudyConfig& config);
+
+}  // namespace p2pex

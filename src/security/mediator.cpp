@@ -1,0 +1,89 @@
+#include "security/mediator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+std::uint32_t Mediator::issue_key(PeerId owner) {
+  const std::uint32_t id = next_key_++;
+  owners_[id] = owner;
+  return id;
+}
+
+bool Mediator::key_known(std::uint32_t key_id) const {
+  return owners_.count(key_id) != 0;
+}
+
+PeerId Mediator::key_owner(std::uint32_t key_id) const {
+  const auto it = owners_.find(key_id);
+  P2PEX_ASSERT_MSG(it != owners_.end(), "unknown key");
+  return it->second;
+}
+
+bool Mediator::check_direction(PeerId receiver, PeerId counterparty,
+                               const std::vector<EncryptedBlock>& received,
+                               std::size_t sample_size, Rng& rng,
+                               std::string& failure) const {
+  if (received.empty()) {
+    failure = "empty direction";
+    return false;
+  }
+  // Sample without replacement up to sample_size blocks.
+  std::vector<std::size_t> idx(received.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+  const std::size_t n = std::min(sample_size, idx.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const EncryptedBlock& blk = received[idx[i]];
+    const auto it = owners_.find(blk.key_id);
+    if (it == owners_.end()) {
+      failure = "block encrypted under unregistered key";
+      return false;
+    }
+    if (blk.junk) {
+      failure = "sampled block failed checksum validation";
+      return false;
+    }
+    if (it->second != blk.origin) {
+      failure = "origin header does not match key owner";
+      return false;
+    }
+    if (blk.origin != counterparty) {
+      failure = "block not produced by the exchange counterparty (relay)";
+      return false;
+    }
+    if (blk.addressee != receiver) {
+      failure = "block addressed to someone else (relay)";
+      return false;
+    }
+  }
+  return true;
+}
+
+Mediator::Settlement Mediator::settle(
+    PeerId a, PeerId b, const std::vector<EncryptedBlock>& a_received,
+    const std::vector<EncryptedBlock>& b_received, std::size_t sample_size,
+    Rng& rng) {
+  Settlement s;
+  if (!check_direction(a, b, a_received, sample_size, rng, s.failure))
+    return s;
+  if (!check_direction(b, a, b_received, sample_size, rng, s.failure))
+    return s;
+  s.ok = true;
+  // Release, to each party, the keys of the blocks it received.
+  auto collect = [](const std::vector<EncryptedBlock>& blocks) {
+    std::unordered_set<std::uint32_t> seen;
+    std::vector<std::uint32_t> keys;
+    for (const auto& blk : blocks)
+      if (seen.insert(blk.key_id).second) keys.push_back(blk.key_id);
+    return keys;
+  };
+  s.keys_to_a = collect(a_received);
+  s.keys_to_b = collect(b_received);
+  return s;
+}
+
+}  // namespace p2pex

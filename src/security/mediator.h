@@ -1,0 +1,93 @@
+// Mediated encrypted exchange defeating the middleman attack
+// (paper Section III-B).
+//
+// The attack: peer M, wanting object y, tells A "I have y, I want x" and
+// tells B "I have x, I want y"; M then shuttles blocks between A and B
+// and receives real data while contributing nothing.
+//
+// The defense: both directions of an exchange are encrypted, each with a
+// secret key known only to the sending peer and a trusted mediator. Every
+// block carries an encrypted control header naming the peer of origin and
+// — in our concrete realization — the addressee the sender believes it is
+// serving; the middleman can forward blocks but cannot read or alter the
+// header. When the transfer completes the mediator validates a random
+// sample of blocks from each side and, only if neither side cheated and
+// every sampled block was genuinely produced *for* its receiver, releases
+// the decryption keys. Relayed blocks carry a stale addressee, so both of
+// the middleman's exchanges fail settlement and he ends up holding
+// ciphertext.
+//
+// The residual loophole the paper concedes remains: a cheater who first
+// obtains a few *plaintext* blocks through the ordinary low-priority queue
+// can re-encrypt them under his own key and trade them honestly one block
+// at a time; see CheatingStudy for its (poor) economics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace p2pex {
+
+/// An encrypted block in flight. `key_id` stands in for the ciphertext:
+/// holding the block is useless without the matching key.
+struct EncryptedBlock {
+  std::uint32_t key_id = 0;
+  PeerId origin;      ///< who produced (encrypted) this block
+  PeerId addressee;   ///< whom the origin believed it was serving
+  ObjectId object;
+  std::uint32_t index = 0;
+  bool junk = false;  ///< payload fails checksum validation
+};
+
+/// The trusted mediator: issues keys, validates completed exchanges and
+/// settles key release.
+class Mediator {
+ public:
+  /// Registers a fresh secret key owned by `owner`; returns its id.
+  std::uint32_t issue_key(PeerId owner);
+
+  [[nodiscard]] bool key_known(std::uint32_t key_id) const;
+  [[nodiscard]] PeerId key_owner(std::uint32_t key_id) const;
+
+  /// Result of settling one completed exchange.
+  struct Settlement {
+    bool ok = false;
+    /// Keys released to each party (ids of the keys decrypting the blocks
+    /// that party received). Empty unless ok.
+    std::vector<std::uint32_t> keys_to_a;
+    std::vector<std::uint32_t> keys_to_b;
+    std::string failure;  ///< human-readable reason when !ok
+  };
+
+  /// Settles the exchange between `a` and `b`.
+  /// `a_received` / `b_received` are the blocks each party received.
+  /// The mediator samples up to `sample_size` random blocks per direction
+  /// and verifies that each (1) is encrypted under a key it issued,
+  /// (2) validates against the checksum source (not junk), (3) names the
+  /// counterparty as addressee and its key's owner as origin — i.e. was
+  /// produced by the counterparty for this exchange, not relayed.
+  Settlement settle(PeerId a, PeerId b,
+                    const std::vector<EncryptedBlock>& a_received,
+                    const std::vector<EncryptedBlock>& b_received,
+                    std::size_t sample_size, Rng& rng);
+
+  [[nodiscard]] std::size_t keys_issued() const { return owners_.size(); }
+
+ private:
+  /// Validates one direction; fills `failure` and returns false on the
+  /// first bad sampled block.
+  bool check_direction(PeerId receiver, PeerId counterparty,
+                       const std::vector<EncryptedBlock>& received,
+                       std::size_t sample_size, Rng& rng,
+                       std::string& failure) const;
+
+  std::unordered_map<std::uint32_t, PeerId> owners_;
+  std::uint32_t next_key_ = 1;
+};
+
+}  // namespace p2pex

@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+EventHandle EventQueue::schedule(SimTime when, std::function<void()> fn) {
+  P2PEX_ASSERT_MSG(when >= last_pop_time_, "scheduling into the past");
+  const std::uint64_t id = next_id_++;
+  Entry e;
+  e.when = when;
+  e.seq = next_seq_++;
+  e.id = id;
+  e.fn = std::make_shared<std::function<void()>>(std::move(fn));
+  heap_.push(std::move(e));
+  live_.insert(id);
+  return EventHandle{id};
+}
+
+void EventQueue::cancel(EventHandle h) {
+  if (!h.valid()) return;
+  live_.erase(h.id);  // heap entry becomes garbage; skimmed lazily
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && live_.count(heap_.top().id) == 0) heap_.pop();
+}
+
+SimTime EventQueue::peek_time() {
+  skim();
+  P2PEX_ASSERT_MSG(!heap_.empty(), "peek on empty event queue");
+  return heap_.top().when;
+}
+
+std::pair<SimTime, std::function<void()>> EventQueue::pop() {
+  skim();
+  P2PEX_ASSERT_MSG(!heap_.empty(), "pop on empty event queue");
+  Entry top = heap_.top();
+  heap_.pop();
+  live_.erase(top.id);
+  last_pop_time_ = top.when;
+  return {top.when, std::move(*top.fn)};
+}
+
+}  // namespace p2pex

@@ -1,0 +1,73 @@
+// Time-ordered event queue with O(log n) schedule/pop and O(1) lazy
+// cancellation.
+//
+// Determinism contract: events at equal timestamps fire in schedule order
+// (FIFO within a timestamp), so a run is a pure function of (seed, config).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace p2pex {
+
+/// Handle identifying a scheduled event; used to cancel it.
+struct EventHandle {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+/// Min-heap of (time, sequence)-ordered events carrying callbacks.
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when`. Requires `when` to be no
+  /// earlier than the last popped time (no scheduling into the past).
+  EventHandle schedule(SimTime when, std::function<void()> fn);
+
+  /// Cancels a previously scheduled event. Cancelling an already-fired or
+  /// already-cancelled event is a harmless no-op.
+  void cancel(EventHandle h);
+
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+
+  /// Time of the earliest live event. Requires !empty().
+  [[nodiscard]] SimTime peek_time();
+
+  /// Pops the earliest live event. Requires !empty().
+  std::pair<SimTime, std::function<void()>> pop();
+
+  /// Total events ever scheduled (instrumentation).
+  [[nodiscard]] std::uint64_t scheduled_total() const { return next_id_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime when = 0.0;
+    std::uint64_t seq = 0;
+    std::uint64_t id = 0;
+    // Heap entries get copied during sift; keep the callback out-of-line.
+    std::shared_ptr<std::function<void()>> fn;
+
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  /// Discards heap entries whose id is no longer live (cancelled).
+  void skim();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<std::uint64_t> live_;  // ids scheduled, unfired, uncancelled
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  SimTime last_pop_time_ = 0.0;
+};
+
+}  // namespace p2pex

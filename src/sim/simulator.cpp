@@ -1,0 +1,54 @@
+#include "sim/simulator.h"
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+EventHandle Simulator::schedule_in(SimTime delay, std::function<void()> fn) {
+  P2PEX_ASSERT_MSG(delay >= 0.0, "negative delay");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  P2PEX_ASSERT_MSG(when >= now_, "scheduling into the past");
+  return queue_.schedule(when, std::move(fn));
+}
+
+void Simulator::schedule_periodic(SimTime period, std::function<void()> fn) {
+  P2PEX_ASSERT_MSG(period > 0.0, "non-positive period");
+  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
+  // Self-rescheduling wrapper; stops once past the run horizon so that
+  // run_until() terminates and destruction is clean.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, shared_fn, tick]() {
+    (*shared_fn)();
+    if (now_ + period <= horizon_) queue_.schedule(now_ + period, *tick);
+  };
+  queue_.schedule(now_ + period, *tick);
+}
+
+std::uint64_t Simulator::run_until(SimTime t_end) {
+  P2PEX_ASSERT_MSG(t_end >= now_, "running backwards");
+  horizon_ = t_end;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.peek_time() <= t_end) {
+    auto [when, fn] = queue_.pop();
+    now_ = when;
+    fn();
+    ++n;
+  }
+  now_ = t_end;
+  processed_ += n;
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [when, fn] = queue_.pop();
+  now_ = when;
+  fn();
+  ++processed_;
+  return true;
+}
+
+}  // namespace p2pex

@@ -1,0 +1,60 @@
+// Simulation clock and driver.
+//
+// A Simulator owns the event queue and the virtual clock. Model code
+// schedules callbacks relative to `now()`; `run_until()` drains events in
+// timestamp order. Control-plane interactions in p2pex (request
+// registration, ring token walks) are synchronous function calls at the
+// current instant, matching the paper's zero-latency control model; only
+// data transfer progress and periodic maintenance consume simulated time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "util/types.h"
+
+namespace p2pex {
+
+/// Discrete-event simulation driver.
+class Simulator {
+ public:
+  /// Current simulated time in seconds.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now. Requires delay >= 0.
+  EventHandle schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute time `when` (>= now()).
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event (no-op if it already fired).
+  void cancel(EventHandle h) { queue_.cancel(h); }
+
+  /// Schedules `fn` every `period` seconds, first firing at now()+period,
+  /// until the simulation ends. Returns a handle to the *current* pending
+  /// occurrence only; periodic tasks cannot be cancelled individually and
+  /// simply stop when the run ends.
+  void schedule_periodic(SimTime period, std::function<void()> fn);
+
+  /// Runs events until the queue empties or the next event is after
+  /// `t_end`; leaves now() == t_end. Returns number of events processed.
+  std::uint64_t run_until(SimTime t_end);
+
+  /// Processes exactly one event if present; returns whether one fired.
+  bool step();
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::uint64_t events_scheduled() const {
+    return queue_.scheduled_total();
+  }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  SimTime horizon_ = 0.0;  // periodic tasks stop rescheduling past this
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace p2pex

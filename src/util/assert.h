@@ -1,0 +1,47 @@
+// Assertion machinery for p2pex.
+//
+// Invariant violations throw AssertionError instead of calling abort() so
+// that property tests can assert *on* the assertions, and so that a
+// simulation embedded in a long-lived host process fails loudly but
+// recoverably (C++ Core Guidelines I.10: prefer exceptions for errors that
+// cannot be handled locally).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace p2pex {
+
+/// Thrown when an internal invariant is violated.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::string full = std::string("p2pex assertion failed: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw AssertionError(full);
+}
+}  // namespace detail
+
+}  // namespace p2pex
+
+/// Always-on invariant check. Use for conditions that indicate a bug in
+/// p2pex itself (not for validating user-provided configuration: those
+/// should throw ConfigError with a user-actionable message).
+#define P2PEX_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::p2pex::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+/// Invariant check with an explanatory message (streamed into a string).
+#define P2PEX_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::p2pex::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

@@ -1,0 +1,98 @@
+#include "util/bloom_filter.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+namespace {
+
+// Two independent 64-bit mixers; hash i is h1 + i*h2 (Kirsch–Mitzenmacher
+// double hashing, which preserves Bloom filter asymptotics).
+std::uint64_t mix1(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t mix2(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x | 1;  // odd, so successive probes differ
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t bits, std::size_t hashes)
+    : hashes_(hashes) {
+  P2PEX_ASSERT(bits >= 1);
+  P2PEX_ASSERT(hashes >= 1);
+  words_.assign((bits + 63) / 64, 0);
+}
+
+BloomFilter BloomFilter::for_items(std::size_t expected_items, double fpp) {
+  P2PEX_ASSERT(fpp > 0.0 && fpp < 1.0);
+  const double n = static_cast<double>(expected_items == 0 ? 1 : expected_items);
+  const double ln2 = std::log(2.0);
+  const double m = std::ceil(-n * std::log(fpp) / (ln2 * ln2));
+  const double k = std::max(1.0, std::round(m / n * ln2));
+  return BloomFilter(static_cast<std::size_t>(m),
+                     static_cast<std::size_t>(k));
+}
+
+void BloomFilter::insert(std::uint64_t key) {
+  const std::uint64_t h1 = mix1(key);
+  const std::uint64_t h2 = mix2(key);
+  const std::uint64_t bits = words_.size() * 64;
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bits;
+    words_[bit >> 6] |= (1ULL << (bit & 63));
+  }
+  ++count_;
+}
+
+bool BloomFilter::maybe_contains(std::uint64_t key) const {
+  const std::uint64_t h1 = mix1(key);
+  const std::uint64_t h2 = mix2(key);
+  const std::uint64_t bits = words_.size() * 64;
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bits;
+    if (!(words_[bit >> 6] & (1ULL << (bit & 63)))) return false;
+  }
+  return true;
+}
+
+void BloomFilter::merge(const BloomFilter& other) {
+  P2PEX_ASSERT_MSG(words_.size() == other.words_.size() &&
+                       hashes_ == other.hashes_,
+                   "merging Bloom filters of different geometry");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  count_ += other.count_;
+}
+
+void BloomFilter::clear() {
+  for (auto& w : words_) w = 0;
+  count_ = 0;
+}
+
+double BloomFilter::estimated_fpp() const {
+  const double m = static_cast<double>(bit_count());
+  const double k = static_cast<double>(hashes_);
+  const double n = static_cast<double>(count_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+double BloomFilter::fill_ratio() const {
+  std::size_t set = 0;
+  for (auto w : words_) set += static_cast<std::size_t>(__builtin_popcountll(w));
+  return static_cast<double>(set) / static_cast<double>(bit_count());
+}
+
+}  // namespace p2pex

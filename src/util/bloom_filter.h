@@ -1,0 +1,57 @@
+// Bloom filter (Bloom, CACM 1970), used by the Section V request-tree
+// compression scheme: one filter per request-tree level summarizes the set
+// of peers reachable at that depth, so a peer can test ring feasibility
+// without shipping the full tree.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace p2pex {
+
+/// Fixed-size Bloom filter over 64-bit keys.
+class BloomFilter {
+ public:
+  /// Creates a filter with `bits` bits (rounded up to a multiple of 64)
+  /// and `hashes` hash functions. Requires bits >= 1, hashes >= 1.
+  BloomFilter(std::size_t bits, std::size_t hashes);
+
+  /// Creates a filter sized for `expected_items` at target false-positive
+  /// probability `fpp` (standard m = -n ln p / (ln 2)^2 sizing).
+  static BloomFilter for_items(std::size_t expected_items, double fpp);
+
+  void insert(std::uint64_t key);
+
+  /// True if the key may be present (false positives possible, false
+  /// negatives impossible).
+  bool maybe_contains(std::uint64_t key) const;
+
+  /// Bitwise union with a same-shape filter. Requires identical geometry.
+  void merge(const BloomFilter& other);
+
+  void clear();
+
+  /// Number of items inserted (exact; maintained alongside the bits).
+  std::size_t count() const { return count_; }
+
+  std::size_t bit_count() const { return words_.size() * 64; }
+  std::size_t hash_count() const { return hashes_; }
+
+  /// Serialized wire size in bytes (bit array + small header); used by the
+  /// Section V cost accounting.
+  std::size_t serialized_size_bytes() const { return words_.size() * 8 + 8; }
+
+  /// Predicted false-positive probability given the current fill.
+  double estimated_fpp() const;
+
+  /// Fraction of bits set.
+  double fill_ratio() const;
+
+ private:
+  std::size_t hashes_;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace p2pex

@@ -1,0 +1,34 @@
+#include "util/power_law.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+PowerLawSampler::PowerLawSampler(std::size_t n, double f) : f_(f) {
+  P2PEX_ASSERT_MSG(n >= 1, "power law needs at least one rank");
+  P2PEX_ASSERT_MSG(f >= 0.0, "negative skew factor");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -f);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+std::size_t PowerLawSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double PowerLawSampler::pmf(std::size_t i) const {
+  P2PEX_ASSERT(i < cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace p2pex

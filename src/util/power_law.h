@@ -1,0 +1,41 @@
+// Rank-based power-law (zipf-like) sampler.
+//
+// The paper's popularity model (Section IV-A, after Schlosser et al.):
+// the popularity of the item of rank i (1-based) is
+//
+//     p(i) = i^-f / sum_{j=1..n} j^-f
+//
+// where f = 0 gives a uniform distribution and f = 1 a zipf-like one.
+// Used both for category popularity and for object popularity within a
+// category (paper default f = 0.2 for both).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace p2pex {
+
+/// Samples 0-based indices with rank popularity p(rank) ∝ (rank+1)^-f.
+class PowerLawSampler {
+ public:
+  /// Builds a sampler over `n` ranks with skew factor `f`.
+  /// Requires n >= 1 and f >= 0.
+  PowerLawSampler(std::size_t n, double f);
+
+  /// Draws a 0-based rank.
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of 0-based rank i.
+  double pmf(std::size_t i) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double skew() const { return f_; }
+
+ private:
+  double f_ = 0.0;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i); cdf_.back() == 1
+};
+
+}  // namespace p2pex

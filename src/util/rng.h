@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic choices in a simulation flow through one Rng instance so
+// that a (seed, config) pair fully determines the run. The generator is
+// xoshiro256++ (Blackman & Vigna), which is fast, has 256-bit state, and —
+// unlike std::mt19937 + std::uniform_int_distribution — produces identical
+// streams across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace p2pex {
+
+/// Deterministic random number generator (xoshiro256++).
+class Rng {
+ public:
+  /// Seeds the state via splitmix64 so that nearby seeds give unrelated
+  /// streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Uniform real in [lo, hi). Requires lo <= hi.
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p);
+
+  /// Uniformly chooses an index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniformly chooses an element of a non-empty vector.
+  template <class T>
+  const T& pick(const std::vector<T>& v) {
+    P2PEX_ASSERT(!v.empty());
+    return v[index(v.size())];
+  }
+
+  /// Fisher–Yates shuffle (deterministic given the stream position).
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      std::swap(v[i], v[index(i + 1)]);
+    }
+  }
+
+  /// Samples up to k distinct elements of v, in random order.
+  template <class T>
+  std::vector<T> sample(const std::vector<T>& v, std::size_t k) {
+    std::vector<T> pool = v;
+    shuffle(pool);
+    if (pool.size() > k) pool.resize(k);
+    return pool;
+  }
+
+  /// Forks an independent generator; used to give each subsystem its own
+  /// stream so that adding draws in one subsystem does not perturb others.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace p2pex

@@ -1,0 +1,90 @@
+// Statistics primitives for the metrics pipeline: streaming moments,
+// sample sets with percentiles/CDFs, and fixed-bin histograms.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace p2pex {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  /// Mean of the samples; 0 if empty.
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores samples for percentile / CDF queries.
+class SampleSet {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// p-th percentile, p in [0, 100]; linear interpolation between order
+  /// statistics. Requires at least one sample.
+  double percentile(double p) const;
+
+  /// Empirical CDF evaluated at x: fraction of samples <= x.
+  double cdf_at(double x) const;
+
+  /// CDF as `points` (x, F(x)) pairs spanning [min, max], suitable for
+  /// reproducing the paper's Figures 7 and 8.
+  std::vector<std::pair<double, double>> cdf_points(std::size_t points) const;
+
+  const std::vector<double>& sorted() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp to
+/// the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count() const { return total_; }
+  std::size_t bin(std::size_t i) const { return counts_[i]; }
+  /// Center x-value of bin i.
+  double bin_center(std::size_t i) const;
+  /// Fraction of samples in bin i; 0 if empty.
+  double fraction(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace p2pex

@@ -1,0 +1,37 @@
+// Plain-text table and CSV emitters used by the bench harnesses to print
+// paper-style rows (and machine-readable CSV alongside).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace p2pex {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders with column alignment and a header separator.
+  std::string to_string() const;
+
+  /// Renders as CSV (RFC-4180-ish; cells containing commas are quoted).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace p2pex

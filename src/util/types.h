@@ -1,0 +1,81 @@
+// Fundamental identifier and quantity types shared across all p2pex
+// subsystems.
+//
+// Identifiers are strong types (distinct wrapper structs) so that a PeerId
+// cannot be accidentally passed where an ObjectId is expected
+// (C++ Core Guidelines I.4: make interfaces precisely and strongly typed).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace p2pex {
+
+/// Simulated time, in seconds since simulation start.
+using SimTime = double;
+
+/// Data volume in bytes. Signed so that arithmetic on differences is safe
+/// (C++ Core Guidelines ES.106: avoid unsigned arithmetic surprises).
+using Bytes = std::int64_t;
+
+/// Bandwidth in bytes per second.
+using Rate = double;
+
+/// Converts kilobits per second (the unit the paper uses throughout) to
+/// bytes per second used internally.
+constexpr Rate kbps_to_bytes_per_sec(double kbps) { return kbps * 1000.0 / 8.0; }
+
+/// Converts a megabyte count (paper: 20 MB objects) to bytes.
+constexpr Bytes megabytes(double mb) { return static_cast<Bytes>(mb * 1000.0 * 1000.0); }
+
+namespace detail {
+/// CRTP-free strong integer id. `Tag` makes each instantiation a distinct
+/// type; `kInvalid` is the default-constructed sentinel.
+template <class Tag>
+struct StrongId {
+  std::uint32_t value = kInvalidValue;
+
+  static constexpr std::uint32_t kInvalidValue =
+      std::numeric_limits<std::uint32_t>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalidValue; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+};
+}  // namespace detail
+
+struct PeerTag {};
+struct ObjectTag {};
+struct CategoryTag {};
+struct SessionTag {};
+struct RingTag {};
+struct DownloadTag {};
+
+/// Identifies a peer (node) in the file-sharing system.
+using PeerId = detail::StrongId<PeerTag>;
+/// Identifies a shareable object (file).
+using ObjectId = detail::StrongId<ObjectTag>;
+/// Identifies a content category (paper: 300 categories).
+using CategoryId = detail::StrongId<CategoryTag>;
+/// Identifies one transfer session (one provider->requester stream).
+using SessionId = detail::StrongId<SessionTag>;
+/// Identifies one n-way exchange ring instance.
+using RingId = detail::StrongId<RingTag>;
+/// Identifies one in-progress object download at a peer.
+using DownloadId = detail::StrongId<DownloadTag>;
+
+}  // namespace p2pex
+
+namespace std {
+template <class Tag>
+struct hash<p2pex::detail::StrongId<Tag>> {
+  size_t operator()(p2pex::detail::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,104 @@
+// Tests for the eMule credit and KaZaA participation baselines.
+#include <gtest/gtest.h>
+
+#include "baselines/credit.h"
+#include "baselines/participation.h"
+
+namespace p2pex {
+namespace {
+
+TEST(Credit, NoHistoryModifierIsOne) {
+  const CreditLedger l;
+  EXPECT_DOUBLE_EQ(l.credit_modifier(PeerId{1}), 1.0);
+}
+
+TEST(Credit, BelowOneMegabyteNoCredit) {
+  CreditLedger l;
+  l.add_uploaded_to_me(PeerId{1}, 999'999);
+  EXPECT_DOUBLE_EQ(l.credit_modifier(PeerId{1}), 1.0);
+}
+
+TEST(Credit, ModifierBounded) {
+  CreditLedger l;
+  l.add_uploaded_to_me(PeerId{1}, 500'000'000);  // 500 MB uploaded, nothing back
+  const double m = l.credit_modifier(PeerId{1});
+  EXPECT_GE(m, 1.0);
+  EXPECT_LE(m, 10.0);
+}
+
+TEST(Credit, Ratio1Applies) {
+  CreditLedger l;
+  l.add_uploaded_to_me(PeerId{1}, 4'000'000);
+  l.add_downloaded_from_me(PeerId{1}, 4'000'000);
+  // ratio1 = 2*4/4 = 2; ratio2 = sqrt(4+2) ~ 2.45 -> min = 2.
+  EXPECT_NEAR(l.credit_modifier(PeerId{1}), 2.0, 1e-9);
+}
+
+TEST(Credit, Ratio2Applies) {
+  CreditLedger l;
+  l.add_uploaded_to_me(PeerId{1}, 7'000'000);
+  l.add_downloaded_from_me(PeerId{1}, 1);  // ratio1 huge
+  // ratio2 = sqrt(7+2) = 3.
+  EXPECT_NEAR(l.credit_modifier(PeerId{1}), 3.0, 1e-9);
+}
+
+TEST(Credit, QueueRankGrowsWithWaiting) {
+  CreditLedger l;
+  EXPECT_LT(l.queue_rank(PeerId{1}, 10.0), l.queue_rank(PeerId{1}, 20.0));
+}
+
+TEST(Credit, QueueRankRewardsUploaders) {
+  CreditLedger l;
+  l.add_uploaded_to_me(PeerId{1}, 50'000'000);
+  // Same waiting time, peer 1 has credit, peer 2 does not.
+  EXPECT_GT(l.queue_rank(PeerId{1}, 100.0), l.queue_rank(PeerId{2}, 100.0));
+}
+
+TEST(Credit, PatienceBeatsCredit) {
+  // The paper's criticism: a patient free-rider outranks a contributor,
+  // since the modifier is capped at 10x.
+  CreditLedger l;
+  l.add_uploaded_to_me(PeerId{1}, 500'000'000);
+  EXPECT_GT(l.queue_rank(PeerId{2}, 1000.0),  // waited 1000s, no credit
+            l.queue_rank(PeerId{1}, 50.0));   // waited 50s, max credit
+}
+
+TEST(Credit, TracksPerPeerVolumes) {
+  CreditLedger l;
+  l.add_uploaded_to_me(PeerId{1}, 100);
+  l.add_downloaded_from_me(PeerId{2}, 200);
+  EXPECT_EQ(l.uploaded_to_me(PeerId{1}), 100);
+  EXPECT_EQ(l.uploaded_to_me(PeerId{2}), 0);
+  EXPECT_EQ(l.downloaded_from_me(PeerId{2}), 200);
+  EXPECT_EQ(l.tracked_peers(), 2u);
+}
+
+TEST(Participation, HonestLevelIsRatio) {
+  ParticipationLevel p(false);
+  p.add_uploaded(300);
+  p.add_downloaded(100);
+  EXPECT_DOUBLE_EQ(p.honest_level(), 300.0);
+  EXPECT_DOUBLE_EQ(p.claimed_level(), 300.0);
+}
+
+TEST(Participation, LiarAlwaysClaimsMax) {
+  ParticipationLevel p(true);
+  p.add_downloaded(1'000'000);  // leeches heavily
+  EXPECT_DOUBLE_EQ(p.claimed_level(), ParticipationLevel::kMaxLevel);
+  EXPECT_LT(p.honest_level(), ParticipationLevel::kMaxLevel);
+}
+
+TEST(Participation, NewUserNeutral) {
+  const ParticipationLevel p(false);
+  EXPECT_DOUBLE_EQ(p.claimed_level(), 100.0);
+}
+
+TEST(Participation, LevelClamped) {
+  ParticipationLevel p(false);
+  p.add_uploaded(1'000'000'000);
+  p.add_downloaded(1);
+  EXPECT_DOUBLE_EQ(p.honest_level(), ParticipationLevel::kMaxLevel);
+}
+
+}  // namespace
+}  // namespace p2pex

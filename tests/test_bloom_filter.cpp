@@ -1,0 +1,106 @@
+// Tests for the Bloom filter.
+#include <gtest/gtest.h>
+
+#include "util/bloom_filter.h"
+#include "util/rng.h"
+
+namespace p2pex {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter f(1024, 4);
+  for (std::uint64_t k = 0; k < 100; ++k) f.insert(k * 7919);
+  for (std::uint64_t k = 0; k < 100; ++k)
+    EXPECT_TRUE(f.maybe_contains(k * 7919));
+}
+
+TEST(BloomFilter, EmptyContainsNothing) {
+  BloomFilter f(1024, 4);
+  for (std::uint64_t k = 1; k < 100; ++k) EXPECT_FALSE(f.maybe_contains(k));
+}
+
+TEST(BloomFilter, FppNearTarget) {
+  const double target = 0.02;
+  BloomFilter f = BloomFilter::for_items(500, target);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) f.insert(rng.next_u64());
+  int fp = 0;
+  const int probes = 50000;
+  for (int i = 0; i < probes; ++i)
+    if (f.maybe_contains(rng.next_u64())) ++fp;
+  const double rate = static_cast<double>(fp) / probes;
+  EXPECT_LT(rate, target * 2.5);
+  EXPECT_NEAR(f.estimated_fpp(), rate, 0.02);
+}
+
+TEST(BloomFilter, MergeIsUnion) {
+  BloomFilter a(512, 3), b(512, 3);
+  a.insert(1);
+  a.insert(2);
+  b.insert(3);
+  a.merge(b);
+  EXPECT_TRUE(a.maybe_contains(1));
+  EXPECT_TRUE(a.maybe_contains(2));
+  EXPECT_TRUE(a.maybe_contains(3));
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(BloomFilter, MergeRejectsDifferentGeometry) {
+  BloomFilter a(512, 3), b(512, 4), c(1024, 3);
+  EXPECT_THROW(a.merge(b), AssertionError);
+  EXPECT_THROW(a.merge(c), AssertionError);
+}
+
+TEST(BloomFilter, ClearResets) {
+  BloomFilter f(256, 2);
+  f.insert(42);
+  EXPECT_TRUE(f.maybe_contains(42));
+  f.clear();
+  EXPECT_FALSE(f.maybe_contains(42));
+  EXPECT_EQ(f.count(), 0u);
+  EXPECT_DOUBLE_EQ(f.fill_ratio(), 0.0);
+}
+
+TEST(BloomFilter, BitsRoundedToWords) {
+  BloomFilter f(100, 2);
+  EXPECT_EQ(f.bit_count() % 64, 0u);
+  EXPECT_GE(f.bit_count(), 100u);
+}
+
+TEST(BloomFilter, SerializedSizeTracksBits) {
+  BloomFilter f(640, 4);
+  EXPECT_EQ(f.serialized_size_bytes(), 640 / 8 + 8);
+}
+
+TEST(BloomFilter, FillRatioGrows) {
+  BloomFilter f(512, 3);
+  const double r0 = f.fill_ratio();
+  for (std::uint64_t k = 0; k < 50; ++k) f.insert(k);
+  EXPECT_GT(f.fill_ratio(), r0);
+  EXPECT_LE(f.fill_ratio(), 1.0);
+}
+
+TEST(BloomFilter, ForItemsSizing) {
+  // Tighter fpp => more bits.
+  const BloomFilter loose = BloomFilter::for_items(100, 0.1);
+  const BloomFilter tight = BloomFilter::for_items(100, 0.001);
+  EXPECT_GT(tight.bit_count(), loose.bit_count());
+}
+
+class BloomSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BloomSweep, InsertedKeysAlwaysFound) {
+  const std::size_t n = GetParam();
+  BloomFilter f = BloomFilter::for_items(n, 0.01);
+  Rng rng(17);
+  std::vector<std::uint64_t> keys;
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(rng.next_u64());
+  for (auto k : keys) f.insert(k);
+  for (auto k : keys) EXPECT_TRUE(f.maybe_contains(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BloomSweep,
+                         ::testing::Values(1u, 8u, 64u, 512u, 4096u));
+
+}  // namespace
+}  // namespace p2pex

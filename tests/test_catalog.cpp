@@ -1,0 +1,188 @@
+// Tests for the content catalog, interest profiles and storage.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/catalog.h"
+#include "catalog/interest.h"
+#include "catalog/storage.h"
+#include "util/assert.h"
+
+namespace p2pex {
+namespace {
+
+CatalogConfig small_config() {
+  CatalogConfig c;
+  c.num_categories = 20;
+  c.min_objects_per_category = 2;
+  c.max_objects_per_category = 10;
+  return c;
+}
+
+TEST(Catalog, CategorySizesInRange) {
+  Rng rng(1);
+  const Catalog cat(small_config(), rng);
+  EXPECT_EQ(cat.num_categories(), 20u);
+  for (std::size_t c = 0; c < cat.num_categories(); ++c) {
+    const auto size = cat.category_size(CategoryId{(std::uint32_t)c});
+    EXPECT_GE(size, 2u);
+    EXPECT_LE(size, 10u);
+  }
+}
+
+TEST(Catalog, ObjectIdsDenseAndConsistent) {
+  Rng rng(2);
+  const Catalog cat(small_config(), rng);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < cat.num_categories(); ++c) {
+    const CategoryId cid{(std::uint32_t)c};
+    for (std::size_t r = 0; r < cat.category_size(cid); ++r) {
+      const ObjectId o = cat.object_at(cid, r);
+      EXPECT_EQ(cat.category_of(o), cid);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, cat.num_objects());
+}
+
+TEST(Catalog, UniformObjectSize) {
+  Rng rng(3);
+  CatalogConfig c = small_config();
+  c.object_size = megabytes(20);
+  const Catalog cat(c, rng);
+  EXPECT_EQ(cat.object_size(ObjectId{0}), 20000000);
+}
+
+TEST(Catalog, SamplesWithinCategory) {
+  Rng rng(4);
+  const Catalog cat(small_config(), rng);
+  for (int i = 0; i < 200; ++i) {
+    const CategoryId c = cat.sample_category(rng);
+    const ObjectId o = cat.sample_object_in(c, rng);
+    EXPECT_EQ(cat.category_of(o), c);
+  }
+}
+
+TEST(Catalog, SkewedSamplingFavorsLowRanks) {
+  Rng rng(5);
+  CatalogConfig cfg = small_config();
+  cfg.num_categories = 50;
+  cfg.category_popularity_f = 1.0;
+  const Catalog cat(cfg, rng);
+  int low = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i)
+    if (cat.sample_category(rng).value < 5) ++low;
+  // Top 5 of 50 zipf categories carry far more than 10% of the mass.
+  EXPECT_GT(static_cast<double>(low) / draws, 0.25);
+}
+
+TEST(Catalog, DeterministicGivenSeed) {
+  Rng r1(7), r2(7);
+  const Catalog a(small_config(), r1);
+  const Catalog b(small_config(), r2);
+  EXPECT_EQ(a.num_objects(), b.num_objects());
+}
+
+TEST(Interest, DistinctCategories) {
+  Rng rng(8);
+  const Catalog cat(small_config(), rng);
+  const InterestProfile ip(cat, 8, rng);
+  std::set<CategoryId> uniq(ip.categories().begin(), ip.categories().end());
+  EXPECT_EQ(uniq.size(), 8u);
+}
+
+TEST(Interest, WeightsNormalized) {
+  Rng rng(9);
+  const Catalog cat(small_config(), rng);
+  const InterestProfile ip(cat, 5, rng);
+  double total = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_GT(ip.weight(i), 0.0);
+    total += ip.weight(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Interest, SamplesOnlyOwnCategories) {
+  Rng rng(10);
+  const Catalog cat(small_config(), rng);
+  const InterestProfile ip(cat, 3, rng);
+  for (int i = 0; i < 300; ++i)
+    EXPECT_TRUE(ip.interested_in(ip.sample_category(rng)));
+}
+
+TEST(Interest, RejectsTooManyCategories) {
+  Rng rng(11);
+  const Catalog cat(small_config(), rng);
+  EXPECT_THROW(InterestProfile(cat, 21, rng), AssertionError);
+  EXPECT_THROW(InterestProfile(cat, 0, rng), AssertionError);
+}
+
+TEST(Storage, AddRemoveContains) {
+  Storage s(5);
+  EXPECT_TRUE(s.add(ObjectId{1}));
+  EXPECT_FALSE(s.add(ObjectId{1}));  // duplicate
+  EXPECT_TRUE(s.contains(ObjectId{1}));
+  EXPECT_TRUE(s.remove(ObjectId{1}));
+  EXPECT_FALSE(s.remove(ObjectId{1}));
+  EXPECT_FALSE(s.contains(ObjectId{1}));
+}
+
+TEST(Storage, PinBlocksEviction) {
+  Storage s(2);
+  Rng rng(12);
+  s.add(ObjectId{1});
+  s.add(ObjectId{2});
+  s.add(ObjectId{3});
+  s.add(ObjectId{4});
+  s.pin(ObjectId{1});
+  s.pin(ObjectId{2});
+  s.pin(ObjectId{3});
+  s.pin(ObjectId{4});
+  EXPECT_TRUE(s.evict_over_capacity(rng).empty());  // everything pinned
+  s.unpin(ObjectId{3});
+  s.unpin(ObjectId{4});
+  const auto evicted = s.evict_over_capacity(rng);
+  EXPECT_EQ(evicted.size(), 2u);
+  EXPECT_TRUE(s.contains(ObjectId{1}));
+  EXPECT_TRUE(s.contains(ObjectId{2}));
+}
+
+TEST(Storage, EvictsDownToCapacity) {
+  Storage s(3);
+  Rng rng(13);
+  for (std::uint32_t i = 0; i < 10; ++i) s.add(ObjectId{i});
+  EXPECT_TRUE(s.over_capacity());
+  const auto evicted = s.evict_over_capacity(rng);
+  EXPECT_EQ(evicted.size(), 7u);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.over_capacity());
+}
+
+TEST(Storage, PinIsRefcounted) {
+  Storage s(1);
+  s.add(ObjectId{9});
+  s.pin(ObjectId{9});
+  s.pin(ObjectId{9});
+  s.unpin(ObjectId{9});
+  EXPECT_TRUE(s.pinned(ObjectId{9}));
+  s.unpin(ObjectId{9});
+  EXPECT_FALSE(s.pinned(ObjectId{9}));
+}
+
+TEST(Storage, MisusedPinsThrow) {
+  Storage s(1);
+  s.add(ObjectId{1});
+  EXPECT_THROW(s.pin(ObjectId{2}), AssertionError);     // absent
+  EXPECT_THROW(s.unpin(ObjectId{1}), AssertionError);   // not pinned
+  s.pin(ObjectId{1});
+  EXPECT_THROW(s.remove(ObjectId{1}), AssertionError);  // pinned
+}
+
+TEST(Storage, ZeroCapacityRejected) {
+  EXPECT_THROW(Storage(0), AssertionError);
+}
+
+}  // namespace
+}  // namespace p2pex

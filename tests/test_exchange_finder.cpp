@@ -1,0 +1,247 @@
+// Tests for the ring search over a synthetic request graph.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/exchange_finder.h"
+
+namespace p2pex {
+namespace {
+
+/// Hand-built request graph: edges (provider <- requester, object) plus
+/// per-root closure facts (object, providers able to close).
+class FakeGraph : public ExchangeGraphView {
+ public:
+  explicit FakeGraph(std::size_t n) : n_(n) {}
+
+  /// `requester` has a pending request for `object` at `provider`.
+  void add_request(std::uint32_t requester, std::uint32_t provider,
+                   std::uint32_t object) {
+    edges_[provider].emplace_back(PeerId{requester}, ObjectId{object});
+  }
+
+  /// `provider` owns `object` which `root` wants (and discovered).
+  void add_closure(std::uint32_t root, std::uint32_t object,
+                   std::uint32_t provider) {
+    closures_[root].emplace_back(ObjectId{object}, PeerId{provider});
+  }
+
+  std::size_t num_peers() const override { return n_; }
+
+  std::vector<PeerId> requesters_of(PeerId provider) const override {
+    std::vector<PeerId> out;
+    std::set<PeerId> seen;
+    const auto it = edges_.find(provider.value);
+    if (it == edges_.end()) return out;
+    for (const auto& [r, o] : it->second)
+      if (seen.insert(r).second) out.push_back(r);
+    return out;
+  }
+
+  ObjectId request_between(PeerId provider, PeerId requester) const override {
+    const auto it = edges_.find(provider.value);
+    if (it == edges_.end()) return ObjectId{};
+    for (const auto& [r, o] : it->second)
+      if (r == requester) return o;
+    return ObjectId{};
+  }
+
+  std::vector<ObjectId> close_objects(PeerId root,
+                                      PeerId provider) const override {
+    std::vector<ObjectId> out;
+    const auto it = closures_.find(root.value);
+    if (it == closures_.end()) return out;
+    for (const auto& [o, p] : it->second)
+      if (p == provider) out.push_back(o);
+    return out;
+  }
+
+  std::vector<std::pair<ObjectId, std::vector<PeerId>>> want_providers(
+      PeerId root) const override {
+    std::map<std::uint32_t, std::vector<PeerId>> by_object;
+    const auto it = closures_.find(root.value);
+    if (it != closures_.end())
+      for (const auto& [o, p] : it->second) by_object[o.value].push_back(p);
+    std::vector<std::pair<ObjectId, std::vector<PeerId>>> out;
+    for (auto& [o, ps] : by_object) out.emplace_back(ObjectId{o}, ps);
+    return out;
+  }
+
+ private:
+  std::size_t n_;
+  std::map<std::uint32_t, std::vector<std::pair<PeerId, ObjectId>>> edges_;
+  std::map<std::uint32_t, std::vector<std::pair<ObjectId, PeerId>>> closures_;
+};
+
+/// 0 serves 1 (o1); 1 owns o9 that 0 wants -> pairwise ring {0,1}.
+FakeGraph pairwise_graph() {
+  FakeGraph g(4);
+  g.add_request(1, 0, 1);
+  g.add_closure(0, 9, 1);
+  return g;
+}
+
+/// 0 serves 1, 1 serves 2, 2 owns o9 that 0 wants -> 3-way ring {0,1,2}.
+FakeGraph threeway_graph() {
+  FakeGraph g(4);
+  g.add_request(1, 0, 1);
+  g.add_request(2, 1, 2);
+  g.add_closure(0, 9, 2);
+  return g;
+}
+
+TEST(Finder, FindsPairwiseRing) {
+  const FakeGraph g = pairwise_graph();
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
+  const auto rings = f.find(g, PeerId{0}, 4);
+  ASSERT_EQ(rings.size(), 1u);
+  ASSERT_EQ(rings[0].size(), 2u);
+  EXPECT_TRUE(rings[0].well_formed());
+  EXPECT_EQ(rings[0].links[0].provider, PeerId{0});
+  EXPECT_EQ(rings[0].links[0].requester, PeerId{1});
+  EXPECT_EQ(rings[0].links[0].object, ObjectId{1});
+  EXPECT_EQ(rings[0].links[1].provider, PeerId{1});
+  EXPECT_EQ(rings[0].links[1].requester, PeerId{0});
+  EXPECT_EQ(rings[0].links[1].object, ObjectId{9});
+}
+
+TEST(Finder, FindsThreeWayRing) {
+  const FakeGraph g = threeway_graph();
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
+  const auto rings = f.find(g, PeerId{0}, 4);
+  ASSERT_EQ(rings.size(), 1u);
+  EXPECT_EQ(rings[0].size(), 3u);
+  EXPECT_TRUE(rings[0].well_formed());
+}
+
+TEST(Finder, RespectsRingSizeCap) {
+  const FakeGraph g = threeway_graph();
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 2, TreeMode::kFullTree);
+  EXPECT_TRUE(f.find(g, PeerId{0}, 4).empty());
+}
+
+TEST(Finder, PairwiseOnlyIgnoresLongerRings) {
+  FakeGraph g = threeway_graph();
+  g.add_closure(0, 8, 1);  // also a pairwise option via peer 1
+  ExchangeFinder f(ExchangePolicy::kPairwiseOnly, 5, TreeMode::kFullTree);
+  const auto rings = f.find(g, PeerId{0}, 4);
+  ASSERT_EQ(rings.size(), 1u);
+  EXPECT_EQ(rings[0].size(), 2u);
+}
+
+TEST(Finder, ShortestFirstPrefersPairwise) {
+  FakeGraph g = threeway_graph();
+  g.add_closure(0, 8, 1);
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
+  const auto rings = f.find(g, PeerId{0}, 8);
+  ASSERT_GE(rings.size(), 2u);
+  EXPECT_EQ(rings[0].size(), 2u);
+  EXPECT_EQ(rings[1].size(), 3u);
+}
+
+TEST(Finder, LongestFirstPrefersDeeperRings) {
+  FakeGraph g = threeway_graph();
+  g.add_closure(0, 8, 1);
+  ExchangeFinder f(ExchangePolicy::kLongestFirst, 5, TreeMode::kFullTree);
+  const auto rings = f.find(g, PeerId{0}, 8);
+  ASSERT_GE(rings.size(), 2u);
+  EXPECT_EQ(rings[0].size(), 3u);
+  EXPECT_EQ(rings[1].size(), 2u);
+}
+
+TEST(Finder, NoExchangePolicyFindsNothing) {
+  const FakeGraph g = pairwise_graph();
+  ExchangeFinder f(ExchangePolicy::kNoExchange, 5, TreeMode::kFullTree);
+  EXPECT_TRUE(f.find(g, PeerId{0}, 4).empty());
+}
+
+TEST(Finder, MaxCandidatesBounds) {
+  FakeGraph g(8);
+  // Many parallel pairwise options.
+  for (std::uint32_t p = 1; p < 7; ++p) {
+    g.add_request(p, 0, p);
+    g.add_closure(0, 20 + p, p);
+  }
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
+  EXPECT_EQ(f.find(g, PeerId{0}, 3).size(), 3u);
+}
+
+TEST(Finder, NoClosureNoRing) {
+  FakeGraph g(4);
+  g.add_request(1, 0, 1);  // someone asks 0, but nobody owns what 0 wants
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
+  EXPECT_TRUE(f.find(g, PeerId{0}, 4).empty());
+}
+
+TEST(Finder, FiveWayRingAtDepthLimit) {
+  FakeGraph g(8);
+  g.add_request(1, 0, 1);
+  g.add_request(2, 1, 2);
+  g.add_request(3, 2, 3);
+  g.add_request(4, 3, 4);
+  g.add_closure(0, 9, 4);
+  ExchangeFinder shallow(ExchangePolicy::kShortestFirst, 4,
+                         TreeMode::kFullTree);
+  EXPECT_TRUE(shallow.find(g, PeerId{0}, 4).empty());
+  ExchangeFinder deep(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
+  const auto rings = deep.find(g, PeerId{0}, 4);
+  ASSERT_EQ(rings.size(), 1u);
+  EXPECT_EQ(rings[0].size(), 5u);
+}
+
+TEST(Finder, StatsAccumulate) {
+  const FakeGraph g = pairwise_graph();
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
+  f.find(g, PeerId{0}, 4);
+  f.find(g, PeerId{0}, 4);
+  EXPECT_EQ(f.stats().searches, 2u);
+  EXPECT_EQ(f.stats().candidates, 2u);
+  EXPECT_GT(f.stats().nodes_visited, 0u);
+}
+
+// --- Bloom mode ---
+
+TEST(FinderBloom, FindsSameRingAsFullTree) {
+  const FakeGraph g = threeway_graph();
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  f.rebuild_summaries(g, 64, 0.001);  // large filters: no false positives
+  const auto rings = f.find(g, PeerId{0}, 4);
+  ASSERT_EQ(rings.size(), 1u);
+  EXPECT_EQ(rings[0].size(), 3u);
+  EXPECT_TRUE(rings[0].well_formed());
+  EXPECT_GE(f.stats().bloom_detections, 1u);
+  EXPECT_GE(f.stats().bloom_reconstructions, 1u);
+}
+
+TEST(FinderBloom, NoSummariesNoRings) {
+  const FakeGraph g = pairwise_graph();
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  EXPECT_TRUE(f.find(g, PeerId{0}, 4).empty());  // never rebuilt
+}
+
+TEST(FinderBloom, StaleSummariesMissNewEdges) {
+  FakeGraph g(4);
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  f.rebuild_summaries(g, 64, 0.001);  // built while the graph was empty
+  g.add_request(1, 0, 1);
+  g.add_closure(0, 9, 1);
+  // Closure is visible (local want list) but the level-1 summary is
+  // stale... level 1 detection uses the root's own summary, which was
+  // empty at rebuild time.
+  EXPECT_TRUE(f.find(g, PeerId{0}, 4).empty());
+  f.rebuild_summaries(g, 64, 0.001);
+  EXPECT_EQ(f.find(g, PeerId{0}, 4).size(), 1u);
+}
+
+TEST(FinderBloom, SummaryWireBytesNonZero) {
+  const FakeGraph g = pairwise_graph();
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  f.rebuild_summaries(g, 64, 0.02);
+  EXPECT_GT(f.summary_wire_bytes(PeerId{0}), 0u);
+  ExchangeFinder full(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
+  EXPECT_EQ(full.summary_wire_bytes(PeerId{0}), 0u);
+}
+
+}  // namespace
+}  // namespace p2pex

@@ -1,0 +1,218 @@
+// Model-based randomized tests: drive the IRQ, Storage and EventQueue
+// with random operation sequences and compare every observable against a
+// trivially correct reference model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "catalog/storage.h"
+#include "proto/irq.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace p2pex {
+namespace {
+
+// --- IRQ vs reference map ---
+
+class IrqFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IrqFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  const std::size_t capacity = 1 + rng.index(20);
+  IncomingRequestQueue irq(capacity);
+  // Reference: insertion-ordered vector of keys (FIFO) + state map.
+  std::vector<RequestKey> ref_order;
+  std::map<RequestKey, RequestState> ref_state;
+
+  for (int step = 0; step < 2000; ++step) {
+    const RequestKey key{PeerId{static_cast<std::uint32_t>(rng.index(6))},
+                         ObjectId{static_cast<std::uint32_t>(rng.index(6))}};
+    switch (rng.index(4)) {
+      case 0: {  // add
+        IrqEntry e;
+        e.requester = key.requester;
+        e.object = key.object;
+        const bool want_ok =
+            ref_order.size() < capacity && ref_state.count(key) == 0;
+        ASSERT_EQ(irq.add(e), want_ok) << "step " << step;
+        if (want_ok) {
+          ref_order.push_back(key);
+          ref_state[key] = RequestState::kQueued;
+        }
+        break;
+      }
+      case 1: {  // remove
+        const bool want_ok = ref_state.count(key) != 0;
+        ASSERT_EQ(irq.remove(key), want_ok) << "step " << step;
+        if (want_ok) {
+          ref_state.erase(key);
+          ref_order.erase(
+              std::find(ref_order.begin(), ref_order.end(), key));
+        }
+        break;
+      }
+      case 2: {  // mutate state of an existing entry
+        if (IrqEntry* e = irq.find(key)) {
+          ASSERT_TRUE(ref_state.count(key));
+          const auto next = static_cast<RequestState>(rng.index(3));
+          e->state = next;
+          ref_state[key] = next;
+        } else {
+          ASSERT_EQ(ref_state.count(key), 0u);
+        }
+        break;
+      }
+      case 3: {  // oldest_queued agrees with the reference FIFO
+        const IrqEntry* got = irq.oldest_queued();
+        const RequestKey* want = nullptr;
+        for (const auto& k : ref_order)
+          if (ref_state[k] == RequestState::kQueued) {
+            want = &k;
+            break;
+          }
+        if (want == nullptr) {
+          ASSERT_EQ(got, nullptr);
+        } else {
+          ASSERT_NE(got, nullptr);
+          ASSERT_EQ((RequestKey{got->requester, got->object}), *want);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(irq.size(), ref_order.size());
+    // FIFO order of entries matches the reference at every step.
+    std::size_t i = 0;
+    for (const IrqEntry& e : irq.entries()) {
+      ASSERT_EQ((RequestKey{e.requester, e.object}), ref_order[i]);
+      ++i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrqFuzz,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 5ULL, 8ULL));
+
+// --- Storage vs reference set ---
+
+class StorageFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StorageFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  const std::size_t capacity = 1 + rng.index(10);
+  Storage storage(capacity);
+  std::set<ObjectId> ref;
+  std::map<ObjectId, int> ref_pins;
+
+  for (int step = 0; step < 2000; ++step) {
+    const ObjectId o{static_cast<std::uint32_t>(rng.index(15))};
+    switch (rng.index(5)) {
+      case 0:
+        ASSERT_EQ(storage.add(o), ref.insert(o).second);
+        break;
+      case 1: {
+        const bool pinned = ref_pins.count(o) && ref_pins[o] > 0;
+        if (pinned) break;  // removing pinned objects is a contract error
+        ASSERT_EQ(storage.remove(o), ref.erase(o) != 0);
+        break;
+      }
+      case 2:
+        if (ref.count(o)) {
+          storage.pin(o);
+          ++ref_pins[o];
+        }
+        break;
+      case 3:
+        if (ref_pins.count(o) && ref_pins[o] > 0) {
+          storage.unpin(o);
+          if (--ref_pins[o] == 0) ref_pins.erase(o);
+        }
+        break;
+      case 4: {  // eviction respects pins and lands at capacity
+        const auto evicted = storage.evict_over_capacity(rng);
+        for (ObjectId e : evicted) {
+          ASSERT_TRUE(ref.count(e));
+          ASSERT_FALSE(ref_pins.count(e) && ref_pins[e] > 0);
+          ref.erase(e);
+        }
+        std::size_t pinned = 0;
+        for (const auto& [k, v] : ref_pins)
+          if (v > 0 && ref.count(k)) ++pinned;
+        ASSERT_TRUE(storage.size() <= capacity ||
+                    storage.size() <= pinned)
+            << "eviction left unpinned overflow";
+        break;
+      }
+    }
+    ASSERT_EQ(storage.size(), ref.size());
+    for (ObjectId x : ref) ASSERT_TRUE(storage.contains(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StorageFuzz,
+                         ::testing::Values(11ULL, 12ULL, 13ULL, 15ULL,
+                                           18ULL));
+
+// --- EventQueue vs reference multimap ---
+
+class EventQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueFuzz, PopsExactlyTheReferenceSchedule) {
+  Rng rng(GetParam());
+  EventQueue q;
+  // Reference: (time, seq) -> id, mirroring FIFO-within-timestamp.
+  std::map<std::pair<double, std::uint64_t>, std::uint64_t> ref;
+  std::vector<EventHandle> handles;
+  std::uint64_t seq = 0;
+  double now = 0.0;
+
+  for (int step = 0; step < 3000; ++step) {
+    switch (rng.index(3)) {
+      case 0: {  // schedule
+        const double when = now + rng.uniform_real(0.0, 100.0);
+        const EventHandle h = q.schedule(when, [] {});
+        ref[{when, seq++}] = h.id;
+        handles.push_back(h);
+        break;
+      }
+      case 1: {  // cancel a random previously issued handle
+        if (handles.empty()) break;
+        const EventHandle h = handles[rng.index(handles.size())];
+        q.cancel(h);
+        for (auto it = ref.begin(); it != ref.end(); ++it)
+          if (it->second == h.id) {
+            ref.erase(it);
+            break;
+          }
+        break;
+      }
+      case 2: {  // pop
+        ASSERT_EQ(q.empty(), ref.empty());
+        if (ref.empty()) break;
+        const auto [when, fn] = q.pop();
+        ASSERT_DOUBLE_EQ(when, ref.begin()->first.first);
+        ref.erase(ref.begin());
+        now = when;
+        break;
+      }
+    }
+    ASSERT_EQ(q.size(), ref.size());
+  }
+  // Drain: remaining events come out in exact reference order.
+  while (!ref.empty()) {
+    ASSERT_FALSE(q.empty());
+    const auto [when, fn] = q.pop();
+    ASSERT_DOUBLE_EQ(when, ref.begin()->first.first);
+    ref.erase(ref.begin());
+  }
+  ASSERT_TRUE(q.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
+                         ::testing::Values(21ULL, 22ULL, 23ULL, 25ULL,
+                                           28ULL));
+
+}  // namespace
+}  // namespace p2pex

@@ -1,0 +1,93 @@
+// Tests for the rank-based power-law sampler (the paper's popularity
+// model).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/power_law.h"
+
+namespace p2pex {
+namespace {
+
+TEST(PowerLaw, PmfSumsToOne) {
+  const PowerLawSampler s(100, 0.7);
+  double total = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) total += s.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PowerLaw, UniformAtFZero) {
+  const PowerLawSampler s(50, 0.0);
+  for (std::size_t i = 0; i < s.size(); ++i)
+    EXPECT_NEAR(s.pmf(i), 1.0 / 50.0, 1e-9);
+}
+
+TEST(PowerLaw, MonotoneDecreasingForPositiveF) {
+  const PowerLawSampler s(30, 0.5);
+  for (std::size_t i = 1; i < s.size(); ++i)
+    EXPECT_LE(s.pmf(i), s.pmf(i - 1) + 1e-12);
+}
+
+TEST(PowerLaw, ZipfRatioAtFOne) {
+  // At f=1, pmf(i) ∝ 1/(i+1): pmf(0)/pmf(1) == 2.
+  const PowerLawSampler s(100, 1.0);
+  EXPECT_NEAR(s.pmf(0) / s.pmf(1), 2.0, 1e-9);
+  EXPECT_NEAR(s.pmf(0) / s.pmf(3), 4.0, 1e-9);
+}
+
+TEST(PowerLaw, SingleRank) {
+  const PowerLawSampler s(1, 0.9);
+  Rng rng(5);
+  EXPECT_NEAR(s.pmf(0), 1.0, 1e-12);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(s.sample(rng), 0u);
+}
+
+TEST(PowerLaw, RejectsZeroRanks) {
+  EXPECT_THROW(PowerLawSampler(0, 0.2), AssertionError);
+}
+
+TEST(PowerLaw, RejectsNegativeSkew) {
+  EXPECT_THROW(PowerLawSampler(10, -0.1), AssertionError);
+}
+
+struct SweepParam {
+  std::size_t n;
+  double f;
+};
+
+class PowerLawSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PowerLawSweep, EmpiricalMatchesPmf) {
+  const auto [n, f] = GetParam();
+  const PowerLawSampler s(n, f);
+  Rng rng(99);
+  const int draws = 200000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < draws; ++i) ++counts[s.sample(rng)];
+  // Check the head of the distribution (tail bins are noisy).
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, n); ++i) {
+    const double expected = s.pmf(i);
+    const double got = static_cast<double>(counts[i]) / draws;
+    EXPECT_NEAR(got, expected, 5e-3 + expected * 0.1)
+        << "rank " << i << " n=" << n << " f=" << f;
+  }
+}
+
+TEST_P(PowerLawSweep, SamplesInRange) {
+  const auto [n, f] = GetParam();
+  const PowerLawSampler s(n, f);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(s.sample(rng), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PowerLawSweep,
+                         ::testing::Values(SweepParam{10, 0.0},
+                                           SweepParam{10, 0.2},
+                                           SweepParam{100, 0.2},
+                                           SweepParam{100, 0.8},
+                                           SweepParam{300, 1.0},
+                                           SweepParam{2, 0.5}));
+
+}  // namespace
+}  // namespace p2pex

@@ -1,0 +1,245 @@
+// Parameterized property suites: system-level invariants that must hold
+// for every (policy, scheduler, seed) combination, and randomized
+// structure properties of the ring search.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/exchange_finder.h"
+#include "core/system.h"
+#include "util/rng.h"
+
+namespace p2pex {
+namespace {
+
+struct SystemParam {
+  ExchangePolicy policy;
+  SchedulerKind scheduler;
+  TreeMode tree;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SystemParam>& info) {
+  const auto& p = info.param;
+  std::string s = to_string(p.policy) + "_" + to_string(p.scheduler) + "_" +
+                  to_string(p.tree) + "_s" + std::to_string(p.seed);
+  for (auto& c : s)
+    if (c == '-') c = '_';
+  return s;
+}
+
+class SystemProperties : public ::testing::TestWithParam<SystemParam> {
+ protected:
+  SimConfig config() const {
+    SimConfig c = SimConfig::calibrated_defaults();
+    c.num_peers = 50;
+    c.catalog.num_categories = 50;
+    c.catalog.object_size = megabytes(4);
+    c.sim_duration = 6000.0;
+    c.warmup_fraction = 0.2;
+    c.policy = GetParam().policy;
+    c.scheduler = GetParam().scheduler;
+    c.tree_mode = GetParam().tree;
+    c.seed = GetParam().seed;
+    if (c.scheduler == SchedulerKind::kParticipation) c.liar_fraction = 0.5;
+    return c;
+  }
+};
+
+TEST_P(SystemProperties, InvariantsHoldAtEveryCheckpoint) {
+  System s(config());
+  for (double t = 600.0; t <= 6000.0; t += 600.0) {
+    s.run_to(t);
+    ASSERT_NO_THROW(s.check_invariants()) << "t=" << t;
+  }
+}
+
+TEST_P(SystemProperties, BytesConservedAndProgressMade) {
+  System s(config());
+  s.run();
+  EXPECT_EQ(s.metrics().uploaded(), s.metrics().downloaded());
+  EXPECT_GT(s.counters().sessions_started, 0u);
+}
+
+TEST_P(SystemProperties, FreeloadersNeverServe) {
+  System s(config());
+  s.run();
+  for (std::uint32_t i = 0; i < s.num_peers(); ++i) {
+    const Peer& p = s.peer(PeerId{i});
+    if (!p.shares) EXPECT_EQ(p.participation.uploaded(), 0) << "peer " << i;
+  }
+}
+
+TEST_P(SystemProperties, RingCountsConsistentWithPolicy) {
+  System s(config());
+  s.run();
+  const auto& c = s.counters();
+  std::uint64_t by_size = 0;
+  for (std::size_t n = 2; n <= 8; ++n) by_size += c.rings_by_size[n];
+  EXPECT_EQ(by_size, c.rings_formed);
+  switch (GetParam().policy) {
+    case ExchangePolicy::kNoExchange:
+      EXPECT_EQ(c.rings_formed, 0u);
+      break;
+    case ExchangePolicy::kPairwiseOnly:
+      EXPECT_EQ(c.rings_formed, c.rings_by_size[2]);
+      break;
+    default:
+      for (std::size_t n = 6; n <= 8; ++n)  // default cap is 5
+        EXPECT_EQ(c.rings_by_size[n], 0u);
+  }
+}
+
+TEST_P(SystemProperties, DeterministicReplay) {
+  System a(config()), b(config());
+  a.run();
+  b.run();
+  EXPECT_EQ(a.counters().sessions_started, b.counters().sessions_started);
+  EXPECT_EQ(a.counters().rings_formed, b.counters().rings_formed);
+  EXPECT_EQ(a.metrics().uploaded(), b.metrics().uploaded());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SystemProperties,
+    ::testing::Values(
+        SystemParam{ExchangePolicy::kNoExchange, SchedulerKind::kFifo,
+                    TreeMode::kFullTree, 1},
+        SystemParam{ExchangePolicy::kPairwiseOnly, SchedulerKind::kFifo,
+                    TreeMode::kFullTree, 2},
+        SystemParam{ExchangePolicy::kShortestFirst, SchedulerKind::kFifo,
+                    TreeMode::kFullTree, 3},
+        SystemParam{ExchangePolicy::kLongestFirst, SchedulerKind::kFifo,
+                    TreeMode::kFullTree, 4},
+        SystemParam{ExchangePolicy::kShortestFirst, SchedulerKind::kFifo,
+                    TreeMode::kBloom, 5},
+        SystemParam{ExchangePolicy::kNoExchange, SchedulerKind::kCredit,
+                    TreeMode::kFullTree, 6},
+        SystemParam{ExchangePolicy::kNoExchange,
+                    SchedulerKind::kParticipation, TreeMode::kFullTree, 7},
+        SystemParam{ExchangePolicy::kShortestFirst, SchedulerKind::kCredit,
+                    TreeMode::kFullTree, 8}),
+    param_name);
+
+// --- randomized ring-search structure properties ---
+
+/// Random request graph with ground-truth closure facts.
+class RandomGraph : public ExchangeGraphView {
+ public:
+  RandomGraph(std::size_t n, std::size_t degree, std::uint64_t seed) {
+    Rng rng(seed);
+    edges_.resize(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t d = 0; d < degree; ++d) {
+        const PeerId r{static_cast<std::uint32_t>(rng.index(n))};
+        if (r.value == p) continue;
+        edges_[p].emplace_back(
+            r, ObjectId{static_cast<std::uint32_t>(rng.index(500))});
+      }
+      if (rng.chance(0.3)) {
+        closures_[static_cast<std::uint32_t>(rng.index(n))].emplace_back(
+            ObjectId{static_cast<std::uint32_t>(500 + p)},
+            PeerId{static_cast<std::uint32_t>(p)});
+      }
+    }
+  }
+
+  std::size_t num_peers() const override { return edges_.size(); }
+  std::vector<PeerId> requesters_of(PeerId p) const override {
+    std::vector<PeerId> out;
+    std::vector<bool> seen(edges_.size(), false);
+    for (const auto& [r, o] : edges_[p.value])
+      if (!seen[r.value]) {
+        seen[r.value] = true;
+        out.push_back(r);
+      }
+    return out;
+  }
+  ObjectId request_between(PeerId p, PeerId r) const override {
+    for (const auto& [req, o] : edges_[p.value])
+      if (req == r) return o;
+    return ObjectId{};
+  }
+  std::vector<ObjectId> close_objects(PeerId root,
+                                      PeerId provider) const override {
+    std::vector<ObjectId> out;
+    const auto it = closures_.find(root.value);
+    if (it == closures_.end()) return out;
+    for (const auto& [o, p] : it->second)
+      if (p == provider) out.push_back(o);
+    return out;
+  }
+  std::vector<std::pair<ObjectId, std::vector<PeerId>>> want_providers(
+      PeerId root) const override {
+    std::vector<std::pair<ObjectId, std::vector<PeerId>>> out;
+    const auto it = closures_.find(root.value);
+    if (it == closures_.end()) return out;
+    for (const auto& [o, p] : it->second) out.push_back({o, {p}});
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<std::pair<PeerId, ObjectId>>> edges_;
+  std::map<std::uint32_t, std::vector<std::pair<ObjectId, PeerId>>> closures_;
+};
+
+class FinderProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FinderProperties, AllProposalsWellFormedAndBounded) {
+  const RandomGraph g(40, 4, GetParam());
+  for (auto policy : {ExchangePolicy::kPairwiseOnly,
+                      ExchangePolicy::kShortestFirst,
+                      ExchangePolicy::kLongestFirst}) {
+    ExchangeFinder f(policy, 5, TreeMode::kFullTree);
+    for (std::uint32_t root = 0; root < 40; ++root) {
+      for (const RingProposal& ring : f.find(g, PeerId{root}, 8)) {
+        EXPECT_TRUE(ring.well_formed());
+        EXPECT_GE(ring.size(), 2u);
+        EXPECT_LE(ring.size(), policy == ExchangePolicy::kPairwiseOnly
+                                   ? 2u
+                                   : 5u);
+        EXPECT_EQ(ring.links.front().provider, PeerId{root});
+        EXPECT_EQ(ring.links.back().requester, PeerId{root});
+        // Every non-closing link must be a real request edge.
+        for (std::size_t i = 0; i + 1 < ring.links.size(); ++i)
+          EXPECT_EQ(g.request_between(ring.links[i].provider,
+                                      ring.links[i].requester),
+                    ring.links[i].object);
+      }
+    }
+  }
+}
+
+TEST_P(FinderProperties, PolicyOrderingRespected) {
+  const RandomGraph g(40, 4, GetParam());
+  ExchangeFinder shortest(ExchangePolicy::kShortestFirst, 5,
+                          TreeMode::kFullTree);
+  ExchangeFinder longest(ExchangePolicy::kLongestFirst, 5,
+                         TreeMode::kFullTree);
+  for (std::uint32_t root = 0; root < 40; ++root) {
+    const auto s = shortest.find(g, PeerId{root}, 8);
+    for (std::size_t i = 1; i < s.size(); ++i)
+      EXPECT_LE(s[i - 1].size(), s[i].size());
+    const auto l = longest.find(g, PeerId{root}, 8);
+    for (std::size_t i = 1; i < l.size(); ++i)
+      EXPECT_GE(l[i - 1].size(), l[i].size());
+  }
+}
+
+TEST_P(FinderProperties, BloomModeProposalsAlsoWellFormed) {
+  const RandomGraph g(40, 4, GetParam());
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  f.rebuild_summaries(g, 32, 0.05);  // deliberately small: false positives
+  for (std::uint32_t root = 0; root < 40; ++root) {
+    for (const RingProposal& ring : f.find(g, PeerId{root}, 8)) {
+      EXPECT_TRUE(ring.well_formed());
+      EXPECT_LE(ring.size(), 5u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FinderProperties,
+                         ::testing::Values(1ULL, 7ULL, 21ULL, 99ULL,
+                                           1234ULL));
+
+}  // namespace
+}  // namespace p2pex

@@ -1,0 +1,87 @@
+// Tests for the run-report formatter.
+#include <gtest/gtest.h>
+
+#include "metrics/report.h"
+
+namespace p2pex {
+namespace {
+
+MetricsCollector sample_metrics() {
+  MetricsCollector m(0.0);
+  DownloadRecord d;
+  d.peer = PeerId{1};
+  d.object = ObjectId{1};
+  d.bytes = 100;
+  d.peer_shares = true;
+  d.issue_time = 0;
+  d.complete_time = 120;
+  m.record_download(d);
+  d.peer_shares = false;
+  d.complete_time = 360;
+  m.record_download(d);
+
+  SessionRecord s;
+  s.provider = PeerId{1};
+  s.requester = PeerId{2};
+  s.object = ObjectId{3};
+  s.request_time = 0;
+  s.start_time = 30;
+  s.end_time = 90;
+  s.bytes = 5'000'000;
+  s.type = SessionType{0};
+  m.record_session(s);
+  s.type = SessionType{2};
+  s.bytes = 12'000'000;
+  m.record_session(s);
+  return m;
+}
+
+TEST(Report, SummaryLineContainsHeadlines) {
+  const std::string line = format_summary_line(sample_metrics());
+  EXPECT_NE(line.find("sharing 2.0 min"), std::string::npos);
+  EXPECT_NE(line.find("non-sharing 6.0 min"), std::string::npos);
+  EXPECT_NE(line.find("ratio 3.00"), std::string::npos);
+  EXPECT_NE(line.find("exchange 50.0%"), std::string::npos);
+  EXPECT_NE(line.find("2 downloads"), std::string::npos);
+}
+
+TEST(Report, FullReportHasAllSections) {
+  const std::string report = format_report(sample_metrics());
+  EXPECT_NE(report.find("-- download times --"), std::string::npos);
+  EXPECT_NE(report.find("-- session mix"), std::string::npos);
+  EXPECT_NE(report.find("-- per-session transfer volume --"),
+            std::string::npos);
+  EXPECT_NE(report.find("-- waiting time"), std::string::npos);
+  EXPECT_NE(report.find("pairwise"), std::string::npos);
+  EXPECT_NE(report.find("non-exchange"), std::string::npos);
+}
+
+TEST(Report, SectionsToggleOff) {
+  ReportOptions opt;
+  opt.session_mix = false;
+  opt.per_type_volume = false;
+  opt.per_type_waiting = false;
+  const std::string report = format_report(sample_metrics(), opt);
+  EXPECT_NE(report.find("-- download times --"), std::string::npos);
+  EXPECT_EQ(report.find("-- session mix"), std::string::npos);
+  EXPECT_EQ(report.find("-- per-session transfer volume --"),
+            std::string::npos);
+}
+
+TEST(Report, CdfSectionsWhenRequested) {
+  ReportOptions opt;
+  opt.cdf_points = 5;
+  const std::string report = format_report(sample_metrics(), opt);
+  EXPECT_NE(report.find("-- volume CDF: pairwise --"), std::string::npos);
+}
+
+TEST(Report, EmptyMetricsRenderWithoutCrashing) {
+  const MetricsCollector empty(0.0);
+  const std::string report = format_report(empty);
+  EXPECT_NE(report.find("-- download times --"), std::string::npos);
+  EXPECT_NE(format_summary_line(empty).find("0 downloads"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2pex

@@ -1,0 +1,144 @@
+// Tests for the deterministic PRNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+
+namespace p2pex {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(-3, 12);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 12);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng r(7);
+  EXPECT_THROW(r.uniform_int(2, 1), AssertionError);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng r(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng r(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (r.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleReturnsDistinctElements) {
+  Rng r(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto s = r.sample(v, 3);
+  ASSERT_EQ(s.size(), 3u);
+  std::set<int> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(Rng, SampleMoreThanSizeReturnsAll) {
+  Rng r(19);
+  std::vector<int> v{1, 2, 3};
+  const auto s = r.sample(v, 10);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(Rng, PickRejectsEmpty) {
+  Rng r(1);
+  std::vector<int> empty;
+  EXPECT_THROW(r.pick(empty), AssertionError);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(42);
+  Rng b = a.fork();
+  // Forked stream differs from parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, IndexAlwaysInBounds) {
+  Rng r(GetParam());
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.index(7), 7u);
+}
+
+TEST_P(RngSeedSweep, Reproducible) {
+  Rng a(GetParam()), b(GetParam());
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xDEADBEEFULL,
+                                           UINT64_MAX));
+
+}  // namespace
+}  // namespace p2pex

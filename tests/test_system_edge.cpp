@@ -1,0 +1,164 @@
+// Edge-case system configurations: extreme population mixes, minimal
+// capacities, tiny catalogs (interest exhaustion), single-slot peers.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace p2pex {
+namespace {
+
+SimConfig tiny_base(std::uint64_t seed = 17) {
+  SimConfig c = SimConfig::calibrated_defaults();
+  c.num_peers = 40;
+  c.catalog.num_categories = 40;
+  c.catalog.object_size = megabytes(4);
+  c.sim_duration = 6000.0;
+  c.warmup_fraction = 0.2;
+  c.seed = seed;
+  return c;
+}
+
+TEST(SystemEdge, EveryoneShares) {
+  SimConfig cfg = tiny_base();
+  cfg.nonsharing_fraction = 0.0;
+  System s(cfg);
+  s.run();
+  ASSERT_NO_THROW(s.check_invariants());
+  EXPECT_EQ(s.num_sharing(), 40u);
+  EXPECT_GT(s.counters().downloads_completed, 0u);
+  EXPECT_EQ(s.metrics().downloads_nonsharing(), 0u);
+}
+
+TEST(SystemEdge, NobodyShares) {
+  SimConfig cfg = tiny_base();
+  cfg.nonsharing_fraction = 1.0;
+  System s(cfg);
+  s.run();
+  ASSERT_NO_THROW(s.check_invariants());
+  // No owners are reachable: nothing transfers, nothing crashes.
+  EXPECT_EQ(s.counters().sessions_started, 0u);
+  EXPECT_EQ(s.metrics().uploaded(), 0);
+  EXPECT_GT(s.counters().lookup_failures, 0u);
+}
+
+TEST(SystemEdge, SingleUploadSlot) {
+  SimConfig cfg = tiny_base();
+  cfg.upload_capacity_kbps = 10.0;  // exactly one slot per peer
+  System s(cfg);
+  s.run();
+  ASSERT_NO_THROW(s.check_invariants());
+  EXPECT_GT(s.counters().sessions_started, 0u);
+}
+
+TEST(SystemEdge, MaxPendingOne) {
+  SimConfig cfg = tiny_base();
+  cfg.max_pending = 1;
+  System s(cfg);
+  s.run();
+  ASSERT_NO_THROW(s.check_invariants());
+  for (std::uint32_t i = 0; i < s.num_peers(); ++i)
+    EXPECT_LE(s.peer(PeerId{i}).pending_list.size(), 1u);
+}
+
+TEST(SystemEdge, InterestExhaustionRecovers) {
+  // A catalog small enough that peers run out of new objects to want:
+  // the retry path must keep the loop alive without spinning.
+  SimConfig cfg = tiny_base();
+  cfg.catalog.num_categories = 10;
+  cfg.catalog.min_objects_per_category = 1;
+  cfg.catalog.max_objects_per_category = 4;
+  cfg.max_categories_per_peer = 3;
+  cfg.max_storage_objects = 40;  // room to hold everything interesting
+  System s(cfg);
+  s.run();
+  ASSERT_NO_THROW(s.check_invariants());
+  EXPECT_GT(s.counters().downloads_completed, 0u);
+}
+
+TEST(SystemEdge, TinyIrqDropsExcessRegistrations) {
+  SimConfig cfg = tiny_base();
+  cfg.irq_capacity = 2;
+  System s(cfg);
+  s.run();
+  ASSERT_NO_THROW(s.check_invariants());
+  for (std::uint32_t i = 0; i < s.num_peers(); ++i)
+    EXPECT_LE(s.peer(PeerId{i}).irq.size(), 2u);
+}
+
+TEST(SystemEdge, HugeRingCapStillBounded) {
+  SimConfig cfg = tiny_base();
+  cfg.policy = ExchangePolicy::kLongestFirst;
+  cfg.max_ring_size = 8;
+  System s(cfg);
+  s.run();
+  ASSERT_NO_THROW(s.check_invariants());
+}
+
+TEST(SystemEdge, FrequentEvictionAndSearchSweeps) {
+  SimConfig cfg = tiny_base();
+  cfg.eviction_interval = 5.0;
+  cfg.search_interval = 5.0;
+  System s(cfg);
+  s.run();
+  ASSERT_NO_THROW(s.check_invariants());
+  EXPECT_GT(s.counters().downloads_completed, 0u);
+}
+
+TEST(SystemEdge, SmallStorageChurnsOwnership) {
+  SimConfig cfg = tiny_base();
+  cfg.min_storage_objects = 2;
+  cfg.max_storage_objects = 4;
+  cfg.initial_fill_fraction = 1.0;  // start full: every completion evicts
+  System s(cfg);
+  s.run();
+  ASSERT_NO_THROW(s.check_invariants());
+  for (std::uint32_t i = 0; i < s.num_peers(); ++i) {
+    const Peer& p = s.peer(PeerId{i});
+    // Over-capacity intervals are transient (between eviction sweeps).
+    EXPECT_LE(p.storage.size(), p.storage.capacity() + cfg.max_pending);
+  }
+}
+
+TEST(SystemEdge, BloomWithAggressiveFalsePositives) {
+  SimConfig cfg = tiny_base();
+  cfg.tree_mode = TreeMode::kBloom;
+  cfg.bloom_expected_per_level = 4;  // undersized filters: many FPs
+  cfg.bloom_fpp = 0.2;
+  System s(cfg);
+  s.run();
+  ASSERT_NO_THROW(s.check_invariants());
+  // False positives cost dead-end walks but never malformed rings.
+  EXPECT_EQ(s.metrics().uploaded(), s.metrics().downloaded());
+}
+
+TEST(SystemEdge, ZeroWarmupRecordsEverything) {
+  SimConfig cfg = tiny_base();
+  cfg.warmup_fraction = 0.0;
+  System s(cfg);
+  s.run();
+  EXPECT_GT(s.metrics().session_count(), 0u);
+}
+
+TEST(SystemEdge, PairwiseOnlyWithPreemptionOff) {
+  SimConfig cfg = tiny_base();
+  cfg.policy = ExchangePolicy::kPairwiseOnly;
+  cfg.preemption = false;
+  System s(cfg);
+  s.run();
+  ASSERT_NO_THROW(s.check_invariants());
+  EXPECT_EQ(s.counters().preemptions, 0u);
+}
+
+TEST(SystemEdge, RunToIncrementsAreExact) {
+  SimConfig cfg = tiny_base();
+  System s(cfg);
+  s.run_to(1000.0);
+  EXPECT_DOUBLE_EQ(s.now(), 1000.0);
+  s.run_to(1000.0);  // no-op
+  EXPECT_DOUBLE_EQ(s.now(), 1000.0);
+  s.run_to(2500.0);
+  EXPECT_DOUBLE_EQ(s.now(), 2500.0);
+}
+
+}  // namespace
+}  // namespace p2pex

@@ -1,0 +1,108 @@
+// Consistency of the live ExchangeGraphView a running System exposes:
+// every fact the ring search consumes must be backed by real state.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/system.h"
+
+namespace p2pex {
+namespace {
+
+SimConfig view_config() {
+  SimConfig c = SimConfig::calibrated_defaults();
+  c.num_peers = 50;
+  c.catalog.num_categories = 50;
+  c.catalog.object_size = megabytes(4);
+  c.sim_duration = 4000.0;
+  c.warmup_fraction = 0.1;
+  c.seed = 77;
+  return c;
+}
+
+class SystemViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    system_ = std::make_unique<System>(view_config());
+    system_->run_to(2000.0);  // mid-run: live queues and sessions
+  }
+  std::unique_ptr<System> system_;
+};
+
+TEST_F(SystemViewTest, RequestersAreBackedByUsableEntries) {
+  for (std::uint32_t p = 0; p < system_->num_peers(); ++p) {
+    const PeerId provider{p};
+    for (PeerId r : system_->requesters_of(provider)) {
+      // An edge implies a usable (non-ring-bound) entry whose object the
+      // provider can actually produce.
+      const ObjectId o = system_->request_between(provider, r);
+      ASSERT_TRUE(o.valid());
+      const IrqEntry* e =
+          system_->peer(provider).irq.find(RequestKey{r, o});
+      ASSERT_NE(e, nullptr);
+      EXPECT_NE(e->state, RequestState::kActiveExchange);
+      EXPECT_TRUE(system_->peer(provider).storage.contains(o));
+      EXPECT_TRUE(system_->peer(r).online);
+    }
+  }
+}
+
+TEST_F(SystemViewTest, RequestBetweenReturnsInvalidForStrangers) {
+  // A peer that never requested anything from another yields no edge.
+  std::size_t checked = 0;
+  for (std::uint32_t p = 0; p < system_->num_peers() && checked < 50; ++p) {
+    const PeerId provider{p};
+    const auto requesters = system_->requesters_of(provider);
+    for (std::uint32_t r = 0; r < system_->num_peers(); ++r) {
+      if (std::find(requesters.begin(), requesters.end(), PeerId{r}) !=
+          requesters.end())
+        continue;
+      const ObjectId o = system_->request_between(provider, PeerId{r});
+      // No usable entry -> invalid object (ring-bound entries excluded).
+      if (o.valid()) {
+        const IrqEntry* e =
+            system_->peer(provider).irq.find(RequestKey{PeerId{r}, o});
+        ASSERT_NE(e, nullptr);
+      }
+      ++checked;
+    }
+  }
+}
+
+TEST_F(SystemViewTest, CloseObjectsAreGenuinelyClosable) {
+  for (std::uint32_t root = 0; root < system_->num_peers(); ++root) {
+    for (std::uint32_t prov = 0; prov < system_->num_peers(); ++prov) {
+      if (root == prov) continue;
+      for (ObjectId o :
+           system_->close_objects(PeerId{root}, PeerId{prov})) {
+        const Peer& r = system_->peer(PeerId{root});
+        const Peer& p = system_->peer(PeerId{prov});
+        EXPECT_TRUE(p.shares && p.online);
+        EXPECT_TRUE(p.storage.contains(o));
+        EXPECT_TRUE(r.pending.count(o)) << "root does not want " << o.value;
+      }
+    }
+  }
+}
+
+TEST_F(SystemViewTest, WantProvidersSortedAndOwning) {
+  for (std::uint32_t root = 0; root < system_->num_peers(); ++root) {
+    for (const auto& [object, providers] :
+         system_->want_providers(PeerId{root})) {
+      EXPECT_TRUE(std::is_sorted(providers.begin(), providers.end()));
+      EXPECT_TRUE(system_->peer(PeerId{root}).pending.count(object));
+      for (PeerId p : providers)
+        EXPECT_TRUE(system_->peer(p).storage.contains(object));
+    }
+  }
+}
+
+TEST_F(SystemViewTest, TreeBytesReflectLoad) {
+  const double mid = system_->mean_request_tree_bytes();
+  EXPECT_GT(mid, 0.0);
+  // Even an empty tree costs one node (the root) on the wire.
+  EXPECT_GE(mid, 41.0);
+}
+
+}  // namespace
+}  // namespace p2pex

@@ -1,0 +1,52 @@
+// Tests for the table/CSV emitters.
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+#include "util/assert.h"
+
+namespace p2pex {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), AssertionError);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"x,y", "2"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_EQ(csv.find("\"2\""), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderAndRows) {
+  TablePrinter t({"h1", "h2"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "h1,h2\n1,2\n3,4\n");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(TablePrinter({}), AssertionError);
+}
+
+}  // namespace
+}  // namespace p2pex
