@@ -18,12 +18,17 @@ void Simulator::schedule_periodic(SimTime period, std::function<void()> fn) {
   P2PEX_ASSERT_MSG(period > 0.0, "non-positive period");
   auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
   // Self-rescheduling wrapper; stops once past the run horizon so that
-  // run_until() terminates and destruction is clean.
+  // run_until() terminates and destruction is clean. The simulator holds
+  // the only strong reference to the wrapper — the lambda captures a weak
+  // one, since a shared self-capture would be an unreclaimable cycle.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, shared_fn, tick]() {
+  *tick = [this, period, shared_fn,
+           weak = std::weak_ptr<std::function<void()>>(tick)]() {
     (*shared_fn)();
-    if (now_ + period <= horizon_) queue_.schedule(now_ + period, *tick);
+    if (now_ + period > horizon_) return;
+    if (auto self = weak.lock()) queue_.schedule(now_ + period, *self);
   };
+  periodic_ticks_.push_back(tick);
   queue_.schedule(now_ + period, *tick);
 }
 

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "util/types.h"
@@ -31,10 +33,10 @@ class Simulator {
   /// Cancels a pending event (no-op if it already fired).
   void cancel(EventHandle h) { queue_.cancel(h); }
 
-  /// Schedules `fn` every `period` seconds, first firing at now()+period,
-  /// until the simulation ends. Returns a handle to the *current* pending
-  /// occurrence only; periodic tasks cannot be cancelled individually and
-  /// simply stop when the run ends.
+  /// Schedules `fn` every `period` seconds, first firing at now()+period.
+  /// Periodic tasks cannot be cancelled individually; they stop
+  /// rescheduling once the next occurrence would fall past the run
+  /// horizon, and live as long as the simulator.
   void schedule_periodic(SimTime period, std::function<void()> fn);
 
   /// Runs events until the queue empties or the next event is after
@@ -52,6 +54,9 @@ class Simulator {
 
  private:
   EventQueue queue_;
+  /// Strong owners of the periodic self-rescheduling wrappers (their
+  /// lambdas capture themselves weakly); one entry per periodic task.
+  std::vector<std::shared_ptr<std::function<void()>>> periodic_ticks_;
   SimTime now_ = 0.0;
   SimTime horizon_ = 0.0;  // periodic tasks stop rescheduling past this
   std::uint64_t processed_ = 0;

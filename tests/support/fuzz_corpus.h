@@ -1,0 +1,30 @@
+// Fixed seed corpus for the model-based fuzz suites. Seeds live here —
+// not inline in the test files — so the corpus is grown in one place and
+// every seed registers as its own CTest case via gtest parameterization.
+//
+// Growing the corpus: append seeds (never reorder or remove — CTest case
+// names encode the seed value, and history should stay comparable).
+#pragma once
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace p2pex::test {
+
+inline constexpr std::uint64_t kIrqFuzzSeeds[] = {1, 2, 3, 5, 8, 13, 34};
+
+inline constexpr std::uint64_t kStorageFuzzSeeds[] = {11, 12, 13, 15, 18,
+                                                      29, 47};
+
+inline constexpr std::uint64_t kEventQueueFuzzSeeds[] = {21, 22, 23, 25, 28,
+                                                         41, 66};
+
+/// Names a parameterized fuzz instance "seed<N>" so the CTest case list
+/// reads as the corpus itself.
+inline std::string fuzz_seed_name(
+    const ::testing::TestParamInfo<std::uint64_t>& info) {
+  return "seed" + std::to_string(info.param);
+}
+
+}  // namespace p2pex::test

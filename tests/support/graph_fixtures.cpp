@@ -1,0 +1,151 @@
+#include "support/graph_fixtures.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+
+namespace p2pex::test {
+
+void ScriptedGraph::add_request(std::uint32_t requester,
+                                std::uint32_t provider,
+                                std::uint32_t object) {
+  edges_[provider].emplace_back(PeerId{requester}, ObjectId{object});
+}
+
+void ScriptedGraph::add_closure(std::uint32_t root, std::uint32_t object,
+                                std::uint32_t provider) {
+  closures_[root].emplace_back(ObjectId{object}, PeerId{provider});
+}
+
+void ScriptedGraph::remove_request(std::uint32_t requester,
+                                   std::uint32_t provider) {
+  const auto it = edges_.find(provider);
+  if (it == edges_.end()) return;
+  std::erase_if(it->second, [&](const auto& e) {
+    return e.first == PeerId{requester};
+  });
+}
+
+void ScriptedGraph::clear_closures(std::uint32_t root) {
+  closures_.erase(root);
+}
+
+std::vector<PeerId> ScriptedGraph::requesters_of(PeerId provider) const {
+  std::vector<PeerId> out;
+  std::set<PeerId> seen;
+  const auto it = edges_.find(provider.value);
+  if (it == edges_.end()) return out;
+  for (const auto& [r, o] : it->second)
+    if (seen.insert(r).second) out.push_back(r);
+  return out;
+}
+
+ObjectId ScriptedGraph::request_between(PeerId provider,
+                                        PeerId requester) const {
+  const auto it = edges_.find(provider.value);
+  if (it == edges_.end()) return ObjectId{};
+  for (const auto& [r, o] : it->second)
+    if (r == requester) return o;
+  return ObjectId{};
+}
+
+std::vector<ObjectId> ScriptedGraph::close_objects(PeerId root,
+                                                   PeerId provider) const {
+  std::vector<ObjectId> out;
+  const auto it = closures_.find(root.value);
+  if (it == closures_.end()) return out;
+  for (const auto& [o, p] : it->second)
+    if (p == provider) out.push_back(o);
+  return out;
+}
+
+std::vector<std::pair<ObjectId, std::vector<PeerId>>>
+ScriptedGraph::want_providers(PeerId root) const {
+  std::map<std::uint32_t, std::vector<PeerId>> by_object;
+  const auto it = closures_.find(root.value);
+  if (it != closures_.end())
+    for (const auto& [o, p] : it->second) by_object[o.value].push_back(p);
+  std::vector<std::pair<ObjectId, std::vector<PeerId>>> out;
+  for (auto& [o, ps] : by_object) out.emplace_back(ObjectId{o}, ps);
+  return out;
+}
+
+ScriptedGraph pairwise_graph() {
+  ScriptedGraph g(4);
+  g.add_request(1, 0, 1);
+  g.add_closure(0, 9, 1);
+  return g;
+}
+
+ScriptedGraph threeway_graph() {
+  ScriptedGraph g(4);
+  g.add_request(1, 0, 1);
+  g.add_request(2, 1, 2);
+  g.add_closure(0, 9, 2);
+  return g;
+}
+
+ScriptedGraph chain_graph(std::uint32_t n) {
+  ScriptedGraph g(n + 1);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) g.add_request(i + 1, i, i + 1);
+  g.add_closure(0, 9, n - 1);
+  return g;
+}
+
+RandomRequestGraph::RandomRequestGraph(std::size_t n, std::size_t degree,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  edges_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t d = 0; d < degree; ++d) {
+      const PeerId r{static_cast<std::uint32_t>(rng.index(n))};
+      if (r.value == p) continue;
+      edges_[p].emplace_back(
+          r, ObjectId{static_cast<std::uint32_t>(rng.index(500))});
+    }
+    if (rng.chance(0.3)) {
+      closures_[static_cast<std::uint32_t>(rng.index(n))].emplace_back(
+          ObjectId{static_cast<std::uint32_t>(500 + p)},
+          PeerId{static_cast<std::uint32_t>(p)});
+    }
+  }
+}
+
+std::vector<PeerId> RandomRequestGraph::requesters_of(PeerId p) const {
+  std::vector<PeerId> out;
+  std::vector<bool> seen(edges_.size(), false);
+  for (const auto& [r, o] : edges_[p.value])
+    if (!seen[r.value]) {
+      seen[r.value] = true;
+      out.push_back(r);
+    }
+  return out;
+}
+
+ObjectId RandomRequestGraph::request_between(PeerId p, PeerId r) const {
+  for (const auto& [req, o] : edges_[p.value])
+    if (req == r) return o;
+  return ObjectId{};
+}
+
+std::vector<ObjectId> RandomRequestGraph::close_objects(
+    PeerId root, PeerId provider) const {
+  std::vector<ObjectId> out;
+  const auto it = closures_.find(root.value);
+  if (it == closures_.end()) return out;
+  for (const auto& [o, p] : it->second)
+    if (p == provider) out.push_back(o);
+  return out;
+}
+
+std::vector<std::pair<ObjectId, std::vector<PeerId>>>
+RandomRequestGraph::want_providers(PeerId root) const {
+  std::vector<std::pair<ObjectId, std::vector<PeerId>>> out;
+  const auto it = closures_.find(root.value);
+  if (it == closures_.end()) return out;
+  for (const auto& [o, p] : it->second) out.push_back({o, {p}});
+  return out;
+}
+
+}  // namespace p2pex::test

@@ -1,0 +1,77 @@
+// Hand-built and randomized ExchangeGraphView fixtures shared by the
+// ring-search tests (finder unit tests, Bloom-mode edge cases, property
+// suites).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/exchange_finder.h"
+
+namespace p2pex::test {
+
+/// Hand-built request graph: edges (provider <- requester, object) plus
+/// per-root closure facts (object, providers able to close).
+class ScriptedGraph : public ExchangeGraphView {
+ public:
+  explicit ScriptedGraph(std::size_t n) : n_(n) {}
+
+  /// `requester` has a pending request for `object` at `provider`.
+  void add_request(std::uint32_t requester, std::uint32_t provider,
+                   std::uint32_t object);
+
+  /// `provider` owns `object` which `root` wants (and discovered).
+  void add_closure(std::uint32_t root, std::uint32_t object,
+                   std::uint32_t provider);
+
+  /// Drop the request edge provider <- requester (e.g. request served).
+  void remove_request(std::uint32_t requester, std::uint32_t provider);
+
+  /// Drop every closure fact of `root` (e.g. want list satisfied).
+  void clear_closures(std::uint32_t root);
+
+  std::size_t num_peers() const override { return n_; }
+  std::vector<PeerId> requesters_of(PeerId provider) const override;
+  ObjectId request_between(PeerId provider, PeerId requester) const override;
+  std::vector<ObjectId> close_objects(PeerId root,
+                                      PeerId provider) const override;
+  std::vector<std::pair<ObjectId, std::vector<PeerId>>> want_providers(
+      PeerId root) const override;
+
+ private:
+  std::size_t n_;
+  std::map<std::uint32_t, std::vector<std::pair<PeerId, ObjectId>>> edges_;
+  std::map<std::uint32_t, std::vector<std::pair<ObjectId, PeerId>>> closures_;
+};
+
+/// 0 serves 1 (o1); 1 owns o9 that 0 wants -> pairwise ring {0,1}.
+ScriptedGraph pairwise_graph();
+
+/// 0 serves 1, 1 serves 2, 2 owns o9 that 0 wants -> 3-way ring {0,1,2}.
+ScriptedGraph threeway_graph();
+
+/// 0 serves 1 serves ... serves n-1; n-1 owns o9 that 0 wants -> n-way
+/// ring {0..n-1}. Requires n >= 2.
+ScriptedGraph chain_graph(std::uint32_t n);
+
+/// Random request graph with ground-truth closure facts (seeded).
+class RandomRequestGraph : public ExchangeGraphView {
+ public:
+  RandomRequestGraph(std::size_t n, std::size_t degree, std::uint64_t seed);
+
+  std::size_t num_peers() const override { return edges_.size(); }
+  std::vector<PeerId> requesters_of(PeerId p) const override;
+  ObjectId request_between(PeerId p, PeerId r) const override;
+  std::vector<ObjectId> close_objects(PeerId root,
+                                      PeerId provider) const override;
+  std::vector<std::pair<ObjectId, std::vector<PeerId>>> want_providers(
+      PeerId root) const override;
+
+ private:
+  std::vector<std::vector<std::pair<PeerId, ObjectId>>> edges_;
+  std::map<std::uint32_t, std::vector<std::pair<ObjectId, PeerId>>> closures_;
+};
+
+}  // namespace p2pex::test

@@ -1,0 +1,109 @@
+#include "support/scenario.h"
+
+namespace p2pex::test {
+
+Scenario::Scenario(std::size_t peers, double duration, double warmup,
+                   std::uint64_t seed) {
+  cfg_ = SimConfig::calibrated_defaults();
+  cfg_.num_peers = peers;
+  cfg_.catalog.num_categories = peers;
+  cfg_.catalog.object_size = megabytes(4);
+  cfg_.sim_duration = duration;
+  cfg_.warmup_fraction = warmup;
+  cfg_.seed = seed;
+}
+
+Scenario Scenario::tiny(std::uint64_t seed) {
+  return Scenario(40, 6000.0, 0.2, seed);
+}
+
+Scenario Scenario::small(std::uint64_t seed) {
+  return Scenario(60, 9000.0, 0.2, seed);
+}
+
+Scenario Scenario::property(std::uint64_t seed) {
+  return Scenario(50, 6000.0, 0.2, seed);
+}
+
+Scenario Scenario::view(std::uint64_t seed) {
+  return Scenario(50, 4000.0, 0.1, seed);
+}
+
+Scenario Scenario::medium(std::uint64_t seed) {
+  Scenario s(100, 60000.0, 0.35, seed);
+  s.cfg_.catalog.object_size = megabytes(10);
+  return s;
+}
+
+Scenario& Scenario::peers(std::size_t n) {
+  cfg_.num_peers = n;
+  cfg_.catalog.num_categories = n;
+  return *this;
+}
+
+Scenario& Scenario::policy(ExchangePolicy p) {
+  cfg_.policy = p;
+  return *this;
+}
+
+Scenario& Scenario::scheduler(SchedulerKind k) {
+  cfg_.scheduler = k;
+  return *this;
+}
+
+Scenario& Scenario::tree(TreeMode m) {
+  cfg_.tree_mode = m;
+  return *this;
+}
+
+Scenario& Scenario::seed(std::uint64_t s) {
+  cfg_.seed = s;
+  return *this;
+}
+
+Scenario& Scenario::duration(double seconds) {
+  cfg_.sim_duration = seconds;
+  return *this;
+}
+
+Scenario& Scenario::warmup(double fraction) {
+  cfg_.warmup_fraction = fraction;
+  return *this;
+}
+
+Scenario& Scenario::object_size(Bytes bytes) {
+  cfg_.catalog.object_size = bytes;
+  return *this;
+}
+
+Scenario& Scenario::nonsharing(double fraction) {
+  cfg_.nonsharing_fraction = fraction;
+  return *this;
+}
+
+Scenario& Scenario::liars(double fraction) {
+  cfg_.liar_fraction = fraction;
+  return *this;
+}
+
+Scenario& Scenario::max_ring(std::size_t n) {
+  cfg_.max_ring_size = n;
+  return *this;
+}
+
+Scenario& Scenario::max_pending(std::size_t n) {
+  cfg_.max_pending = n;
+  return *this;
+}
+
+Scenario& Scenario::preemption(bool on) {
+  cfg_.preemption = on;
+  return *this;
+}
+
+SimConfig Scenario::build() const {
+  cfg_.validate();
+  return cfg_;
+}
+
+}  // namespace p2pex::test

@@ -1,0 +1,67 @@
+// Scenario builder shared by the test suite: named presets for the
+// system sizes the tests run at, plus fluent knobs so individual tests
+// state only what they vary.
+//
+//   SimConfig cfg = Scenario::small().policy(ExchangePolicy::kPairwiseOnly)
+//                       .seed(11)
+//                       .build();
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+
+namespace p2pex::test {
+
+class Scenario {
+ public:
+  /// 40 peers / 6000 s — edge-case configs (interest exhaustion,
+  /// extreme population mixes) that must stay fast.
+  static Scenario tiny(std::uint64_t seed = 17);
+
+  /// 60 peers / 9000 s — the standard system-level scenario: big enough
+  /// for rings to form, runs in well under a second.
+  static Scenario small(std::uint64_t seed = 3);
+
+  /// 50 peers / 6000 s — the property-grid scenario (invariant sweeps
+  /// over policy x scheduler x tree mode).
+  static Scenario property(std::uint64_t seed = 1);
+
+  /// 50 peers / 4000 s — mid-run graph-view inspection scenario.
+  static Scenario view(std::uint64_t seed = 77);
+
+  /// 100 peers / 60000 s, 10 MB objects — steady-state incentive runs
+  /// backing the paper-claim integration tests.
+  static Scenario medium(std::uint64_t seed = 5);
+
+  // --- knobs; each returns *this for chaining ---
+  Scenario& peers(std::size_t n);  ///< also scales the catalog to n categories
+  Scenario& policy(ExchangePolicy p);
+  Scenario& scheduler(SchedulerKind k);
+  Scenario& tree(TreeMode m);
+  Scenario& seed(std::uint64_t s);
+  Scenario& duration(double seconds);
+  Scenario& warmup(double fraction);
+  Scenario& object_size(Bytes bytes);
+  Scenario& nonsharing(double fraction);
+  Scenario& liars(double fraction);
+  Scenario& max_ring(std::size_t n);
+  Scenario& max_pending(std::size_t n);
+  Scenario& preemption(bool on);
+
+  /// Escape hatch for knobs without a named setter.
+  SimConfig& raw() { return cfg_; }
+
+  /// Validates and returns the finished config.
+  [[nodiscard]] SimConfig build() const;
+
+ private:
+  /// All presets start from calibrated_defaults(): the operating point
+  /// where the request graph is dense enough for exchanges to occur.
+  Scenario(std::size_t peers, double duration, double warmup,
+           std::uint64_t seed);
+
+  SimConfig cfg_;
+};
+
+}  // namespace p2pex::test

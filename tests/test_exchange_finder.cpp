@@ -1,98 +1,19 @@
 // Tests for the ring search over a synthetic request graph.
 #include <gtest/gtest.h>
 
-#include <map>
-#include <set>
-
 #include "core/exchange_finder.h"
+#include "support/graph_fixtures.h"
 
 namespace p2pex {
 namespace {
 
-/// Hand-built request graph: edges (provider <- requester, object) plus
-/// per-root closure facts (object, providers able to close).
-class FakeGraph : public ExchangeGraphView {
- public:
-  explicit FakeGraph(std::size_t n) : n_(n) {}
-
-  /// `requester` has a pending request for `object` at `provider`.
-  void add_request(std::uint32_t requester, std::uint32_t provider,
-                   std::uint32_t object) {
-    edges_[provider].emplace_back(PeerId{requester}, ObjectId{object});
-  }
-
-  /// `provider` owns `object` which `root` wants (and discovered).
-  void add_closure(std::uint32_t root, std::uint32_t object,
-                   std::uint32_t provider) {
-    closures_[root].emplace_back(ObjectId{object}, PeerId{provider});
-  }
-
-  std::size_t num_peers() const override { return n_; }
-
-  std::vector<PeerId> requesters_of(PeerId provider) const override {
-    std::vector<PeerId> out;
-    std::set<PeerId> seen;
-    const auto it = edges_.find(provider.value);
-    if (it == edges_.end()) return out;
-    for (const auto& [r, o] : it->second)
-      if (seen.insert(r).second) out.push_back(r);
-    return out;
-  }
-
-  ObjectId request_between(PeerId provider, PeerId requester) const override {
-    const auto it = edges_.find(provider.value);
-    if (it == edges_.end()) return ObjectId{};
-    for (const auto& [r, o] : it->second)
-      if (r == requester) return o;
-    return ObjectId{};
-  }
-
-  std::vector<ObjectId> close_objects(PeerId root,
-                                      PeerId provider) const override {
-    std::vector<ObjectId> out;
-    const auto it = closures_.find(root.value);
-    if (it == closures_.end()) return out;
-    for (const auto& [o, p] : it->second)
-      if (p == provider) out.push_back(o);
-    return out;
-  }
-
-  std::vector<std::pair<ObjectId, std::vector<PeerId>>> want_providers(
-      PeerId root) const override {
-    std::map<std::uint32_t, std::vector<PeerId>> by_object;
-    const auto it = closures_.find(root.value);
-    if (it != closures_.end())
-      for (const auto& [o, p] : it->second) by_object[o.value].push_back(p);
-    std::vector<std::pair<ObjectId, std::vector<PeerId>>> out;
-    for (auto& [o, ps] : by_object) out.emplace_back(ObjectId{o}, ps);
-    return out;
-  }
-
- private:
-  std::size_t n_;
-  std::map<std::uint32_t, std::vector<std::pair<PeerId, ObjectId>>> edges_;
-  std::map<std::uint32_t, std::vector<std::pair<ObjectId, PeerId>>> closures_;
-};
-
-/// 0 serves 1 (o1); 1 owns o9 that 0 wants -> pairwise ring {0,1}.
-FakeGraph pairwise_graph() {
-  FakeGraph g(4);
-  g.add_request(1, 0, 1);
-  g.add_closure(0, 9, 1);
-  return g;
-}
-
-/// 0 serves 1, 1 serves 2, 2 owns o9 that 0 wants -> 3-way ring {0,1,2}.
-FakeGraph threeway_graph() {
-  FakeGraph g(4);
-  g.add_request(1, 0, 1);
-  g.add_request(2, 1, 2);
-  g.add_closure(0, 9, 2);
-  return g;
-}
+using test::ScriptedGraph;
+using test::chain_graph;
+using test::pairwise_graph;
+using test::threeway_graph;
 
 TEST(Finder, FindsPairwiseRing) {
-  const FakeGraph g = pairwise_graph();
+  const ScriptedGraph g = pairwise_graph();
   ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
   const auto rings = f.find(g, PeerId{0}, 4);
   ASSERT_EQ(rings.size(), 1u);
@@ -107,7 +28,7 @@ TEST(Finder, FindsPairwiseRing) {
 }
 
 TEST(Finder, FindsThreeWayRing) {
-  const FakeGraph g = threeway_graph();
+  const ScriptedGraph g = threeway_graph();
   ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
   const auto rings = f.find(g, PeerId{0}, 4);
   ASSERT_EQ(rings.size(), 1u);
@@ -116,13 +37,13 @@ TEST(Finder, FindsThreeWayRing) {
 }
 
 TEST(Finder, RespectsRingSizeCap) {
-  const FakeGraph g = threeway_graph();
+  const ScriptedGraph g = threeway_graph();
   ExchangeFinder f(ExchangePolicy::kShortestFirst, 2, TreeMode::kFullTree);
   EXPECT_TRUE(f.find(g, PeerId{0}, 4).empty());
 }
 
 TEST(Finder, PairwiseOnlyIgnoresLongerRings) {
-  FakeGraph g = threeway_graph();
+  ScriptedGraph g = threeway_graph();
   g.add_closure(0, 8, 1);  // also a pairwise option via peer 1
   ExchangeFinder f(ExchangePolicy::kPairwiseOnly, 5, TreeMode::kFullTree);
   const auto rings = f.find(g, PeerId{0}, 4);
@@ -131,7 +52,7 @@ TEST(Finder, PairwiseOnlyIgnoresLongerRings) {
 }
 
 TEST(Finder, ShortestFirstPrefersPairwise) {
-  FakeGraph g = threeway_graph();
+  ScriptedGraph g = threeway_graph();
   g.add_closure(0, 8, 1);
   ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
   const auto rings = f.find(g, PeerId{0}, 8);
@@ -141,7 +62,7 @@ TEST(Finder, ShortestFirstPrefersPairwise) {
 }
 
 TEST(Finder, LongestFirstPrefersDeeperRings) {
-  FakeGraph g = threeway_graph();
+  ScriptedGraph g = threeway_graph();
   g.add_closure(0, 8, 1);
   ExchangeFinder f(ExchangePolicy::kLongestFirst, 5, TreeMode::kFullTree);
   const auto rings = f.find(g, PeerId{0}, 8);
@@ -151,13 +72,13 @@ TEST(Finder, LongestFirstPrefersDeeperRings) {
 }
 
 TEST(Finder, NoExchangePolicyFindsNothing) {
-  const FakeGraph g = pairwise_graph();
+  const ScriptedGraph g = pairwise_graph();
   ExchangeFinder f(ExchangePolicy::kNoExchange, 5, TreeMode::kFullTree);
   EXPECT_TRUE(f.find(g, PeerId{0}, 4).empty());
 }
 
 TEST(Finder, MaxCandidatesBounds) {
-  FakeGraph g(8);
+  ScriptedGraph g(8);
   // Many parallel pairwise options.
   for (std::uint32_t p = 1; p < 7; ++p) {
     g.add_request(p, 0, p);
@@ -168,19 +89,14 @@ TEST(Finder, MaxCandidatesBounds) {
 }
 
 TEST(Finder, NoClosureNoRing) {
-  FakeGraph g(4);
+  ScriptedGraph g(4);
   g.add_request(1, 0, 1);  // someone asks 0, but nobody owns what 0 wants
   ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
   EXPECT_TRUE(f.find(g, PeerId{0}, 4).empty());
 }
 
 TEST(Finder, FiveWayRingAtDepthLimit) {
-  FakeGraph g(8);
-  g.add_request(1, 0, 1);
-  g.add_request(2, 1, 2);
-  g.add_request(3, 2, 3);
-  g.add_request(4, 3, 4);
-  g.add_closure(0, 9, 4);
+  const ScriptedGraph g = chain_graph(5);
   ExchangeFinder shallow(ExchangePolicy::kShortestFirst, 4,
                          TreeMode::kFullTree);
   EXPECT_TRUE(shallow.find(g, PeerId{0}, 4).empty());
@@ -191,10 +107,10 @@ TEST(Finder, FiveWayRingAtDepthLimit) {
 }
 
 TEST(Finder, StatsAccumulate) {
-  const FakeGraph g = pairwise_graph();
+  const ScriptedGraph g = pairwise_graph();
   ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
-  f.find(g, PeerId{0}, 4);
-  f.find(g, PeerId{0}, 4);
+  (void)f.find(g, PeerId{0}, 4);
+  (void)f.find(g, PeerId{0}, 4);
   EXPECT_EQ(f.stats().searches, 2u);
   EXPECT_EQ(f.stats().candidates, 2u);
   EXPECT_GT(f.stats().nodes_visited, 0u);
@@ -203,7 +119,7 @@ TEST(Finder, StatsAccumulate) {
 // --- Bloom mode ---
 
 TEST(FinderBloom, FindsSameRingAsFullTree) {
-  const FakeGraph g = threeway_graph();
+  const ScriptedGraph g = threeway_graph();
   ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
   f.rebuild_summaries(g, 64, 0.001);  // large filters: no false positives
   const auto rings = f.find(g, PeerId{0}, 4);
@@ -215,13 +131,13 @@ TEST(FinderBloom, FindsSameRingAsFullTree) {
 }
 
 TEST(FinderBloom, NoSummariesNoRings) {
-  const FakeGraph g = pairwise_graph();
+  const ScriptedGraph g = pairwise_graph();
   ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
   EXPECT_TRUE(f.find(g, PeerId{0}, 4).empty());  // never rebuilt
 }
 
 TEST(FinderBloom, StaleSummariesMissNewEdges) {
-  FakeGraph g(4);
+  ScriptedGraph g(4);
   ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
   f.rebuild_summaries(g, 64, 0.001);  // built while the graph was empty
   g.add_request(1, 0, 1);
@@ -234,13 +150,101 @@ TEST(FinderBloom, StaleSummariesMissNewEdges) {
   EXPECT_EQ(f.find(g, PeerId{0}, 4).size(), 1u);
 }
 
+TEST(FinderBloom, StaleSummariesAfterEdgeRemoval) {
+  // The inverse staleness direction: summaries advertise a cycle whose
+  // request edge has since disappeared. Detection may fire, but
+  // reconstruction must fail cleanly (no malformed proposal).
+  ScriptedGraph g = threeway_graph();
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  f.rebuild_summaries(g, 64, 0.001);
+  ASSERT_EQ(f.find(g, PeerId{0}, 4).size(), 1u);
+  g.remove_request(2, 1);  // the 1 <- 2 hop vanishes (request served)
+  for (const RingProposal& ring : f.find(g, PeerId{0}, 4))
+    EXPECT_TRUE(ring.well_formed());
+  f.rebuild_summaries(g, 64, 0.001);
+  EXPECT_TRUE(f.find(g, PeerId{0}, 4).empty());
+}
+
+TEST(FinderBloom, StaleSummariesAfterClosureRemoval) {
+  // Want-list churn: the root no longer wants anything, so even with
+  // fresh-looking summaries no ring may be proposed.
+  ScriptedGraph g = threeway_graph();
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  f.rebuild_summaries(g, 64, 0.001);
+  g.clear_closures(0);
+  EXPECT_TRUE(f.find(g, PeerId{0}, 4).empty());
+}
+
+TEST(FinderBloom, FalsePositiveDeadEndsAreCountedAndHarmless) {
+  // Deliberately saturated filters: the level filters are 64-bit minimum,
+  // so packing ~300 requesters into a 1-expected-item filter drives the
+  // fill ratio to ~1 and the summary answers "maybe" for nearly any peer.
+  ScriptedGraph g(320);
+  for (std::uint32_t r = 1; r <= 300; ++r) g.add_request(r, 0, 100 + r);
+  // Root 0 wants objects owned only by peers 310..317 — none of which
+  // request anything, so no cycle through them can exist. Any detection
+  // is a false positive.
+  for (std::uint32_t o = 0; o < 8; ++o) g.add_closure(0, 900 + o, 310 + o);
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  f.rebuild_summaries(g, 1, 0.5);  // ~1 bit per element: FP-saturated
+  EXPECT_TRUE(f.find(g, PeerId{0}, 8).empty());
+  // The saturated summaries must have claimed a cycle and sent the walk
+  // down a nonexistent path; dead ends are the Bloom-mode cost the
+  // paper's Section V accepts for constant-size messages.
+  EXPECT_GT(f.stats().bloom_detections, 0u);
+  EXPECT_EQ(f.stats().bloom_reconstructions, 0u);
+  EXPECT_GT(f.stats().bloom_dead_ends, 0u);
+}
+
+TEST(FinderBloom, RealRingSurvivesFalsePositiveNoise) {
+  // Same saturated regime, but with one genuine pairwise cycle hidden in
+  // the noise: the search must still return it, well-formed, with every
+  // non-closing link backed by a real request edge.
+  ScriptedGraph g(320);
+  for (std::uint32_t r = 1; r <= 300; ++r) g.add_request(r, 0, 100 + r);
+  for (std::uint32_t o = 0; o < 8; ++o) g.add_closure(0, 900 + o, 310 + o);
+  g.add_closure(0, 9, 1);  // requester 1 owns o9 -> real pairwise ring
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  f.rebuild_summaries(g, 1, 0.5);
+  const auto rings = f.find(g, PeerId{0}, 8);
+  ASSERT_FALSE(rings.empty());
+  for (const RingProposal& ring : rings) {
+    EXPECT_TRUE(ring.well_formed());
+    for (std::size_t i = 0; i + 1 < ring.links.size(); ++i)
+      EXPECT_EQ(g.request_between(ring.links[i].provider,
+                                  ring.links[i].requester),
+                ring.links[i].object);
+  }
+  EXPECT_GE(f.stats().bloom_reconstructions, 1u);
+}
+
 TEST(FinderBloom, SummaryWireBytesNonZero) {
-  const FakeGraph g = pairwise_graph();
+  const ScriptedGraph g = pairwise_graph();
   ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
   f.rebuild_summaries(g, 64, 0.02);
   EXPECT_GT(f.summary_wire_bytes(PeerId{0}), 0u);
   ExchangeFinder full(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
   EXPECT_EQ(full.summary_wire_bytes(PeerId{0}), 0u);
+}
+
+TEST(FinderBloom, SummaryWireBytesAccounting) {
+  // Wire size must track the configured false-positive rate (lower fpp =>
+  // more bits) and be identical for every peer (fixed-size summaries are
+  // the point of Section V).
+  const ScriptedGraph g = threeway_graph();
+  ExchangeFinder tight(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  tight.rebuild_summaries(g, 64, 0.001);
+  ExchangeFinder loose(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  loose.rebuild_summaries(g, 64, 0.2);
+  EXPECT_GT(tight.summary_wire_bytes(PeerId{0}),
+            loose.summary_wire_bytes(PeerId{0}));
+  for (std::uint32_t p = 1; p < 4; ++p)
+    EXPECT_EQ(tight.summary_wire_bytes(PeerId{p}),
+              tight.summary_wire_bytes(PeerId{0}));
+  // Rebuilding with the same parameters must not change the size.
+  const std::size_t before = tight.summary_wire_bytes(PeerId{0});
+  tight.rebuild_summaries(g, 64, 0.001);
+  EXPECT_EQ(tight.summary_wire_bytes(PeerId{0}), before);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "catalog/storage.h"
 #include "proto/irq.h"
 #include "sim/event_queue.h"
+#include "support/fuzz_corpus.h"
 #include "util/rng.h"
 
 namespace p2pex {
@@ -92,8 +93,9 @@ TEST_P(IrqFuzz, MatchesReferenceModel) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, IrqFuzz,
-                         ::testing::Values(1ULL, 2ULL, 3ULL, 5ULL, 8ULL));
+INSTANTIATE_TEST_SUITE_P(Corpus, IrqFuzz,
+                         ::testing::ValuesIn(test::kIrqFuzzSeeds),
+                         test::fuzz_seed_name);
 
 // --- Storage vs reference set ---
 
@@ -151,9 +153,9 @@ TEST_P(StorageFuzz, MatchesReferenceModel) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, StorageFuzz,
-                         ::testing::Values(11ULL, 12ULL, 13ULL, 15ULL,
-                                           18ULL));
+INSTANTIATE_TEST_SUITE_P(Corpus, StorageFuzz,
+                         ::testing::ValuesIn(test::kStorageFuzzSeeds),
+                         test::fuzz_seed_name);
 
 // --- EventQueue vs reference multimap ---
 
@@ -210,9 +212,9 @@ TEST_P(EventQueueFuzz, PopsExactlyTheReferenceSchedule) {
   ASSERT_TRUE(q.empty());
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
-                         ::testing::Values(21ULL, 22ULL, 23ULL, 25ULL,
-                                           28ULL));
+INSTANTIATE_TEST_SUITE_P(Corpus, EventQueueFuzz,
+                         ::testing::ValuesIn(test::kEventQueueFuzzSeeds),
+                         test::fuzz_seed_name);
 
 }  // namespace
 }  // namespace p2pex

@@ -1,0 +1,108 @@
+// Golden-value regressions pinning headline paper numbers from seeded
+// runs, so fig*/table1 behavior can't silently drift. Values are exact
+// replays of the deterministic simulator (the build compiles with
+// -ffp-contract=off, so Debug and Release agree bit-for-bit).
+//
+// If a mechanism change legitimately moves a number, re-record it by
+// running this binary and copying the "actual" side of the failure; the
+// qualitative ordering expectations must still hold.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "support/scenario.h"
+
+namespace p2pex {
+namespace {
+
+using test::Scenario;
+
+constexpr std::uint64_t kGoldenSeed = 42;
+
+SimConfig golden_base() { return Scenario::small(kGoldenSeed).build(); }
+
+RunResult run_policy(ExchangePolicy policy, std::size_t max_ring) {
+  SimConfig c = golden_base();
+  c.policy = policy;
+  c.max_ring_size = max_ring;
+  return run_experiment(c);
+}
+
+// --- Fig. 5/6: exchange fraction grows with the ring-size cap ---
+
+TEST(GoldenPaper, ExchangeFractionVsRingSize) {
+  const RunResult none = run_policy(ExchangePolicy::kNoExchange, 5);
+  const RunResult pairwise = run_policy(ExchangePolicy::kPairwiseOnly, 5);
+  const RunResult ring3 = run_policy(ExchangePolicy::kShortestFirst, 3);
+  const RunResult ring5 = run_policy(ExchangePolicy::kShortestFirst, 5);
+
+  // Qualitative (paper Fig. 6): larger rings capture more sessions.
+  EXPECT_EQ(none.exchange_fraction, 0.0);
+  EXPECT_GT(pairwise.exchange_fraction, 0.05);
+  EXPECT_GE(ring3.exchange_fraction, pairwise.exchange_fraction);
+  EXPECT_GE(ring5.exchange_fraction, ring3.exchange_fraction);
+
+  // Golden replays of the seeded runs.
+  EXPECT_DOUBLE_EQ(pairwise.exchange_fraction, 0.32994923857868019);
+  EXPECT_DOUBLE_EQ(ring3.exchange_fraction, 0.39177489177489178);
+  EXPECT_DOUBLE_EQ(ring5.exchange_fraction, 0.48492678725236865);
+  EXPECT_EQ(pairwise.rings_formed, 169u);
+  EXPECT_EQ(ring5.rings_formed, 257u);
+}
+
+// --- Fig. 8/12: free riders wait longer once exchanges reward sharing ---
+
+TEST(GoldenPaper, FreeRiderWaitingTimeOrdering) {
+  const RunResult none = run_policy(ExchangePolicy::kNoExchange, 5);
+  const RunResult ring5 = run_policy(ExchangePolicy::kShortestFirst, 5);
+
+  // Under FIFO-without-exchanges the two classes are served alike; with
+  // exchanges, sharers must come out ahead and the gap must widen.
+  EXPECT_GT(ring5.dl_time_ratio, 1.0);
+  EXPECT_GT(ring5.dl_time_ratio, none.dl_time_ratio);
+  EXPECT_LT(ring5.mean_dl_minutes_sharing, ring5.mean_dl_minutes_nonsharing);
+
+  EXPECT_DOUBLE_EQ(none.dl_time_ratio, 0.9987204587455919);
+  EXPECT_DOUBLE_EQ(ring5.dl_time_ratio, 1.18647713539707);
+  EXPECT_DOUBLE_EQ(ring5.mean_dl_minutes_sharing, 41.460325372101074);
+  EXPECT_DOUBLE_EQ(ring5.mean_dl_minutes_nonsharing, 49.191728080120939);
+  EXPECT_EQ(ring5.completed_sharing, 107u);
+  EXPECT_EQ(ring5.completed_nonsharing, 49u);
+}
+
+// --- Table 1: non-ring incentive baselines keep their ordering ---
+
+TEST(GoldenPaper, NonRingBaselineOrdering) {
+  SimConfig fifo = golden_base();
+  fifo.policy = ExchangePolicy::kNoExchange;
+
+  SimConfig credit = fifo;
+  credit.scheduler = SchedulerKind::kCredit;
+
+  SimConfig participation = fifo;
+  participation.scheduler = SchedulerKind::kParticipation;
+
+  const RunResult rf = run_experiment(fifo);
+  const RunResult rc = run_experiment(credit);
+  const RunResult rp = run_experiment(participation);
+
+  // Both baselines must discriminate in favour of sharers more than FIFO.
+  EXPECT_GT(rc.dl_time_ratio, rf.dl_time_ratio);
+  EXPECT_GT(rp.dl_time_ratio, rf.dl_time_ratio);
+
+  EXPECT_DOUBLE_EQ(rc.dl_time_ratio, 1.0814268936550309);
+  EXPECT_DOUBLE_EQ(rp.dl_time_ratio, 1.2810121987756504);
+}
+
+// --- determinism backstop: same config, same numbers ---
+
+TEST(GoldenPaper, ReplayIsBitExact) {
+  const RunResult a = run_policy(ExchangePolicy::kShortestFirst, 5);
+  const RunResult b = run_policy(ExchangePolicy::kShortestFirst, 5);
+  EXPECT_DOUBLE_EQ(a.exchange_fraction, b.exchange_fraction);
+  EXPECT_DOUBLE_EQ(a.mean_dl_minutes_sharing, b.mean_dl_minutes_sharing);
+  EXPECT_EQ(a.rings_formed, b.rings_formed);
+  EXPECT_EQ(a.completed_total(), b.completed_total());
+}
+
+}  // namespace
+}  // namespace p2pex

@@ -4,21 +4,15 @@
 
 #include "core/experiment.h"
 #include "core/system.h"
+#include "support/scenario.h"
 
 namespace p2pex {
 namespace {
 
-/// Calibrated medium system: big enough for steady-state incentives,
-/// small enough to run in a few seconds.
+/// Calibrated medium system (see Scenario::medium): big enough for
+/// steady-state incentives, small enough to run in a few seconds.
 SimConfig medium_config(std::uint64_t seed = 5) {
-  SimConfig c = SimConfig::calibrated_defaults();
-  c.num_peers = 100;
-  c.catalog.num_categories = 100;
-  c.catalog.object_size = megabytes(10);  // CI-friendly horizon
-  c.sim_duration = 60000.0;
-  c.warmup_fraction = 0.35;
-  c.seed = seed;
-  return c;
+  return test::Scenario::medium(seed).build();
 }
 
 TEST(PaperClaims, SharersBeatFreeRidersUnderExchanges) {
@@ -122,8 +116,9 @@ TEST(PaperClaims, FreeRiderFractionPreservesGap) {
     cfg.nonsharing_fraction = frac;
     const RunResult r = run_experiment(cfg);
     ASSERT_GT(r.completed_sharing, 20u) << "frac=" << frac;
-    if (r.completed_nonsharing > 10)
+    if (r.completed_nonsharing > 10) {
       EXPECT_GT(r.dl_time_ratio, 1.02) << "frac=" << frac;
+    }
   }
 }
 

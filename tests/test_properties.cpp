@@ -3,11 +3,10 @@
 // structure properties of the ring search.
 #include <gtest/gtest.h>
 
-#include <map>
-
 #include "core/exchange_finder.h"
 #include "core/system.h"
-#include "util/rng.h"
+#include "support/graph_fixtures.h"
+#include "support/scenario.h"
 
 namespace p2pex {
 namespace {
@@ -31,18 +30,12 @@ std::string param_name(const ::testing::TestParamInfo<SystemParam>& info) {
 class SystemProperties : public ::testing::TestWithParam<SystemParam> {
  protected:
   SimConfig config() const {
-    SimConfig c = SimConfig::calibrated_defaults();
-    c.num_peers = 50;
-    c.catalog.num_categories = 50;
-    c.catalog.object_size = megabytes(4);
-    c.sim_duration = 6000.0;
-    c.warmup_fraction = 0.2;
-    c.policy = GetParam().policy;
-    c.scheduler = GetParam().scheduler;
-    c.tree_mode = GetParam().tree;
-    c.seed = GetParam().seed;
-    if (c.scheduler == SchedulerKind::kParticipation) c.liar_fraction = 0.5;
-    return c;
+    test::Scenario s = test::Scenario::property(GetParam().seed)
+                           .policy(GetParam().policy)
+                           .scheduler(GetParam().scheduler)
+                           .tree(GetParam().tree);
+    if (GetParam().scheduler == SchedulerKind::kParticipation) s.liars(0.5);
+    return s.build();
   }
 };
 
@@ -66,7 +59,9 @@ TEST_P(SystemProperties, FreeloadersNeverServe) {
   s.run();
   for (std::uint32_t i = 0; i < s.num_peers(); ++i) {
     const Peer& p = s.peer(PeerId{i});
-    if (!p.shares) EXPECT_EQ(p.participation.uploaded(), 0) << "peer " << i;
+    if (!p.shares) {
+      EXPECT_EQ(p.participation.uploaded(), 0) << "peer " << i;
+    }
   }
 }
 
@@ -122,65 +117,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 // --- randomized ring-search structure properties ---
 
-/// Random request graph with ground-truth closure facts.
-class RandomGraph : public ExchangeGraphView {
- public:
-  RandomGraph(std::size_t n, std::size_t degree, std::uint64_t seed) {
-    Rng rng(seed);
-    edges_.resize(n);
-    for (std::size_t p = 0; p < n; ++p) {
-      for (std::size_t d = 0; d < degree; ++d) {
-        const PeerId r{static_cast<std::uint32_t>(rng.index(n))};
-        if (r.value == p) continue;
-        edges_[p].emplace_back(
-            r, ObjectId{static_cast<std::uint32_t>(rng.index(500))});
-      }
-      if (rng.chance(0.3)) {
-        closures_[static_cast<std::uint32_t>(rng.index(n))].emplace_back(
-            ObjectId{static_cast<std::uint32_t>(500 + p)},
-            PeerId{static_cast<std::uint32_t>(p)});
-      }
-    }
-  }
-
-  std::size_t num_peers() const override { return edges_.size(); }
-  std::vector<PeerId> requesters_of(PeerId p) const override {
-    std::vector<PeerId> out;
-    std::vector<bool> seen(edges_.size(), false);
-    for (const auto& [r, o] : edges_[p.value])
-      if (!seen[r.value]) {
-        seen[r.value] = true;
-        out.push_back(r);
-      }
-    return out;
-  }
-  ObjectId request_between(PeerId p, PeerId r) const override {
-    for (const auto& [req, o] : edges_[p.value])
-      if (req == r) return o;
-    return ObjectId{};
-  }
-  std::vector<ObjectId> close_objects(PeerId root,
-                                      PeerId provider) const override {
-    std::vector<ObjectId> out;
-    const auto it = closures_.find(root.value);
-    if (it == closures_.end()) return out;
-    for (const auto& [o, p] : it->second)
-      if (p == provider) out.push_back(o);
-    return out;
-  }
-  std::vector<std::pair<ObjectId, std::vector<PeerId>>> want_providers(
-      PeerId root) const override {
-    std::vector<std::pair<ObjectId, std::vector<PeerId>>> out;
-    const auto it = closures_.find(root.value);
-    if (it == closures_.end()) return out;
-    for (const auto& [o, p] : it->second) out.push_back({o, {p}});
-    return out;
-  }
-
- private:
-  std::vector<std::vector<std::pair<PeerId, ObjectId>>> edges_;
-  std::map<std::uint32_t, std::vector<std::pair<ObjectId, PeerId>>> closures_;
-};
+using RandomGraph = test::RandomRequestGraph;
 
 class FinderProperties : public ::testing::TestWithParam<std::uint64_t> {};
 

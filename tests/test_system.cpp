@@ -3,21 +3,15 @@
 
 #include "core/experiment.h"
 #include "core/system.h"
+#include "support/scenario.h"
 
 namespace p2pex {
 namespace {
 
-/// Small fast system for tests: 60 peers, short horizon, calibrated
-/// density knobs so exchanges actually occur.
+/// Small fast system (see Scenario::small): 60 peers, short horizon,
+/// calibrated density knobs so exchanges actually occur.
 SimConfig small_config(std::uint64_t seed = 3) {
-  SimConfig c = SimConfig::calibrated_defaults();
-  c.num_peers = 60;
-  c.catalog.num_categories = 60;
-  c.catalog.object_size = megabytes(4);  // several generations in 9000 s
-  c.sim_duration = 9000.0;
-  c.warmup_fraction = 0.2;
-  c.seed = seed;
-  return c;
+  return test::Scenario::small(seed).build();
 }
 
 TEST(System, ConstructionRespectsPopulationSplit) {

@@ -3,19 +3,13 @@
 #include <gtest/gtest.h>
 
 #include "core/system.h"
+#include "support/scenario.h"
 
 namespace p2pex {
 namespace {
 
 SimConfig tiny_base(std::uint64_t seed = 17) {
-  SimConfig c = SimConfig::calibrated_defaults();
-  c.num_peers = 40;
-  c.catalog.num_categories = 40;
-  c.catalog.object_size = megabytes(4);
-  c.sim_duration = 6000.0;
-  c.warmup_fraction = 0.2;
-  c.seed = seed;
-  return c;
+  return test::Scenario::tiny(seed).build();
 }
 
 TEST(SystemEdge, EveryoneShares) {

@@ -5,20 +5,12 @@
 #include <algorithm>
 
 #include "core/system.h"
+#include "support/scenario.h"
 
 namespace p2pex {
 namespace {
 
-SimConfig view_config() {
-  SimConfig c = SimConfig::calibrated_defaults();
-  c.num_peers = 50;
-  c.catalog.num_categories = 50;
-  c.catalog.object_size = megabytes(4);
-  c.sim_duration = 4000.0;
-  c.warmup_fraction = 0.1;
-  c.seed = 77;
-  return c;
-}
+SimConfig view_config() { return test::Scenario::view().build(); }
 
 class SystemViewTest : public ::testing::Test {
  protected:
