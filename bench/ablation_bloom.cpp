@@ -17,7 +17,8 @@ int main() {
       base);
 
   TablePrinter t({"mode", "bytes/request", "rings formed", "exch %",
-                  "sharing (min)", "ratio", "bloom dead-ends"});
+                  "sharing (min)", "ratio", "dead-end walks",
+                  "branch fizzles", "budget cutoffs"});
   for (TreeMode mode : {TreeMode::kFullTree, TreeMode::kBloom}) {
     SimConfig cfg = base;
     cfg.tree_mode = mode;
@@ -26,12 +27,15 @@ int main() {
                              ? s->mean_request_tree_bytes()
                              : s->mean_bloom_summary_bytes();
     const auto& m = s->metrics();
+    const FinderStats& fs = s->finder_stats();
     t.add_row({to_string(mode), num(bytes, 0),
                std::to_string(s->counters().rings_formed),
                num(100.0 * m.exchange_session_fraction()),
                num(to_minutes(m.mean_download_time_sharing())),
                num(m.download_time_ratio(), 2),
-               std::to_string(s->finder_stats().bloom_dead_ends)});
+               std::to_string(fs.bloom_dead_ends),
+               std::to_string(fs.bloom_branch_dead_ends),
+               std::to_string(fs.bloom_budget_exhausted)});
   }
   print_table(t);
 

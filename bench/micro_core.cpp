@@ -1,15 +1,60 @@
 // Microbenchmarks (google-benchmark) for the hot data structures: event
 // queue, power-law sampling, Bloom filters, IRQ operations, request-tree
-// construction and ring search.
+// construction — and the ring-search suite (BM_Search*) tracked per PR.
+//
+// The search benches sweep three request-graph shapes at 1k/10k/50k
+// peers:
+//  * dense     — 32 requests per peer; BFS touches most of the graph.
+//  * sparse    — 4 requests per peer; shallow trees, early exhaustion.
+//  * deep-ring — a ring lattice plus 2 random shortcuts per peer; long
+//                thin request trees (depth-cap bound).
+// Each root has 8 formula-derived ring closers, so most searches run the
+// tree to exhaustion (the worst case the figure benches stress). Every
+// search bench reports allocs_per_search via a counting operator new —
+// the regression guard for the allocation-free hot path.
+//
+// Run without arguments, the binary writes its results to
+// BENCH_search.json (google-benchmark JSON) in the working directory so
+// CI can archive the perf trajectory; pass an explicit --benchmark_out
+// to override.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <new>
+#include <string>
+#include <vector>
+
 #include "core/exchange_finder.h"
+#include "core/graph_snapshot.h"
 #include "proto/irq.h"
 #include "proto/request_tree.h"
 #include "sim/event_queue.h"
 #include "util/bloom_filter.h"
 #include "util/power_law.h"
 #include "util/rng.h"
+
+// --- allocation counting (whole binary; benches read deltas) -------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) n = 1;  // operator new must return a unique pointer
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace p2pex {
 namespace {
@@ -62,77 +107,151 @@ void BM_IrqAddRemove(benchmark::State& state) {
 }
 BENCHMARK(BM_IrqAddRemove)->Arg(100)->Arg(1000);
 
-/// Synthetic request graph shaped like a loaded system: `n` peers, each
-/// with requests from `deg` random others.
-class SyntheticGraph : public ExchangeGraphView {
- public:
-  SyntheticGraph(std::size_t n, std::size_t deg) : n_(n), edges_(n) {
-    Rng rng(7);
-    for (std::size_t p = 0; p < n; ++p)
-      for (std::size_t d = 0; d < deg; ++d)
-        edges_[p].emplace_back(
-            PeerId{static_cast<std::uint32_t>(rng.index(n))},
-            ObjectId{static_cast<std::uint32_t>(rng.index(1000))});
-  }
-  std::size_t num_peers() const override { return n_; }
-  std::vector<PeerId> requesters_of(PeerId p) const override {
-    std::vector<PeerId> out;
-    out.reserve(edges_[p.value].size());
-    for (const auto& [r, o] : edges_[p.value]) out.push_back(r);
-    return out;
-  }
-  ObjectId request_between(PeerId p, PeerId r) const override {
-    for (const auto& [req, o] : edges_[p.value])
-      if (req == r) return o;
-    return ObjectId{};
-  }
-  std::vector<ObjectId> close_objects(PeerId, PeerId provider) const override {
-    // Sparse closures so the BFS usually runs to exhaustion (worst case).
-    if (provider.value % 97 == 3) return {ObjectId{provider.value}};
-    return {};
-  }
-  std::vector<std::pair<ObjectId, std::vector<PeerId>>> want_providers(
-      PeerId) const override {
-    return {};
-  }
+// --- synthetic search scenarios ------------------------------------------
 
- private:
-  std::size_t n_;
-  std::vector<std::vector<std::pair<PeerId, ObjectId>>> edges_;
-};
+enum class GraphKind { kDense, kSparse, kDeepRing };
 
-void BM_RingSearch(benchmark::State& state) {
-  const SyntheticGraph g(200, static_cast<std::size_t>(state.range(0)));
-  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
-  std::uint32_t root = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.find(g, PeerId{root}, 8));
-    root = (root + 1) % 200;
-  }
+constexpr std::size_t kClosersPerRoot = 8;
+
+/// The j-th formula-derived ring closer of `root` (deterministic, spread
+/// across the id space so closure hits are sparse and searches usually
+/// run to exhaustion).
+std::uint32_t nth_closer(std::uint32_t root, std::size_t j, std::size_t n) {
+  return static_cast<std::uint32_t>(
+      (root * 2654435761ULL + j * 40503ULL + 3ULL) % n);
 }
-BENCHMARK(BM_RingSearch)->Arg(4)->Arg(16)->Arg(64);
+
+/// Builds a synthetic request graph shaped like a loaded system: `n`
+/// peers with seeded random request edges and kClosersPerRoot closure
+/// facts per root (object id == closing provider id).
+GraphSnapshot make_graph(GraphKind kind, std::size_t n) {
+  Rng rng(7);
+  GraphSnapshot g;
+  g.begin(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    if (kind == GraphKind::kDeepRing)
+      g.add_edge(PeerId{static_cast<std::uint32_t>((p + 1) % n)},
+                 ObjectId{static_cast<std::uint32_t>(rng.index(1000))});
+    const std::size_t deg = kind == GraphKind::kDense    ? 32
+                            : kind == GraphKind::kSparse ? 4
+                                                         : 2;
+    for (std::size_t d = 0; d < deg; ++d)
+      g.add_edge(PeerId{static_cast<std::uint32_t>(rng.index(n))},
+                 ObjectId{static_cast<std::uint32_t>(rng.index(1000))});
+    std::uint32_t seen[kClosersPerRoot];
+    std::size_t num_seen = 0;
+    for (std::size_t j = 0; j < kClosersPerRoot; ++j) {
+      const std::uint32_t q =
+          nth_closer(static_cast<std::uint32_t>(p), j, n);
+      bool dup = false;
+      for (std::size_t s = 0; s < num_seen; ++s) dup = dup || seen[s] == q;
+      if (dup) continue;
+      seen[num_seen++] = q;
+      g.add_want(ObjectId{q}, PeerId{q});
+      g.add_closure(PeerId{q}, ObjectId{q});
+    }
+    g.next_peer();
+  }
+  g.finish();
+  return g;
+}
+
+/// Graphs are expensive to build at 50k peers; cache per (kind, size).
+const GraphSnapshot& graph_for(GraphKind kind, std::size_t n) {
+  static std::map<std::pair<int, std::size_t>, GraphSnapshot> cache;
+  const auto key = std::make_pair(static_cast<int>(kind), n);
+  auto it = cache.find(key);
+  if (it == cache.end()) it = cache.emplace(key, make_graph(kind, n)).first;
+  return it->second;
+}
+
+void run_search_bench(benchmark::State& state, GraphKind kind,
+                      TreeMode mode) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const GraphSnapshot& g = graph_for(kind, n);
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, mode);
+  if (mode == TreeMode::kBloom) f.rebuild_summaries(g, 64, 0.02);
+  std::uint32_t root = 0;
+  (void)f.find(g, PeerId{root}, 8);  // warm the scratch buffers
+  std::uint64_t rings = 0;
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    rings += f.find(g, PeerId{root}, 8).size();
+    root = (root + 7919) % static_cast<std::uint32_t>(n);
+  }
+  const std::uint64_t allocs_after =
+      g_alloc_count.load(std::memory_order_relaxed);
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allocs_per_search"] = benchmark::Counter(
+      static_cast<double>(allocs_after - allocs_before) /
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations())));
+  state.counters["rings_per_search"] = benchmark::Counter(
+      static_cast<double>(rings) /
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations())));
+}
+
+void BM_SearchFullDense(benchmark::State& state) {
+  run_search_bench(state, GraphKind::kDense, TreeMode::kFullTree);
+}
+void BM_SearchFullSparse(benchmark::State& state) {
+  run_search_bench(state, GraphKind::kSparse, TreeMode::kFullTree);
+}
+void BM_SearchFullDeepRing(benchmark::State& state) {
+  run_search_bench(state, GraphKind::kDeepRing, TreeMode::kFullTree);
+}
+void BM_SearchBloomDense(benchmark::State& state) {
+  run_search_bench(state, GraphKind::kDense, TreeMode::kBloom);
+}
+BENCHMARK(BM_SearchFullDense)->Arg(1000)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_SearchFullSparse)->Arg(1000)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_SearchFullDeepRing)->Arg(1000)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_SearchBloomDense)->Arg(1000)->Arg(10000);
 
 void BM_RequestTreeBuild(benchmark::State& state) {
-  const SyntheticGraph g(200, static_cast<std::size_t>(state.range(0)));
+  const GraphSnapshot& g =
+      graph_for(GraphKind::kDense, static_cast<std::size_t>(state.range(0)));
   EdgeFn edges = [&g](PeerId p) {
     std::vector<std::pair<PeerId, ObjectId>> out;
-    for (PeerId r : g.requesters_of(p))
-      out.emplace_back(r, g.request_between(p, r));
+    const std::span<const PeerId> requesters = g.requesters_of(p);
+    const std::span<const ObjectId> objects = g.edge_objects_of(p);
+    for (std::size_t i = 0; i < requesters.size(); ++i)
+      out.emplace_back(requesters[i], objects[i]);
     return out;
   };
   for (auto _ : state)
     benchmark::DoNotOptimize(RequestTree::build(PeerId{0}, 5, 4096, edges));
 }
-BENCHMARK(BM_RequestTreeBuild)->Arg(4)->Arg(16);
+BENCHMARK(BM_RequestTreeBuild)->Arg(1000);
 
 void BM_BloomSummaryRebuild(benchmark::State& state) {
-  const SyntheticGraph g(200, 16);
+  const GraphSnapshot& g =
+      graph_for(GraphKind::kDense, static_cast<std::size_t>(state.range(0)));
   ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
   for (auto _ : state) f.rebuild_summaries(g, 64, 0.02);
 }
-BENCHMARK(BM_BloomSummaryRebuild);
+BENCHMARK(BM_BloomSummaryRebuild)->Arg(1000);
 
 }  // namespace
 }  // namespace p2pex
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default to archiving JSON results as BENCH_search.json so every run
+  // leaves a diffable artifact; an explicit --benchmark_out wins.
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  std::string out_flag = "--benchmark_out=BENCH_search.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

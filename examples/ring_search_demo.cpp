@@ -15,10 +15,11 @@ using namespace p2pex;
 
 namespace {
 
-/// The request edges of Figure 2: requester -> provider, labelled object.
-class Fig2View : public ExchangeGraphView {
+/// The request edges of Figure 2 (requester -> provider, labelled
+/// object), materialized as the CSR GraphSnapshot the finder searches.
+class Fig2Graph {
  public:
-  Fig2View() {
+  Fig2Graph() {
     add(1, 0, 1);
     add(2, 0, 2);
     add(3, 0, 3);
@@ -30,38 +31,23 @@ class Fig2View : public ExchangeGraphView {
     add(7, 3, 7);
     add(8, 3, 8);
     add(11, 8, 11);
+
+    snap_.begin(kNumPeers);
+    for (std::uint32_t p = 0; p < kNumPeers; ++p) {
+      if (const auto it = edges_.find(p); it != edges_.end())
+        for (const auto& [r, o] : it->second) snap_.add_edge(r, o);
+      if (p == 0) {
+        // A (peer 0) wants object o99, which only P9 owns and A
+        // discovered at lookup time.
+        snap_.add_want(ObjectId{99}, PeerId{9});
+        snap_.add_closure(PeerId{9}, ObjectId{99});
+      }
+      snap_.next_peer();
+    }
+    snap_.finish();
   }
 
-  std::size_t num_peers() const override { return 12; }
-
-  std::vector<PeerId> requesters_of(PeerId provider) const override {
-    std::vector<PeerId> out;
-    const auto it = edges_.find(provider.value);
-    if (it == edges_.end()) return out;
-    for (const auto& [r, o] : it->second) out.push_back(r);
-    return out;
-  }
-
-  ObjectId request_between(PeerId provider, PeerId requester) const override {
-    const auto it = edges_.find(provider.value);
-    if (it == edges_.end()) return ObjectId{};
-    for (const auto& [r, o] : it->second)
-      if (r == requester) return o;
-    return ObjectId{};
-  }
-
-  std::vector<ObjectId> close_objects(PeerId root,
-                                      PeerId provider) const override {
-    // A (peer 0) wants object o99, which only P9 owns and A discovered.
-    if (root == PeerId{0} && provider == PeerId{9}) return {ObjectId{99}};
-    return {};
-  }
-
-  std::vector<std::pair<ObjectId, std::vector<PeerId>>> want_providers(
-      PeerId root) const override {
-    if (root == PeerId{0}) return {{ObjectId{99}, {PeerId{9}}}};
-    return {};
-  }
+  const GraphSnapshot& snapshot() const { return snap_; }
 
   EdgeFn edge_fn() const {
     return [this](PeerId p) {
@@ -73,21 +59,26 @@ class Fig2View : public ExchangeGraphView {
   }
 
  private:
+  static constexpr std::uint32_t kNumPeers = 12;
+
   void add(std::uint32_t requester, std::uint32_t provider,
            std::uint32_t object) {
     edges_[provider].emplace_back(PeerId{requester}, ObjectId{object});
   }
+
   std::map<std::uint32_t, std::vector<std::pair<PeerId, ObjectId>>> edges_;
+  GraphSnapshot snap_;
 };
 
 }  // namespace
 
 int main() {
-  const Fig2View view;
+  const Fig2Graph graph;
+  const GraphSnapshot& view = graph.snapshot();
 
   std::printf("A's request tree (paper Figure 2, pruned to depth 5):\n\n");
   const RequestTree tree =
-      RequestTree::build(PeerId{0}, 5, 4096, view.edge_fn());
+      RequestTree::build(PeerId{0}, 5, 4096, graph.edge_fn());
   std::printf("%s\n", tree.to_string().c_str());
   std::printf("nodes: %zu, depth: %zu, naive wire size: %zu bytes, "
               "(4-byte ids: %zu bytes)\n\n",
@@ -114,8 +105,11 @@ int main() {
   std::printf("  summary wire size: %zu bytes (vs %zu for the full tree)\n",
               bloom.summary_wire_bytes(PeerId{0}),
               tree.serialized_size_bytes());
-  std::printf("  rings reconstructed hop-by-hop: %zu (dead ends: %llu)\n",
-              brings.size(),
-              static_cast<unsigned long long>(bloom.stats().bloom_dead_ends));
+  std::printf(
+      "  rings reconstructed hop-by-hop: %zu (dead ends: %llu, budget "
+      "exhausted: %llu)\n",
+      brings.size(),
+      static_cast<unsigned long long>(bloom.stats().bloom_dead_ends),
+      static_cast<unsigned long long>(bloom.stats().bloom_budget_exhausted));
   return 0;
 }

@@ -37,6 +37,7 @@ void SimConfig::validate() const {
     fail("max_ring_attempts_per_search must be positive");
   if (bloom_fpp <= 0.0 || bloom_fpp >= 1.0)
     fail("bloom_fpp must be in (0, 1)");
+  if (bloom_hop_budget < 1) fail("bloom_hop_budget must be positive");
   if (liar_fraction < 0.0 || liar_fraction > 1.0)
     fail("liar_fraction must be in [0, 1]");
   if (search_interval <= 0.0) fail("search_interval must be positive");

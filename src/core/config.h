@@ -75,6 +75,10 @@ struct SimConfig {
   // --- Bloom summaries (Section V; only used in TreeMode::kBloom) ---
   std::size_t bloom_expected_per_level = 64;
   double bloom_fpp = 0.02;
+  /// Next-hop lookups one reconstruction walk may spend before it is
+  /// abandoned (bounds Section V token traffic per attempt; walks cut
+  /// here report as FinderStats::bloom_budget_exhausted, not dead ends).
+  std::size_t bloom_hop_budget = 256;
 
   // --- non-exchange service order ---
   SchedulerKind scheduler = SchedulerKind::kFifo;

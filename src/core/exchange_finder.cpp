@@ -1,29 +1,37 @@
 #include "core/exchange_finder.h"
 
 #include <algorithm>
-#include <deque>
 
 #include "util/assert.h"
+#include "util/sort.h"
 
 namespace p2pex {
 
 ExchangeFinder::ExchangeFinder(ExchangePolicy policy,
-                               std::size_t max_ring_size, TreeMode mode)
-    : policy_(policy), max_ring_(max_ring_size), mode_(mode) {
+                               std::size_t max_ring_size, TreeMode mode,
+                               std::size_t bloom_hop_budget)
+    : policy_(policy),
+      max_ring_(max_ring_size),
+      mode_(mode),
+      hop_budget_(bloom_hop_budget) {
   if (policy == ExchangePolicy::kPairwiseOnly) max_ring_ = 2;
+  P2PEX_ASSERT_MSG(hop_budget_ > 0, "bloom hop budget must be positive");
 }
 
-std::vector<RingProposal> ExchangeFinder::find(const ExchangeGraphView& view,
+std::vector<RingProposal> ExchangeFinder::find(const GraphSnapshot& view,
                                                PeerId root,
                                                std::size_t max_candidates) {
   if (policy_ == ExchangePolicy::kNoExchange || max_candidates == 0) return {};
   ++stats_.searches;
-  return mode_ == TreeMode::kFullTree ? find_full(view, root, max_candidates)
-                                      : find_bloom(view, root, max_candidates);
+  auto out = mode_ == TreeMode::kFullTree
+                 ? find_full(view, root, max_candidates)
+                 : find_bloom(view, root, max_candidates);
+  stats_.candidates += out.size();
+  return out;
 }
 
 std::optional<RingProposal> ExchangeFinder::make_proposal(
-    const ExchangeGraphView& view, const std::vector<PeerId>& path,
+    const GraphSnapshot& view, std::span<const PeerId> path,
     ObjectId close_object) const {
   RingProposal proposal;
   proposal.links.reserve(path.size());
@@ -37,68 +45,103 @@ std::optional<RingProposal> ExchangeFinder::make_proposal(
   return proposal;
 }
 
+void ExchangeFinder::ensure_scratch(std::size_t n) {
+  if (visit_stamp_.size() < n) {
+    visit_stamp_.resize(n, 0);
+    tree_.resize(n);
+    closers_.resize(n);
+  }
+}
+
+std::uint32_t ExchangeFinder::next_stamp() {
+  if (++stamp_ == 0) {
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0u);
+    for (CloserSlot& c : closers_) c.stamp = 0;
+    stamp_ = 1;
+  }
+  return stamp_;
+}
+
 std::vector<RingProposal> ExchangeFinder::find_full(
-    const ExchangeGraphView& view, PeerId root, std::size_t max_candidates) {
+    const GraphSnapshot& view, PeerId root, std::size_t max_candidates) {
   // BFS over requester edges with a global visited set: each peer is
   // reached along one (shortest) path, matching the paper's "peers always
   // pick the first feasible exchange in the search process".
   const std::size_t n = view.num_peers();
-  std::vector<bool> visited(n, false);
-  std::vector<PeerId> parent(n);
-  std::vector<std::size_t> depth(n, 0);
+  ensure_scratch(n);
+  const std::uint32_t stamp = next_stamp();
+
+  // Mark the root's ring closers up front so the per-visit closure check
+  // is one stamped array probe instead of a search.
+  const std::span<const CloseEdge> closures = view.closures_of(root);
+  for (std::size_t i = 0; i < closures.size();) {
+    std::size_t j = i + 1;
+    while (j < closures.size() &&
+           closures[j].provider == closures[i].provider)
+      ++j;
+    if (closures[i].provider.value < n) {
+      CloserSlot& c = closers_[closures[i].provider.value];
+      c.stamp = stamp;
+      c.lo = static_cast<std::uint32_t>(i);
+      c.hi = static_cast<std::uint32_t>(j);
+    }
+    i = j;
+  }
 
   std::vector<RingProposal> out;
-  std::deque<PeerId> frontier;
-  visited[root.value] = true;
-  depth[root.value] = 1;
-  frontier.push_back(root);
+  frontier_.clear();
+  std::size_t head = 0;
+  visit_stamp_[root.value] = stamp;
+  tree_[root.value] = TreeSlot{PeerId{}, 1};
+  frontier_.push_back(root);
 
   const bool shortest_first = policy_ != ExchangePolicy::kLongestFirst;
 
-  while (!frontier.empty()) {
-    const PeerId x = frontier.front();
-    frontier.pop_front();
+  while (head < frontier_.size()) {
+    const PeerId x = frontier_[head++];
     ++stats_.nodes_visited;
-    const std::size_t d = depth[x.value];
+    const std::uint32_t d = tree_[x.value].depth;
 
-    if (x != root) {
-      for (ObjectId o : view.close_objects(root, x)) {
+    if (x != root && closers_[x.value].stamp == stamp) {
+      const CloserSlot& c = closers_[x.value];
+      for (std::uint32_t ci = c.lo; ci < c.hi; ++ci) {
         // Reconstruct the path root -> ... -> x from parent pointers.
-        std::vector<PeerId> path;
-        for (PeerId p = x; p != root; p = parent[p.value]) path.push_back(p);
-        path.push_back(root);
-        std::reverse(path.begin(), path.end());
-        if (auto proposal = make_proposal(view, path, o)) {
+        path_.clear();
+        for (PeerId p = x; p != root; p = tree_[p.value].parent)
+          path_.push_back(p);
+        path_.push_back(root);
+        std::reverse(path_.begin(), path_.end());
+        if (auto proposal = make_proposal(view, path_, closures[ci].object)) {
           out.push_back(std::move(*proposal));
-          ++stats_.candidates;
+          ++stats_.discovered;
           if (shortest_first && out.size() >= max_candidates) return out;
         }
       }
     }
 
     if (d >= max_ring_) continue;  // children would exceed the ring cap
-    for (PeerId child : view.requesters_of(x)) {
-      if (child.value >= n || visited[child.value]) continue;
-      visited[child.value] = true;
-      parent[child.value] = x;
-      depth[child.value] = d + 1;
-      frontier.push_back(child);
+    for (const PeerId child : view.requesters_of(x)) {
+      if (child.value >= n || visit_stamp_[child.value] == stamp) continue;
+      visit_stamp_[child.value] = stamp;
+      tree_[child.value] = TreeSlot{x, d + 1};
+      frontier_.push_back(child);
     }
   }
 
   if (!shortest_first) {
     // kLongestFirst: prefer the deepest rings; stable to keep BFS order
-    // within a size class.
-    std::stable_sort(out.begin(), out.end(),
-                     [](const RingProposal& a, const RingProposal& b) {
-                       return a.size() > b.size();
-                     });
+    // within a size class (allocation-free insertion sort: candidate
+    // lists are small and proposals move cheaply).
+    stable_insertion_sort(out.begin(), out.end(),
+                          [](const RingProposal& a, const RingProposal& b) {
+                            return a.size() > b.size();
+                          });
     if (out.size() > max_candidates) out.resize(max_candidates);
   }
   return out;
 }
 
-void ExchangeFinder::rebuild_summaries(const ExchangeGraphView& view,
+void ExchangeFinder::rebuild_summaries(const GraphSnapshot& view,
                                        std::size_t expected_per_level,
                                        double fpp) {
   const std::size_t n = view.num_peers();
@@ -109,101 +152,102 @@ void ExchangeFinder::rebuild_summaries(const ExchangeGraphView& view,
     summaries_.emplace_back(levels, expected_per_level, fpp);
 
   // Level 1: each peer's direct requesters.
-  std::vector<std::vector<PeerId>> children(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    children[i] = view.requesters_of(PeerId{static_cast<std::uint32_t>(i)});
-    for (PeerId c : children[i]) summaries_[i].insert(1, c);
-  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (const PeerId r :
+         view.requesters_of(PeerId{static_cast<std::uint32_t>(i)}))
+      summaries_[i].insert(1, r);
+
   // Level k = union of the children's level k-1 filters — exactly the
   // protocol's merge of forwarded summaries, so false positives compound
   // with depth as they would on the wire. Writing level k only reads
   // level k-1, so in-place iteration is sound.
   for (std::size_t k = 2; k <= levels; ++k) {
     for (std::size_t i = 0; i < n; ++i) {
-      for (PeerId c : children[i]) {
-        if (c.value >= n) continue;
-        summaries_[i].merge_into_level(k, summaries_[c.value].level(k - 1));
+      for (const PeerId r :
+           view.requesters_of(PeerId{static_cast<std::uint32_t>(i)})) {
+        if (r.value >= n) continue;
+        summaries_[i].merge_into_level(k, summaries_[r.value].level(k - 1));
       }
     }
   }
 }
 
-namespace {
-
-/// Depth-first next-hop walk: find a path of exactly `remaining` further
-/// hops from `node` to `target`, guided by the children's Bloom levels.
-/// Consumes from `budget`; increments `dead_ends` whenever a
-/// Bloom-endorsed branch fizzles (a false positive or staleness).
-bool reconstruct_hops(const ExchangeGraphView& view,
-                      const std::vector<BloomTreeSummary>& summaries,
-                      PeerId node, PeerId target, std::size_t remaining,
-                      std::vector<PeerId>& path, std::size_t& budget,
-                      std::uint64_t& dead_ends) {
-  if (budget == 0) return false;
+bool ExchangeFinder::reconstruct_hops(const GraphSnapshot& view, PeerId node,
+                                      PeerId target, std::size_t remaining,
+                                      std::size_t& budget) {
+  if (budget == 0) {
+    // Unexplored work is being abandoned: the walk is cut, and nothing
+    // below this point says anything about the filters.
+    walk_cut_ = true;
+    return false;
+  }
   --budget;
-  for (PeerId child : view.requesters_of(node)) {
-    if (std::find(path.begin(), path.end(), child) != path.end()) continue;
+  for (const PeerId child : view.requesters_of(node)) {
+    if (std::find(path_.begin(), path_.end(), child) != path_.end()) continue;
     if (remaining == 1) {
       if (child == target) {
-        path.push_back(child);
+        path_.push_back(child);
         return true;
       }
       continue;
     }
-    if (child.value >= summaries.size()) continue;
-    if (!summaries[child.value].maybe_at_level(remaining - 1, target))
+    if (child.value >= summaries_.size()) continue;
+    if (!summaries_[child.value].maybe_at_level(remaining - 1, target))
       continue;
-    path.push_back(child);
-    if (reconstruct_hops(view, summaries, child, target, remaining - 1, path,
-                         budget, dead_ends))
+    path_.push_back(child);
+    if (reconstruct_hops(view, child, target, remaining - 1, budget))
       return true;
-    path.pop_back();
-    ++dead_ends;
+    path_.pop_back();
+    // An endorsed branch that was fully explored and fizzled is a Bloom
+    // false positive (or staleness). Once the budget cut abandoned
+    // unexplored work, fizzles above the cut are unknowable and not
+    // counted; the caller accounts the whole walk as budget-exhausted.
+    if (!walk_cut_) ++stats_.bloom_branch_dead_ends;
   }
   return false;
 }
 
-}  // namespace
-
 std::vector<RingProposal> ExchangeFinder::find_bloom(
-    const ExchangeGraphView& view, PeerId root, std::size_t max_candidates) {
+    const GraphSnapshot& view, PeerId root, std::size_t max_candidates) {
   std::vector<RingProposal> out;
   if (summaries_.size() != view.num_peers()) return out;  // not built yet
 
-  struct Hit {
-    ObjectId object;
-    PeerId provider;
-    std::size_t level;  // ring size = level + 1
-  };
-  std::vector<Hit> hits;
+  hits_.clear();
   const std::size_t max_level = max_ring_ >= 2 ? max_ring_ - 1 : 1;
   const auto& mine = summaries_[root.value];
-  for (const auto& [object, providers] : view.want_providers(root)) {
-    for (PeerId p : providers) {
-      const std::size_t k = mine.first_level_maybe(p, max_level);
-      if (k != 0) {
-        hits.push_back(Hit{object, p, k});
-        ++stats_.bloom_detections;
-      }
+  for (const WantEdge& w : view.want_providers(root)) {
+    const std::size_t k = mine.first_level_maybe(w.provider, max_level);
+    if (k != 0) {
+      hits_.push_back(BloomHit{w.object, w.provider, k});
+      ++stats_.bloom_detections;
     }
   }
 
   const bool shortest_first = policy_ != ExchangePolicy::kLongestFirst;
-  std::stable_sort(hits.begin(), hits.end(), [&](const Hit& a, const Hit& b) {
-    return shortest_first ? a.level < b.level : a.level > b.level;
-  });
+  stable_insertion_sort(hits_.begin(), hits_.end(),
+                        [&](const BloomHit& a, const BloomHit& b) {
+                          return shortest_first ? a.level < b.level
+                                                : a.level > b.level;
+                        });
 
-  for (const Hit& hit : hits) {
+  for (const BloomHit& hit : hits_) {
     if (out.size() >= max_candidates) break;
-    std::vector<PeerId> path{root};
-    std::size_t budget = 256;  // bounds next-hop lookups per attempt
-    if (reconstruct_hops(view, summaries_, root, hit.provider, hit.level,
-                         path, budget, stats_.bloom_dead_ends)) {
-      if (auto proposal = make_proposal(view, path, hit.object)) {
+    path_.clear();
+    path_.push_back(root);
+    std::size_t budget = hop_budget_;
+    walk_cut_ = false;
+    if (reconstruct_hops(view, root, hit.provider, hit.level, budget)) {
+      if (auto proposal = make_proposal(view, path_, hit.object)) {
         out.push_back(std::move(*proposal));
-        ++stats_.candidates;
+        ++stats_.discovered;
         ++stats_.bloom_reconstructions;
       }
+    } else if (walk_cut_) {
+      // The walk abandoned unexplored work when the hop budget ran out:
+      // a search-cap cutoff, not evidence of a false positive. (A walk
+      // that merely spent its whole budget on a fully explored subtree
+      // is a genuine dead end.)
+      ++stats_.bloom_budget_exhausted;
     } else {
       ++stats_.bloom_dead_ends;
     }

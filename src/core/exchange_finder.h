@@ -8,6 +8,12 @@
 // provider at lookup time. The tree path B -> C1 -> ... -> P then closes
 // into a ring where each peer serves its tree child and P serves B.
 //
+// The search runs over a GraphSnapshot (flat CSR arrays, see
+// graph_snapshot.h); all per-search working state (visited marks, parent
+// pointers, frontier, path) lives in reusable finder scratch buffers, so
+// a steady-state search performs no allocations beyond the returned
+// proposals.
+//
 // Two search modes:
 //  * kFullTree — exact search over the live graph (paper Section IV);
 //    equivalent to perfectly fresh full request trees.
@@ -20,9 +26,10 @@
 
 #include <cstddef>
 #include <optional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
+#include "core/graph_snapshot.h"
 #include "core/policy.h"
 #include "proto/bloom_summary.h"
 #include "proto/token.h"
@@ -30,72 +37,65 @@
 
 namespace p2pex {
 
-/// Read-only view of the simulation state the finder needs. Implemented
-/// by the System; tests provide hand-built fixtures.
-class ExchangeGraphView {
- public:
-  virtual ~ExchangeGraphView() = default;
-
-  /// Total peers (ids are dense in [0, num_peers)).
-  [[nodiscard]] virtual std::size_t num_peers() const = 0;
-
-  /// Distinct requesters with at least one ring-usable request in
-  /// `provider`'s IRQ (queued, or active non-exchange and thus
-  /// upgradeable), in first-arrival order.
-  [[nodiscard]] virtual std::vector<PeerId> requesters_of(
-      PeerId provider) const = 0;
-
-  /// The object of the oldest ring-usable request `requester` has
-  /// registered at `provider`; invalid ObjectId if none.
-  [[nodiscard]] virtual ObjectId request_between(PeerId provider,
-                                                 PeerId requester) const = 0;
-
-  /// Objects `root` wants that `provider` can close a ring with: root has
-  /// an active download of the object, discovered `provider` as an owner
-  /// at lookup time, and `provider` still stores it. Order: issue order.
-  [[nodiscard]] virtual std::vector<ObjectId> close_objects(
-      PeerId root, PeerId provider) const = 0;
-
-  /// (object, discovered-and-still-owning providers) for each of root's
-  /// active downloads — the candidate ring closers used in Bloom mode.
-  [[nodiscard]] virtual std::vector<std::pair<ObjectId, std::vector<PeerId>>>
-  want_providers(PeerId root) const = 0;
-};
-
 /// Search statistics (Bloom-mode ablation reporting).
+///
+/// Glossary:
+///  * `discovered`   — proposals found during searches, before any
+///                     post-sort truncation to the candidate cap;
+///  * `candidates`   — proposals actually returned to the caller
+///                     (candidates <= discovered);
+///  * a Bloom *walk* is one hop-by-hop reconstruction attempt for one
+///    detection. Per walk, exactly one of: a reconstruction (the path
+///    was rebuilt; it may still fail proposal validation when stale), a
+///    dead end (the walk fizzled with budget to spare — a false positive
+///    or staleness), or a budget exhaustion (the walk was cut short by
+///    the hop budget, so nothing is known about the cycle);
+///  * `bloom_branch_dead_ends` counts the finer-grained events inside
+///    walks: a child summary endorsed a branch that was explored and
+///    fizzled. One failed walk can contain many branch dead ends; budget
+///    cutoffs are excluded.
 struct FinderStats {
   std::uint64_t searches = 0;
-  std::uint64_t candidates = 0;
+  std::uint64_t discovered = 0;            ///< proposals found pre-truncation
+  std::uint64_t candidates = 0;            ///< proposals returned to callers
   std::uint64_t bloom_detections = 0;      ///< level hits in root summary
   std::uint64_t bloom_reconstructions = 0; ///< paths successfully rebuilt
-  std::uint64_t bloom_dead_ends = 0;       ///< next-hop walks that fizzled
+  std::uint64_t bloom_dead_ends = 0;       ///< whole walks that fizzled
+  std::uint64_t bloom_branch_dead_ends = 0;///< endorsed branches that fizzled
+  std::uint64_t bloom_budget_exhausted = 0;///< walks cut by the hop budget
   std::uint64_t nodes_visited = 0;
 };
 
 /// Finds candidate exchange rings rooted at a peer.
 class ExchangeFinder {
  public:
+  /// Next-hop lookups one Bloom reconstruction walk may spend before it
+  /// is abandoned (bounds Section V token traffic per attempt).
+  static constexpr std::size_t kDefaultBloomHopBudget = 256;
+
   /// `max_ring_size` — largest ring considered (paper: 5 by default).
   ExchangeFinder(ExchangePolicy policy, std::size_t max_ring_size,
-                 TreeMode mode);
+                 TreeMode mode,
+                 std::size_t bloom_hop_budget = kDefaultBloomHopBudget);
 
   /// Returns up to `max_candidates` well-formed ring proposals rooted at
   /// `root`, ordered per policy (kShortestFirst: ascending size;
   /// kLongestFirst: descending size). Empty under kNoExchange or when
   /// nothing closes. In kBloom mode, uses the last rebuilt summaries.
-  [[nodiscard]] std::vector<RingProposal> find(const ExchangeGraphView& view,
+  [[nodiscard]] std::vector<RingProposal> find(const GraphSnapshot& view,
                                                PeerId root,
                                                std::size_t max_candidates);
 
   /// Rebuilds all per-peer per-level Bloom summaries from the live graph
   /// (kBloom mode; the System calls this on its periodic sweep, modelling
   /// incremental summary propagation latency).
-  void rebuild_summaries(const ExchangeGraphView& view,
+  void rebuild_summaries(const GraphSnapshot& view,
                          std::size_t expected_per_level, double fpp);
 
   [[nodiscard]] const FinderStats& stats() const { return stats_; }
   [[nodiscard]] ExchangePolicy policy() const { return policy_; }
   [[nodiscard]] std::size_t max_ring_size() const { return max_ring_; }
+  [[nodiscard]] std::size_t bloom_hop_budget() const { return hop_budget_; }
 
   /// Wire bytes one request would carry in the current mode: the full
   /// tree is counted by the caller (it knows tree sizes); this reports
@@ -103,26 +103,66 @@ class ExchangeFinder {
   [[nodiscard]] std::size_t summary_wire_bytes(PeerId peer) const;
 
  private:
-  std::vector<RingProposal> find_full(const ExchangeGraphView& view,
-                                      PeerId root,
+  std::vector<RingProposal> find_full(const GraphSnapshot& view, PeerId root,
                                       std::size_t max_candidates);
-  std::vector<RingProposal> find_bloom(const ExchangeGraphView& view,
-                                       PeerId root,
+  std::vector<RingProposal> find_bloom(const GraphSnapshot& view, PeerId root,
                                        std::size_t max_candidates);
+
+  /// Depth-first next-hop walk: find a path of exactly `remaining`
+  /// further hops from `node` to `target`, guided by the children's
+  /// Bloom levels, extending `path_`. Consumes from `budget`.
+  bool reconstruct_hops(const GraphSnapshot& view, PeerId node, PeerId target,
+                        std::size_t remaining, std::size_t& budget);
 
   /// Builds the proposal for tree path `path` (root first) closed by the
   /// last element serving `close_object` to the root. Returns nullopt if
   /// any hop lacks a usable request (possible in Bloom mode where hops
   /// are probabilistic).
-  std::optional<RingProposal> make_proposal(
-      const ExchangeGraphView& view, const std::vector<PeerId>& path,
-      ObjectId close_object) const;
+  std::optional<RingProposal> make_proposal(const GraphSnapshot& view,
+                                            std::span<const PeerId> path,
+                                            ObjectId close_object) const;
+
+  /// Grows the BFS scratch to cover `n` peers.
+  void ensure_scratch(std::size_t n);
 
   ExchangePolicy policy_;
   std::size_t max_ring_;
   TreeMode mode_;
+  std::size_t hop_budget_;
   FinderStats stats_;
   std::vector<BloomTreeSummary> summaries_;  ///< per peer, kBloom mode
+
+  /// Starts a new search generation; clears all stamped marks on the
+  /// (astronomically rare) 32-bit wrap so stale stamps cannot collide.
+  std::uint32_t next_stamp();
+
+  // --- reusable per-search scratch (hot path: no per-call allocation) ---
+  struct BloomHit {
+    ObjectId object;
+    PeerId provider;
+    std::size_t level;  ///< ring size = level + 1
+  };
+  /// BFS tree bookkeeping, written once per discovered node.
+  struct TreeSlot {
+    PeerId parent;
+    std::uint32_t depth;  ///< root = 1
+  };
+  /// Per-root closer mark: maps a visited provider straight to its
+  /// subrange of closures_of(root) (O(1) instead of a binary search per
+  /// visited node). Valid when stamp matches the current search.
+  struct CloserSlot {
+    std::uint32_t stamp = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+  };
+  bool walk_cut_ = false;  ///< current Bloom walk hit the budget guard
+  std::uint32_t stamp_ = 0;                ///< current search's mark value
+  std::vector<std::uint32_t> visit_stamp_; ///< == stamp_ -> visited
+  std::vector<TreeSlot> tree_;             ///< valid where visited
+  std::vector<CloserSlot> closers_;        ///< valid where stamp matches
+  std::vector<PeerId> frontier_;           ///< BFS queue (head index scan)
+  std::vector<PeerId> path_;               ///< reconstructed ring path
+  std::vector<BloomHit> hits_;             ///< Bloom detections per search
 };
 
 }  // namespace p2pex

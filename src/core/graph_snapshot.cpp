@@ -1,0 +1,88 @@
+#include "core/graph_snapshot.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/sort.h"
+
+namespace p2pex {
+
+void GraphSnapshot::begin(std::size_t num_peers) {
+  num_peers_ = num_peers;
+  cursor_ = 0;
+  edge_requesters_.clear();
+  edge_objects_.clear();
+  closures_.clear();
+  wants_.clear();
+  edge_offsets_.clear();
+  closure_offsets_.clear();
+  want_offsets_.clear();
+  edge_offsets_.reserve(num_peers + 1);
+  closure_offsets_.reserve(num_peers + 1);
+  want_offsets_.reserve(num_peers + 1);
+  edge_offsets_.push_back(0);
+  closure_offsets_.push_back(0);
+  want_offsets_.push_back(0);
+}
+
+void GraphSnapshot::add_edge(PeerId requester, ObjectId object) {
+  P2PEX_ASSERT_MSG(cursor_ < num_peers_, "add_edge past the last peer");
+  edge_requesters_.push_back(requester);
+  edge_objects_.push_back(object);
+}
+
+void GraphSnapshot::add_closure(PeerId provider, ObjectId object) {
+  P2PEX_ASSERT_MSG(cursor_ < num_peers_, "add_closure past the last peer");
+  closures_.push_back(CloseEdge{provider, object});
+}
+
+void GraphSnapshot::add_want(ObjectId object, PeerId provider) {
+  P2PEX_ASSERT_MSG(cursor_ < num_peers_, "add_want past the last peer");
+  wants_.push_back(WantEdge{object, provider});
+}
+
+void GraphSnapshot::next_peer() {
+  P2PEX_ASSERT_MSG(cursor_ < num_peers_, "next_peer past the last peer");
+  // Group the sealed root's closures by provider; stable so each
+  // provider's objects stay in want (issue) order. Insertion sort: the
+  // group is small and often pre-sorted, and std::stable_sort would
+  // heap-allocate a merge buffer per peer per rebuild.
+  stable_insertion_sort(closures_.begin() +
+                            static_cast<std::ptrdiff_t>(closure_offsets_.back()),
+                        closures_.end(),
+                        [](const CloseEdge& a, const CloseEdge& b) {
+                          return a.provider < b.provider;
+                        });
+  edge_offsets_.push_back(
+      static_cast<std::uint32_t>(edge_requesters_.size()));
+  closure_offsets_.push_back(static_cast<std::uint32_t>(closures_.size()));
+  want_offsets_.push_back(static_cast<std::uint32_t>(wants_.size()));
+  ++cursor_;
+}
+
+void GraphSnapshot::finish() {
+  P2PEX_ASSERT_MSG(cursor_ == num_peers_,
+                   "finish before every peer was sealed");
+}
+
+ObjectId GraphSnapshot::request_between(PeerId provider,
+                                        PeerId requester) const {
+  const std::span<const PeerId> requesters = requesters_of(provider);
+  for (std::size_t i = 0; i < requesters.size(); ++i)
+    if (requesters[i] == requester)
+      return edge_objects_[edge_offsets_[provider.value] + i];
+  return ObjectId{};
+}
+
+std::span<const CloseEdge> GraphSnapshot::close_objects(
+    PeerId root, PeerId provider) const {
+  const std::span<const CloseEdge> all = closures_of(root);
+  const auto lo = std::partition_point(
+      all.begin(), all.end(),
+      [provider](const CloseEdge& e) { return e.provider < provider; });
+  auto hi = lo;
+  while (hi != all.end() && hi->provider == provider) ++hi;
+  return {lo, hi};
+}
+
+}  // namespace p2pex

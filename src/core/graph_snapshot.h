@@ -1,0 +1,155 @@
+// Immutable CSR snapshot of the request graph the ring search walks.
+//
+// The ring search (ExchangeFinder) visits every reachable peer of a
+// request tree per search; querying the live System state per visit used
+// to materialize a fresh std::vector (plus an O(N) seen-bitmap) per node,
+// making one search O(N^2) in allocations. A GraphSnapshot flattens the
+// three facts the finder consumes into contiguous arrays queried by span:
+//
+//  * requesters_of(p)      — labelled request edges (CSR offsets+edges),
+//                            one edge per distinct usable requester with
+//                            the object of its oldest usable request;
+//  * close_objects(r, p)   — per-root ring-closure facts, grouped by
+//                            provider (binary-searched subrange);
+//  * want_providers(r)     — per-root candidate closers for Bloom-mode
+//                            detection, grouped by wanted object.
+//
+// Builders fill the snapshot peer by peer (ids must be dense in
+// [0, num_peers)); all storage is reused across rebuilds, so a steady-
+// state rebuild performs no allocations once high-water capacity is
+// reached. The System rebuilds lazily, keyed on a mutation epoch; test
+// fixtures rebuild from their naive scripted state on demand.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.h"
+
+namespace p2pex {
+
+/// One labelled request edge: `requester` has a usable (non-ring-bound)
+/// request for `object` registered in the provider's IRQ.
+struct GraphEdge {
+  PeerId requester;
+  ObjectId object;
+
+  friend constexpr bool operator==(GraphEdge, GraphEdge) = default;
+};
+
+/// One ring-closure fact for a search root: `provider` owns `object`,
+/// which the root wants and discovered at lookup time.
+struct CloseEdge {
+  PeerId provider;
+  ObjectId object;
+
+  friend constexpr bool operator==(CloseEdge, CloseEdge) = default;
+};
+
+/// One Bloom-mode closer candidate for a search root: `provider` can
+/// close a ring by serving `object` to the root. Grouped by object in
+/// the root's want order, providers ascending within an object.
+struct WantEdge {
+  ObjectId object;
+  PeerId provider;
+
+  friend constexpr bool operator==(WantEdge, WantEdge) = default;
+};
+
+class GraphSnapshot {
+ public:
+  // --- build (strictly sequential: peer 0, 1, ..., n-1) ---
+
+  /// Starts a rebuild for `num_peers` peers. Previously allocated
+  /// capacity is kept.
+  void begin(std::size_t num_peers);
+
+  /// Appends a request edge of the peer currently being built (as
+  /// provider). Call in IRQ first-arrival order, one edge per requester.
+  void add_edge(PeerId requester, ObjectId object);
+
+  /// Appends a closure fact of the peer currently being built (as root).
+  /// Call in the root's want (issue) order; grouping by provider is done
+  /// when the peer is sealed.
+  void add_closure(PeerId provider, ObjectId object);
+
+  /// Appends a Bloom closer candidate of the peer currently being built
+  /// (as root). Call grouped by object in want order.
+  void add_want(ObjectId object, PeerId provider);
+
+  /// Seals the current peer's rows and advances to the next peer.
+  void next_peer();
+
+  /// Completes the build; every peer must have been sealed.
+  void finish();
+
+  // --- queries (valid after finish()) ---
+
+  [[nodiscard]] std::size_t num_peers() const { return num_peers_; }
+
+  /// Distinct requesters with a usable request at `provider`, in
+  /// first-arrival order. Edge labels live in the parallel
+  /// edge_objects_of() span (structure-of-arrays: the BFS streams only
+  /// requester ids; labels are touched only when a proposal is built).
+  [[nodiscard]] std::span<const PeerId> requesters_of(PeerId provider) const {
+    return row(edge_requesters_, edge_offsets_, provider);
+  }
+
+  /// Labels parallel to requesters_of(): the object of each requester's
+  /// oldest usable request.
+  [[nodiscard]] std::span<const ObjectId> edge_objects_of(
+      PeerId provider) const {
+    return row(edge_objects_, edge_offsets_, provider);
+  }
+
+  /// The object of the oldest usable request `requester` registered at
+  /// `provider`; invalid ObjectId if none.
+  [[nodiscard]] ObjectId request_between(PeerId provider,
+                                         PeerId requester) const;
+
+  /// All of `root`'s closure facts, grouped by provider (ascending),
+  /// want order within a provider.
+  [[nodiscard]] std::span<const CloseEdge> closures_of(PeerId root) const {
+    return row(closures_, closure_offsets_, root);
+  }
+
+  /// Objects `provider` can close a ring with for `root`, in want order.
+  [[nodiscard]] std::span<const CloseEdge> close_objects(PeerId root,
+                                                         PeerId provider) const;
+
+  /// `root`'s candidate ring closers (Bloom-mode detection input).
+  [[nodiscard]] std::span<const WantEdge> want_providers(PeerId root) const {
+    return row(wants_, want_offsets_, root);
+  }
+
+  [[nodiscard]] std::size_t num_edges() const {
+    return edge_requesters_.size();
+  }
+  [[nodiscard]] std::size_t num_closures() const { return closures_.size(); }
+  [[nodiscard]] std::size_t num_wants() const { return wants_.size(); }
+
+ private:
+  template <class T>
+  [[nodiscard]] std::span<const T> row(const std::vector<T>& items,
+                                       const std::vector<std::uint32_t>& offsets,
+                                       PeerId peer) const {
+    const std::uint32_t lo = offsets[peer.value];
+    const std::uint32_t hi = offsets[peer.value + 1];
+    return {items.data() + lo, items.data() + hi};
+  }
+
+  std::size_t num_peers_ = 0;
+  std::size_t cursor_ = 0;  ///< peer currently being built
+
+  std::vector<std::uint32_t> edge_offsets_;     ///< n+1 once finished
+  std::vector<PeerId> edge_requesters_;
+  std::vector<ObjectId> edge_objects_;
+  std::vector<std::uint32_t> closure_offsets_;  ///< n+1 once finished
+  std::vector<CloseEdge> closures_;
+  std::vector<std::uint32_t> want_offsets_;     ///< n+1 once finished
+  std::vector<WantEdge> wants_;
+};
+
+}  // namespace p2pex

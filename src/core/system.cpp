@@ -1,6 +1,7 @@
 // System construction, workload generation and periodic maintenance.
 // Transfer/exchange mechanics live in system_transfer.cpp; the
-// ExchangeGraphView implementation and invariant audit in system_view.cpp.
+// request-graph views (GraphSnapshot builder + naive reference
+// accessors) and invariant audit in system_view.cpp.
 #include "core/system.h"
 
 #include <algorithm>
@@ -13,7 +14,8 @@ System::System(const SimConfig& config)
     : cfg_(config),
       rng_((config.validate(), config.seed)),
       catalog_(cfg_.catalog, rng_),
-      finder_(cfg_.policy, cfg_.max_ring_size, cfg_.tree_mode),
+      finder_(cfg_.policy, cfg_.max_ring_size, cfg_.tree_mode,
+              cfg_.bloom_hop_budget),
       metrics_(cfg_.warmup()) {
   build_peers();
   place_initial_objects();
@@ -105,8 +107,8 @@ void System::run_to(SimTime t) {
     });
     sim_.schedule_periodic(cfg_.search_interval, [this] { search_sweep(); });
     if (cfg_.tree_mode == TreeMode::kBloom)
-      finder_.rebuild_summaries(*this, cfg_.bloom_expected_per_level,
-                                cfg_.bloom_fpp);
+      finder_.rebuild_summaries(graph_snapshot(),
+                                cfg_.bloom_expected_per_level, cfg_.bloom_fpp);
     // Closed-loop workload: every peer immediately fills its pending set
     // (paper: "requests are generated fast enough so that each peer
     // reaches this maximum early enough in the simulation").
@@ -188,6 +190,7 @@ bool System::issue_one_request(PeerId p) {
     peer.pending[o] = did;
     peer.pending_list.push_back(did);
     ++counters_.requests_issued;
+    touch_graph();  // new pending download + IRQ registrations
     mark_dirty(p);  // "prior to transmission of a request ..."
     return true;
   }
@@ -197,6 +200,7 @@ bool System::issue_one_request(PeerId p) {
 void System::cancel_download(DownloadId did) {
   Download& d = download(did);
   if (!d.active) return;
+  touch_graph();  // pending download and its IRQ registrations go away
   accrue_download(d);
   for (SessionId sid : std::vector<SessionId>(d.sessions))
     if (session(sid).active) end_session(sid, SessionEnd::kRequesterCancelled);
@@ -219,6 +223,7 @@ void System::eviction_sweep() {
     if (!p.online) continue;
     const std::vector<ObjectId> evicted = p.storage.evict_over_capacity(rng_);
     if (evicted.empty()) continue;
+    touch_graph();  // storage contents + doomed IRQ entries change
     for (ObjectId o : evicted)
       if (p.shares) lookup_.remove_owner(o, p.id);
     // Queued requests for an evicted object can never be served here any
@@ -251,7 +256,7 @@ void System::search_sweep() {
   // slot churn and to retry non-exchange service that was previously
   // blocked on requester download capacity.
   if (cfg_.tree_mode == TreeMode::kBloom)
-    finder_.rebuild_summaries(*this, cfg_.bloom_expected_per_level,
+    finder_.rebuild_summaries(graph_snapshot(), cfg_.bloom_expected_per_level,
                               cfg_.bloom_fpp);
   for (const Peer& p : peers_)
     if (p.online && p.shares && !p.irq.empty()) mark_dirty(p.id);

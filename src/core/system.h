@@ -40,7 +40,7 @@ struct SystemCounters {
 };
 
 /// One complete simulation instance.
-class System final : public ExchangeGraphView {
+class System final {
  public:
   /// Validates the config and builds the initial world (peers, catalog,
   /// initial object placement). The workload starts on run().
@@ -63,7 +63,7 @@ class System final : public ExchangeGraphView {
   [[nodiscard]] const Catalog& catalog() const { return catalog_; }
   [[nodiscard]] const LookupService& lookup() const { return lookup_; }
 
-  [[nodiscard]] std::size_t num_peers() const override { return peers_.size(); }
+  [[nodiscard]] std::size_t num_peers() const { return peers_.size(); }
   [[nodiscard]] const Peer& peer(PeerId p) const;
   [[nodiscard]] std::size_t num_sharing() const { return num_sharing_; }
 
@@ -72,15 +72,29 @@ class System final : public ExchangeGraphView {
   /// byte counts are sane. Throws AssertionError on violation.
   void check_invariants() const;
 
-  // --- ExchangeGraphView ---
-  [[nodiscard]] std::vector<PeerId> requesters_of(
-      PeerId provider) const override;
+  // --- request-graph views ---
+  /// CSR snapshot of the request graph the ring search walks, rebuilt
+  /// lazily when simulation state mutated since the last build (keyed on
+  /// a mutation epoch; see touch_graph()). Single-threaded: the returned
+  /// reference is invalidated by the next state mutation.
+  [[nodiscard]] const GraphSnapshot& graph_snapshot() const;
+
+  /// Snapshot rebuilds performed so far — at most one per mutation
+  /// epoch, however many searches a sweep runs against it.
+  [[nodiscard]] std::uint64_t snapshot_rebuilds() const {
+    return snapshot_rebuilds_;
+  }
+
+  // Naive per-call reference implementations of the same three facts.
+  // The snapshot builder must agree with these on any reachable state;
+  // tests audit that equivalence (test_graph_snapshot.cpp).
+  [[nodiscard]] std::vector<PeerId> requesters_of(PeerId provider) const;
   [[nodiscard]] ObjectId request_between(PeerId provider,
-                                         PeerId requester) const override;
-  [[nodiscard]] std::vector<ObjectId> close_objects(
-      PeerId root, PeerId provider) const override;
+                                         PeerId requester) const;
+  [[nodiscard]] std::vector<ObjectId> close_objects(PeerId root,
+                                                    PeerId provider) const;
   [[nodiscard]] std::vector<std::pair<ObjectId, std::vector<PeerId>>>
-  want_providers(PeerId root) const override;
+  want_providers(PeerId root) const;
 
   /// Mean full-request-tree wire size over sharing peers right now
   /// (Section V cost accounting; used by the Bloom ablation).
@@ -120,6 +134,13 @@ class System final : public ExchangeGraphView {
   void search_sweep();
   void finalize();
 
+  // --- graph-snapshot cache ---
+  /// Records that request-graph-visible state (IRQ entries or their
+  /// states, storage contents, pending downloads) changed, invalidating
+  /// the cached GraphSnapshot. Every mutation site must call this.
+  void touch_graph() { ++graph_epoch_; }
+  void rebuild_snapshot() const;
+
   [[nodiscard]] Peer& peer_mut(PeerId p);
   [[nodiscard]] Download& download(DownloadId d);
   [[nodiscard]] Session& session(SessionId s);
@@ -136,6 +157,17 @@ class System final : public ExchangeGraphView {
   std::vector<Download> downloads_;
   std::vector<Session> sessions_;
   std::vector<Ring> rings_;
+
+  // Lazily rebuilt request-graph snapshot (mutable: building is caching,
+  // not observable state; the simulation is single-threaded).
+  std::uint64_t graph_epoch_ = 0;
+  mutable GraphSnapshot snapshot_;
+  mutable std::uint64_t snapshot_epoch_ = 0;
+  mutable std::uint64_t snapshot_rebuilds_ = 0;
+  mutable bool snapshot_built_ = false;
+  mutable std::vector<std::uint64_t> snap_seen_;  ///< builder dedupe marks
+  mutable std::uint64_t snap_seen_stamp_ = 0;
+  mutable std::vector<PeerId> snap_providers_;    ///< builder sort scratch
 
   std::set<PeerId> dirty_;
   bool draining_ = false;

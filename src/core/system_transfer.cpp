@@ -79,6 +79,10 @@ SessionId System::start_session(PeerId provider, IrqEntry& entry,
   entry.state = ring.valid() ? RequestState::kActiveExchange
                              : RequestState::kActiveNonExchange;
   entry.session = sid;
+  // Only kActiveExchange entries leave the request graph; a non-exchange
+  // start (kQueued -> kActiveNonExchange) is invisible to the snapshot,
+  // so don't force a rebuild for it.
+  if (ring.valid()) touch_graph();
 
   // Re-acquire: the push_back above may have invalidated `d`? No —
   // downloads_ was not touched; sessions_ was. d stays valid.
@@ -94,6 +98,10 @@ void System::end_session(SessionId sid, SessionEnd reason) {
   Download& d = download(s.download);
   accrue_download(d);  // brings s.bytes up to date
   s.active = false;
+  // An ended exchange session returns its ring-bound entry to the graph
+  // below; ending a non-exchange session (kActiveNonExchange -> kQueued)
+  // leaves the snapshot's view of the entry unchanged.
+  if (s.ring.valid()) touch_graph();
 
   Peer& prov = peers_[s.provider.value];
   Peer& req = peers_[s.requester.value];
@@ -169,6 +177,7 @@ void System::complete_download(DownloadId did) {
     return;
   }
   d.received = static_cast<double>(d.size);
+  touch_graph();  // registrations drop, storage gains the object
 
   for (SessionId sid : std::vector<SessionId>(d.sessions))
     if (sessions_[sid.value].active)
@@ -248,8 +257,8 @@ void System::process_peer(PeerId pid) {
           }
       }
       if (!can_serve) break;
-      const auto candidates =
-          finder_.find(*this, pid, cfg_.max_ring_attempts_per_search);
+      const auto candidates = finder_.find(graph_snapshot(), pid,
+                                           cfg_.max_ring_attempts_per_search);
       bool formed = false;
       for (const RingProposal& proposal : candidates) {
         ++counters_.ring_attempts;
@@ -350,6 +359,7 @@ bool System::try_form_ring(const RingProposal& proposal) {
   }
 
   // --- Execute atomically (control plane is instantaneous). ---
+  touch_graph();  // ring-closing entries may be created below
   const RingId rid{static_cast<std::uint32_t>(rings_.size())};
   rings_.push_back(Ring{rid, {}, true});
 

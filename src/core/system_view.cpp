@@ -1,6 +1,7 @@
-// ExchangeGraphView implementation (the live request graph the ring
-// search walks), Section V wire-cost accounting, and the invariant audit
-// used by property tests.
+// Request-graph views of the live System: the CSR GraphSnapshot the ring
+// search walks plus the naive per-call reference accessors it is audited
+// against, Section V wire-cost accounting, and the invariant audit used
+// by property tests.
 #include <algorithm>
 
 #include "core/system.h"
@@ -8,6 +9,67 @@
 #include "util/assert.h"
 
 namespace p2pex {
+
+const GraphSnapshot& System::graph_snapshot() const {
+  if (!snapshot_built_ || snapshot_epoch_ != graph_epoch_) {
+    rebuild_snapshot();
+    snapshot_epoch_ = graph_epoch_;
+    snapshot_built_ = true;
+    ++snapshot_rebuilds_;
+  }
+  return snapshot_;
+}
+
+void System::rebuild_snapshot() const {
+  const std::size_t n = peers_.size();
+  snapshot_.begin(n);
+  if (snap_seen_.size() < n) snap_seen_.assign(n, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Peer& p = peers_[i];
+
+    // Request edges: distinct online requesters with a usable
+    // (non-ring-bound) entry, first-arrival order, labelled with the
+    // oldest usable object — must match requesters_of/request_between
+    // below exactly (the equivalence tests pin this).
+    const std::uint64_t stamp = ++snap_seen_stamp_;
+    for (const IrqEntry& e : p.irq.entries()) {
+      if (e.state == RequestState::kActiveExchange) continue;  // ring-bound
+      if (snap_seen_[e.requester.value] == stamp) continue;
+      if (!peers_[e.requester.value].online) continue;
+      snap_seen_[e.requester.value] = stamp;
+      snapshot_.add_edge(e.requester, e.object);
+    }
+
+    // Closure facts and Bloom closer candidates of peer i as search
+    // root, in issue order; d.discovered is unordered, so eligible
+    // providers are sorted per download (matching want_providers'
+    // sorted output, which the Bloom hit order depends on).
+    for (DownloadId did : p.pending_list) {
+      const Download& d = downloads_[did.value];
+      if (!d.active) continue;
+      snap_providers_.clear();
+      for (PeerId prov : d.discovered) {
+        const Peer& pr = peers_[prov.value];
+        if (pr.online && pr.shares && pr.storage.contains(d.object))
+          snap_providers_.push_back(prov);
+      }
+      std::sort(snap_providers_.begin(), snap_providers_.end());
+      for (PeerId prov : snap_providers_) {
+        snapshot_.add_want(d.object, prov);
+        // Skip wants this provider is already serving us in a ring
+        // (close_objects' exclusion; want_providers keeps them).
+        if (const IrqEntry* e =
+                peers_[prov.value].irq.find(RequestKey{p.id, d.object});
+            e != nullptr && e->state == RequestState::kActiveExchange)
+          continue;
+        snapshot_.add_closure(prov, d.object);
+      }
+    }
+    snapshot_.next_peer();
+  }
+  snapshot_.finish();
+}
 
 std::vector<PeerId> System::requesters_of(PeerId provider) const {
   const Peer& p = peers_[provider.value];

@@ -23,6 +23,7 @@
 #include "core/entities.h"
 #include "core/exchange_finder.h"
 #include "core/experiment.h"
+#include "core/graph_snapshot.h"
 #include "core/lookup.h"
 #include "core/nonring.h"
 #include "core/policy.h"

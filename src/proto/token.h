@@ -21,6 +21,8 @@ struct RingLink {
   PeerId provider;
   PeerId requester;
   ObjectId object;
+
+  friend constexpr bool operator==(RingLink, RingLink) = default;
 };
 
 /// A complete ring proposal: links[i].requester == links[i+1 mod n].provider

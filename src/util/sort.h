@@ -1,0 +1,24 @@
+// Allocation-free stable sorting for small hot-path ranges.
+#pragma once
+
+#include <utility>
+
+namespace p2pex {
+
+/// Stable in-place insertion sort: equal elements keep their relative
+/// order, producing exactly std::stable_sort's result — without the
+/// temporary merge buffer libstdc++'s stable_sort heap-allocates on
+/// every call. O(k^2) moves: use only for small (or nearly sorted)
+/// ranges on allocation-free hot paths.
+template <class It, class Less>
+void stable_insertion_sort(It first, It last, Less less) {
+  if (first == last) return;
+  for (It i = first + 1; i != last; ++i) {
+    auto value = std::move(*i);
+    It j = i;
+    for (; j != first && less(value, *(j - 1)); --j) *j = std::move(*(j - 1));
+    *j = std::move(value);
+  }
+}
+
+}  // namespace p2pex

@@ -20,6 +20,11 @@ inline constexpr std::uint64_t kStorageFuzzSeeds[] = {11, 12, 13, 15, 18,
 inline constexpr std::uint64_t kEventQueueFuzzSeeds[] = {21, 22, 23, 25, 28,
                                                          41, 66};
 
+/// Seeds for the randomized snapshot-vs-reference ring-search
+/// equivalence suite (test_graph_snapshot.cpp).
+inline constexpr std::uint64_t kGraphFuzzSeeds[] = {31, 32, 33, 35, 38,
+                                                    53, 97};
+
 /// Names a parameterized fuzz instance "seed<N>" so the CTest case list
 /// reads as the corpus itself.
 inline std::string fuzz_seed_name(

@@ -11,11 +11,13 @@ void ScriptedGraph::add_request(std::uint32_t requester,
                                 std::uint32_t provider,
                                 std::uint32_t object) {
   edges_[provider].emplace_back(PeerId{requester}, ObjectId{object});
+  snap_stale_ = true;
 }
 
 void ScriptedGraph::add_closure(std::uint32_t root, std::uint32_t object,
                                 std::uint32_t provider) {
   closures_[root].emplace_back(ObjectId{object}, PeerId{provider});
+  snap_stale_ = true;
 }
 
 void ScriptedGraph::remove_request(std::uint32_t requester,
@@ -25,10 +27,20 @@ void ScriptedGraph::remove_request(std::uint32_t requester,
   std::erase_if(it->second, [&](const auto& e) {
     return e.first == PeerId{requester};
   });
+  snap_stale_ = true;
 }
 
 void ScriptedGraph::clear_closures(std::uint32_t root) {
   closures_.erase(root);
+  snap_stale_ = true;
+}
+
+const GraphSnapshot& ScriptedGraph::snapshot() const {
+  if (snap_stale_) {
+    build_snapshot_from_naive(*this, snap_);
+    snap_stale_ = false;
+  }
+  return snap_;
 }
 
 std::vector<PeerId> ScriptedGraph::requesters_of(PeerId provider) const {
@@ -146,6 +158,14 @@ RandomRequestGraph::want_providers(PeerId root) const {
   if (it == closures_.end()) return out;
   for (const auto& [o, p] : it->second) out.push_back({o, {p}});
   return out;
+}
+
+const GraphSnapshot& RandomRequestGraph::snapshot() const {
+  if (snap_stale_) {
+    build_snapshot_from_naive(*this, snap_);
+    snap_stale_ = false;
+  }
+  return snap_;
 }
 
 }  // namespace p2pex::test

@@ -1,6 +1,12 @@
-// Hand-built and randomized ExchangeGraphView fixtures shared by the
+// Hand-built and randomized request-graph fixtures shared by the
 // ring-search tests (finder unit tests, Bloom-mode edge cases, property
 // suites).
+//
+// Each fixture keeps a naive, mutable scripted representation (maps and
+// vectors, queried per call) and lazily derives the GraphSnapshot the
+// finder consumes. The naive accessors stay public: they are the ground
+// truth the snapshot is checked against in the equivalence tests, and
+// the reference the property suites assert proposals with.
 #pragma once
 
 #include <cstdint>
@@ -12,9 +18,30 @@
 
 namespace p2pex::test {
 
+/// Builds `snap` from any naive view exposing num_peers / requesters_of /
+/// request_between / close_objects / want_providers (the pre-snapshot
+/// ExchangeGraphView shape). O(n^2) closure enumeration — test-only.
+template <class View>
+void build_snapshot_from_naive(const View& view, GraphSnapshot& snap) {
+  const auto n = static_cast<std::uint32_t>(view.num_peers());
+  snap.begin(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const PeerId peer{i};
+    for (PeerId r : view.requesters_of(peer))
+      snap.add_edge(r, view.request_between(peer, r));
+    for (const auto& [object, providers] : view.want_providers(peer))
+      for (PeerId p : providers) snap.add_want(object, p);
+    for (std::uint32_t q = 0; q < n; ++q)
+      for (ObjectId o : view.close_objects(peer, PeerId{q}))
+        snap.add_closure(PeerId{q}, o);
+    snap.next_peer();
+  }
+  snap.finish();
+}
+
 /// Hand-built request graph: edges (provider <- requester, object) plus
 /// per-root closure facts (object, providers able to close).
-class ScriptedGraph : public ExchangeGraphView {
+class ScriptedGraph {
  public:
   explicit ScriptedGraph(std::size_t n) : n_(n) {}
 
@@ -32,18 +59,24 @@ class ScriptedGraph : public ExchangeGraphView {
   /// Drop every closure fact of `root` (e.g. want list satisfied).
   void clear_closures(std::uint32_t root);
 
-  std::size_t num_peers() const override { return n_; }
-  std::vector<PeerId> requesters_of(PeerId provider) const override;
-  ObjectId request_between(PeerId provider, PeerId requester) const override;
-  std::vector<ObjectId> close_objects(PeerId root,
-                                      PeerId provider) const override;
+  // --- naive reference accessors ---
+  std::size_t num_peers() const { return n_; }
+  std::vector<PeerId> requesters_of(PeerId provider) const;
+  ObjectId request_between(PeerId provider, PeerId requester) const;
+  std::vector<ObjectId> close_objects(PeerId root, PeerId provider) const;
   std::vector<std::pair<ObjectId, std::vector<PeerId>>> want_providers(
-      PeerId root) const override;
+      PeerId root) const;
+
+  /// The CSR snapshot the finder searches, rebuilt after mutations.
+  const GraphSnapshot& snapshot() const;
+  operator const GraphSnapshot&() const { return snapshot(); }  // NOLINT
 
  private:
   std::size_t n_;
   std::map<std::uint32_t, std::vector<std::pair<PeerId, ObjectId>>> edges_;
   std::map<std::uint32_t, std::vector<std::pair<ObjectId, PeerId>>> closures_;
+  mutable GraphSnapshot snap_;
+  mutable bool snap_stale_ = true;
 };
 
 /// 0 serves 1 (o1); 1 owns o9 that 0 wants -> pairwise ring {0,1}.
@@ -57,21 +90,26 @@ ScriptedGraph threeway_graph();
 ScriptedGraph chain_graph(std::uint32_t n);
 
 /// Random request graph with ground-truth closure facts (seeded).
-class RandomRequestGraph : public ExchangeGraphView {
+class RandomRequestGraph {
  public:
   RandomRequestGraph(std::size_t n, std::size_t degree, std::uint64_t seed);
 
-  std::size_t num_peers() const override { return edges_.size(); }
-  std::vector<PeerId> requesters_of(PeerId p) const override;
-  ObjectId request_between(PeerId p, PeerId r) const override;
-  std::vector<ObjectId> close_objects(PeerId root,
-                                      PeerId provider) const override;
+  // --- naive reference accessors ---
+  std::size_t num_peers() const { return edges_.size(); }
+  std::vector<PeerId> requesters_of(PeerId p) const;
+  ObjectId request_between(PeerId p, PeerId r) const;
+  std::vector<ObjectId> close_objects(PeerId root, PeerId provider) const;
   std::vector<std::pair<ObjectId, std::vector<PeerId>>> want_providers(
-      PeerId root) const override;
+      PeerId root) const;
+
+  const GraphSnapshot& snapshot() const;
+  operator const GraphSnapshot&() const { return snapshot(); }  // NOLINT
 
  private:
   std::vector<std::vector<std::pair<PeerId, ObjectId>>> edges_;
   std::map<std::uint32_t, std::vector<std::pair<ObjectId, PeerId>>> closures_;
+  mutable GraphSnapshot snap_;
+  mutable bool snap_stale_ = true;
 };
 
 }  // namespace p2pex::test

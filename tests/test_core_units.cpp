@@ -1,15 +1,43 @@
 // Unit tests for core components: config validation, policy labels,
-// lookup service, non-ring mixed exchange, metrics collector.
+// lookup service, non-ring mixed exchange, metrics collector, hot-path
+// sorting.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "core/config.h"
 #include "core/lookup.h"
 #include "core/nonring.h"
 #include "core/policy.h"
 #include "metrics/collector.h"
+#include "util/rng.h"
+#include "util/sort.h"
 
 namespace p2pex {
 namespace {
+
+// --- stable_insertion_sort ---
+
+TEST(StableInsertionSort, MatchesStdStableSortIncludingTies) {
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    // (key, tag) pairs with many duplicate keys: stability means equal
+    // keys keep their tag order, exactly like std::stable_sort.
+    std::vector<std::pair<int, int>> a;
+    const std::size_t len = rng.index(40);
+    for (std::size_t i = 0; i < len; ++i)
+      a.emplace_back(static_cast<int>(rng.index(5)), static_cast<int>(i));
+    auto b = a;
+    const auto by_key = [](const auto& x, const auto& y) {
+      return x.first < y.first;
+    };
+    stable_insertion_sort(a.begin(), a.end(), by_key);
+    std::stable_sort(b.begin(), b.end(), by_key);
+    EXPECT_EQ(a, b) << "round " << round;
+  }
+}
 
 // --- Config ---
 

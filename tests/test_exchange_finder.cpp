@@ -113,7 +113,33 @@ TEST(Finder, StatsAccumulate) {
   (void)f.find(g, PeerId{0}, 4);
   EXPECT_EQ(f.stats().searches, 2u);
   EXPECT_EQ(f.stats().candidates, 2u);
+  EXPECT_EQ(f.stats().discovered, 2u);
   EXPECT_GT(f.stats().nodes_visited, 0u);
+}
+
+TEST(Finder, CandidatesCountReturnedProposalsAfterTruncation) {
+  // Two rings close for root 0 (sizes 2 and 3). Under kLongestFirst the
+  // post-sort truncation to max_candidates must be reflected in
+  // `candidates`; the raw pre-truncation count lives in `discovered`.
+  ScriptedGraph g = threeway_graph();
+  g.add_closure(0, 8, 1);
+  ExchangeFinder f(ExchangePolicy::kLongestFirst, 5, TreeMode::kFullTree);
+  const auto rings = f.find(g, PeerId{0}, 1);
+  ASSERT_EQ(rings.size(), 1u);
+  EXPECT_EQ(rings[0].size(), 3u);
+  EXPECT_EQ(f.stats().discovered, 2u);
+  EXPECT_EQ(f.stats().candidates, 1u);  // == proposals actually returned
+}
+
+TEST(Finder, ShortestFirstStopsDiscoveryAtTheCap) {
+  // kShortestFirst returns as soon as the cap is reached, so discovered
+  // and candidates agree with the returned count.
+  ScriptedGraph g = threeway_graph();
+  g.add_closure(0, 8, 1);
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
+  ASSERT_EQ(f.find(g, PeerId{0}, 1).size(), 1u);
+  EXPECT_EQ(f.stats().discovered, 1u);
+  EXPECT_EQ(f.stats().candidates, 1u);
 }
 
 // --- Bloom mode ---
@@ -216,6 +242,73 @@ TEST(FinderBloom, RealRingSurvivesFalsePositiveNoise) {
                 ring.links[i].object);
   }
   EXPECT_GE(f.stats().bloom_reconstructions, 1u);
+}
+
+TEST(FinderBloom, WalkDeadEndsAndBranchFizzlesCountedSeparately) {
+  // Target 3 is reachable at level 2 through child 1 and child 2. After
+  // the summaries are built, the 1 <- 3 edge disappears: the walk is
+  // endorsed into child 1 (stale), fizzles there (one branch dead end),
+  // then succeeds through child 2 — so the walk as a whole is a
+  // reconstruction, not a dead end.
+  ScriptedGraph g(5);
+  g.add_request(1, 0, 1);
+  g.add_request(2, 0, 2);
+  g.add_request(3, 1, 3);
+  g.add_request(3, 2, 4);
+  g.add_closure(0, 9, 3);
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  f.rebuild_summaries(g, 64, 0.001);
+  g.remove_request(3, 1);
+  const auto rings = f.find(g, PeerId{0}, 4);
+  ASSERT_EQ(rings.size(), 1u);
+  EXPECT_EQ(rings[0].size(), 3u);
+  EXPECT_EQ(f.stats().bloom_reconstructions, 1u);
+  EXPECT_EQ(f.stats().bloom_branch_dead_ends, 1u);
+  EXPECT_EQ(f.stats().bloom_dead_ends, 0u);
+  EXPECT_EQ(f.stats().bloom_budget_exhausted, 0u);
+}
+
+TEST(FinderBloom, FailedWalkIsOneDeadEndNotPerBranch) {
+  // Both endorsed branches fizzle (the level-1 edges to the target are
+  // gone): two branch dead ends, but exactly one whole-walk dead end —
+  // the double counting the ablation used to suffer from.
+  ScriptedGraph g(5);
+  g.add_request(1, 0, 1);
+  g.add_request(2, 0, 2);
+  g.add_request(3, 1, 3);
+  g.add_request(3, 2, 4);
+  g.add_closure(0, 9, 3);
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  f.rebuild_summaries(g, 64, 0.001);
+  g.remove_request(3, 1);
+  g.remove_request(3, 2);
+  EXPECT_TRUE(f.find(g, PeerId{0}, 4).empty());
+  EXPECT_EQ(f.stats().bloom_dead_ends, 1u);
+  EXPECT_EQ(f.stats().bloom_branch_dead_ends, 2u);
+  EXPECT_EQ(f.stats().bloom_reconstructions, 0u);
+  EXPECT_EQ(f.stats().bloom_budget_exhausted, 0u);
+}
+
+TEST(FinderBloom, BudgetExhaustionIsNotADeadEnd) {
+  // A hop budget of 1 is spent entering the walk; the level-2 target can
+  // never be reached. That is a search-cap cutoff, not a false positive:
+  // it must report as bloom_budget_exhausted, with dead ends untouched.
+  const ScriptedGraph g = threeway_graph();
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom,
+                   /*bloom_hop_budget=*/1);
+  EXPECT_EQ(f.bloom_hop_budget(), 1u);
+  f.rebuild_summaries(g, 64, 0.001);
+  EXPECT_TRUE(f.find(g, PeerId{0}, 4).empty());
+  EXPECT_GE(f.stats().bloom_detections, 1u);
+  EXPECT_EQ(f.stats().bloom_budget_exhausted, 1u);
+  EXPECT_EQ(f.stats().bloom_dead_ends, 0u);
+  EXPECT_EQ(f.stats().bloom_branch_dead_ends, 0u);
+
+  // The same graph with the default budget reconstructs the ring.
+  ExchangeFinder roomy(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  roomy.rebuild_summaries(g, 64, 0.001);
+  EXPECT_EQ(roomy.find(g, PeerId{0}, 4).size(), 1u);
+  EXPECT_EQ(roomy.stats().bloom_budget_exhausted, 0u);
 }
 
 TEST(FinderBloom, SummaryWireBytesNonZero) {

@@ -1,0 +1,406 @@
+// GraphSnapshot coverage: builder/query unit tests, randomized
+// equivalence of the snapshot-based ring search against a naive
+// reference implementation (the pre-snapshot per-call algorithm), and a
+// live audit that a running System's snapshot agrees with its naive
+// accessors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/exchange_finder.h"
+#include "core/graph_snapshot.h"
+#include "core/system.h"
+#include "support/fuzz_corpus.h"
+#include "support/graph_fixtures.h"
+#include "support/scenario.h"
+
+namespace p2pex {
+namespace {
+
+using test::RandomRequestGraph;
+using test::ScriptedGraph;
+
+// ---------------------------------------------------------------------------
+// Reference ring search: the pre-snapshot algorithm, querying the naive
+// fixture accessors per call. The snapshot-based finder must return
+// byte-identical proposals on any graph.
+// ---------------------------------------------------------------------------
+
+template <class View>
+std::optional<RingProposal> ref_make_proposal(const View& view,
+                                              const std::vector<PeerId>& path,
+                                              ObjectId close_object) {
+  RingProposal proposal;
+  proposal.links.reserve(path.size());
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const ObjectId o = view.request_between(path[i], path[i + 1]);
+    if (!o.valid()) return std::nullopt;
+    proposal.links.push_back(RingLink{path[i], path[i + 1], o});
+  }
+  proposal.links.push_back(RingLink{path.back(), path.front(), close_object});
+  if (!proposal.well_formed()) return std::nullopt;
+  return proposal;
+}
+
+template <class View>
+std::vector<RingProposal> ref_find_full(const View& view,
+                                        ExchangePolicy policy,
+                                        std::size_t max_ring, PeerId root,
+                                        std::size_t max_candidates) {
+  if (policy == ExchangePolicy::kPairwiseOnly) max_ring = 2;
+  const std::size_t n = view.num_peers();
+  std::vector<bool> visited(n, false);
+  std::vector<PeerId> parent(n);
+  std::vector<std::size_t> depth(n, 0);
+
+  std::vector<RingProposal> out;
+  std::deque<PeerId> frontier;
+  visited[root.value] = true;
+  depth[root.value] = 1;
+  frontier.push_back(root);
+  const bool shortest_first = policy != ExchangePolicy::kLongestFirst;
+
+  while (!frontier.empty()) {
+    const PeerId x = frontier.front();
+    frontier.pop_front();
+    const std::size_t d = depth[x.value];
+    if (x != root) {
+      for (ObjectId o : view.close_objects(root, x)) {
+        std::vector<PeerId> path;
+        for (PeerId p = x; p != root; p = parent[p.value]) path.push_back(p);
+        path.push_back(root);
+        std::reverse(path.begin(), path.end());
+        if (auto proposal = ref_make_proposal(view, path, o)) {
+          out.push_back(std::move(*proposal));
+          if (shortest_first && out.size() >= max_candidates) return out;
+        }
+      }
+    }
+    if (d >= max_ring) continue;
+    for (PeerId child : view.requesters_of(x)) {
+      if (child.value >= n || visited[child.value]) continue;
+      visited[child.value] = true;
+      parent[child.value] = x;
+      depth[child.value] = d + 1;
+      frontier.push_back(child);
+    }
+  }
+  if (!shortest_first) {
+    std::stable_sort(out.begin(), out.end(),
+                     [](const RingProposal& a, const RingProposal& b) {
+                       return a.size() > b.size();
+                     });
+    if (out.size() > max_candidates) out.resize(max_candidates);
+  }
+  return out;
+}
+
+/// Reference Bloom-mode search: summaries built level by level from the
+/// naive accessors, reconstruction via per-call next-hop walks.
+template <class View>
+class RefBloomFinder {
+ public:
+  RefBloomFinder(ExchangePolicy policy, std::size_t max_ring)
+      : policy_(policy),
+        max_ring_(policy == ExchangePolicy::kPairwiseOnly ? 2 : max_ring) {}
+
+  void rebuild(const View& view, std::size_t expected_per_level, double fpp) {
+    const std::size_t n = view.num_peers();
+    const std::size_t levels = max_ring_ >= 2 ? max_ring_ - 1 : 1;
+    summaries_.clear();
+    summaries_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      summaries_.emplace_back(levels, expected_per_level, fpp);
+    std::vector<std::vector<PeerId>> children(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      children[i] = view.requesters_of(PeerId{static_cast<std::uint32_t>(i)});
+      for (PeerId c : children[i]) summaries_[i].insert(1, c);
+    }
+    for (std::size_t k = 2; k <= levels; ++k)
+      for (std::size_t i = 0; i < n; ++i)
+        for (PeerId c : children[i]) {
+          if (c.value >= n) continue;
+          summaries_[i].merge_into_level(k, summaries_[c.value].level(k - 1));
+        }
+  }
+
+  std::vector<RingProposal> find(const View& view, PeerId root,
+                                 std::size_t max_candidates) {
+    std::vector<RingProposal> out;
+    if (summaries_.size() != view.num_peers()) return out;
+    struct Hit {
+      ObjectId object;
+      PeerId provider;
+      std::size_t level;
+    };
+    std::vector<Hit> hits;
+    const std::size_t max_level = max_ring_ >= 2 ? max_ring_ - 1 : 1;
+    const auto& mine = summaries_[root.value];
+    for (const auto& [object, providers] : view.want_providers(root))
+      for (PeerId p : providers) {
+        const std::size_t k = mine.first_level_maybe(p, max_level);
+        if (k != 0) hits.push_back(Hit{object, p, k});
+      }
+    const bool shortest_first = policy_ != ExchangePolicy::kLongestFirst;
+    std::stable_sort(hits.begin(), hits.end(),
+                     [&](const Hit& a, const Hit& b) {
+                       return shortest_first ? a.level < b.level
+                                             : a.level > b.level;
+                     });
+    for (const Hit& hit : hits) {
+      if (out.size() >= max_candidates) break;
+      std::vector<PeerId> path{root};
+      std::size_t budget = ExchangeFinder::kDefaultBloomHopBudget;
+      if (walk(view, root, hit.provider, hit.level, path, budget))
+        if (auto proposal = ref_make_proposal(view, path, hit.object))
+          out.push_back(std::move(*proposal));
+    }
+    return out;
+  }
+
+ private:
+  bool walk(const View& view, PeerId node, PeerId target,
+            std::size_t remaining, std::vector<PeerId>& path,
+            std::size_t& budget) {
+    if (budget == 0) return false;
+    --budget;
+    for (PeerId child : view.requesters_of(node)) {
+      if (std::find(path.begin(), path.end(), child) != path.end()) continue;
+      if (remaining == 1) {
+        if (child == target) {
+          path.push_back(child);
+          return true;
+        }
+        continue;
+      }
+      if (child.value >= summaries_.size()) continue;
+      if (!summaries_[child.value].maybe_at_level(remaining - 1, target))
+        continue;
+      path.push_back(child);
+      if (walk(view, child, target, remaining - 1, path, budget)) return true;
+      path.pop_back();
+    }
+    return false;
+  }
+
+  ExchangePolicy policy_;
+  std::size_t max_ring_;
+  std::vector<BloomTreeSummary> summaries_;
+};
+
+void expect_same_proposals(const std::vector<RingProposal>& got,
+                           const std::vector<RingProposal>& want,
+                           const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i].links, want[i].links) << context << " proposal " << i;
+}
+
+// ---------------------------------------------------------------------------
+// Builder/query unit tests
+// ---------------------------------------------------------------------------
+
+TEST(GraphSnapshot, BuilderRowsAndLookups) {
+  GraphSnapshot g;
+  g.begin(4);
+  // peer 0: requesters 2 (o5) then 1 (o6); root closures/wants on 3.
+  g.add_edge(PeerId{2}, ObjectId{5});
+  g.add_edge(PeerId{1}, ObjectId{6});
+  g.add_want(ObjectId{9}, PeerId{3});
+  g.add_closure(PeerId{3}, ObjectId{9});
+  g.next_peer();
+  g.next_peer();  // peer 1: empty
+  g.add_edge(PeerId{3}, ObjectId{7});
+  g.next_peer();
+  g.next_peer();  // peer 3: empty
+  g.finish();
+
+  ASSERT_EQ(g.num_peers(), 4u);
+  ASSERT_EQ(g.num_edges(), 3u);
+  const auto r0 = g.requesters_of(PeerId{0});
+  ASSERT_EQ(r0.size(), 2u);
+  EXPECT_EQ(r0[0], PeerId{2});  // first-arrival order preserved
+  EXPECT_EQ(r0[1], PeerId{1});
+  EXPECT_EQ(g.edge_objects_of(PeerId{0})[0], ObjectId{5});
+  EXPECT_TRUE(g.requesters_of(PeerId{1}).empty());
+  EXPECT_EQ(g.request_between(PeerId{0}, PeerId{1}), ObjectId{6});
+  EXPECT_FALSE(g.request_between(PeerId{0}, PeerId{3}).valid());
+  EXPECT_FALSE(g.request_between(PeerId{3}, PeerId{0}).valid());
+
+  const auto c = g.close_objects(PeerId{0}, PeerId{3});
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].object, ObjectId{9});
+  EXPECT_TRUE(g.close_objects(PeerId{0}, PeerId{1}).empty());
+  EXPECT_TRUE(g.close_objects(PeerId{2}, PeerId{3}).empty());
+  const auto w = g.want_providers(PeerId{0});
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].object, ObjectId{9});
+  EXPECT_EQ(w[0].provider, PeerId{3});
+}
+
+TEST(GraphSnapshot, ClosuresGroupedByProviderKeepingWantOrder) {
+  GraphSnapshot g;
+  g.begin(3);
+  // Interleaved providers in want order; grouping must be stable.
+  g.add_closure(PeerId{2}, ObjectId{10});
+  g.add_closure(PeerId{1}, ObjectId{11});
+  g.add_closure(PeerId{2}, ObjectId{12});
+  g.next_peer();
+  g.next_peer();
+  g.next_peer();
+  g.finish();
+
+  const auto all = g.closures_of(PeerId{0});
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].provider, PeerId{1});
+  const auto c2 = g.close_objects(PeerId{0}, PeerId{2});
+  ASSERT_EQ(c2.size(), 2u);
+  EXPECT_EQ(c2[0].object, ObjectId{10});  // want order within the group
+  EXPECT_EQ(c2[1].object, ObjectId{12});
+}
+
+TEST(GraphSnapshot, ReusedAcrossRebuilds) {
+  GraphSnapshot g;
+  g.begin(2);
+  g.add_edge(PeerId{1}, ObjectId{1});
+  g.next_peer();
+  g.next_peer();
+  g.finish();
+  ASSERT_EQ(g.num_edges(), 1u);
+
+  g.begin(3);  // rebuild with different shape: old rows must vanish
+  g.next_peer();
+  g.add_edge(PeerId{0}, ObjectId{2});
+  g.add_closure(PeerId{0}, ObjectId{3});
+  g.next_peer();
+  g.next_peer();
+  g.finish();
+  EXPECT_EQ(g.num_peers(), 3u);
+  EXPECT_TRUE(g.requesters_of(PeerId{0}).empty());
+  ASSERT_EQ(g.requesters_of(PeerId{1}).size(), 1u);
+  EXPECT_EQ(g.request_between(PeerId{1}, PeerId{0}), ObjectId{2});
+  EXPECT_EQ(g.close_objects(PeerId{1}, PeerId{0}).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized snapshot-vs-reference equivalence (fuzz seed corpus)
+// ---------------------------------------------------------------------------
+
+class SnapshotEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SnapshotEquivalence, FullTreeProposalsMatchReference) {
+  for (std::size_t degree : {2u, 4u, 8u}) {
+    const RandomRequestGraph g(60, degree, GetParam() ^ degree);
+    for (auto policy : {ExchangePolicy::kPairwiseOnly,
+                        ExchangePolicy::kShortestFirst,
+                        ExchangePolicy::kLongestFirst}) {
+      ExchangeFinder f(policy, 5, TreeMode::kFullTree);
+      for (std::uint32_t root = 0; root < 60; ++root) {
+        const auto got = f.find(g.snapshot(), PeerId{root}, 8);
+        const auto want = ref_find_full(g, policy, 5, PeerId{root}, 8);
+        expect_same_proposals(got, want,
+                              "deg=" + std::to_string(degree) + " root=" +
+                                  std::to_string(root));
+      }
+    }
+  }
+}
+
+TEST_P(SnapshotEquivalence, BloomProposalsMatchReference) {
+  const RandomRequestGraph g(60, 4, GetParam());
+  for (auto policy :
+       {ExchangePolicy::kShortestFirst, ExchangePolicy::kLongestFirst}) {
+    ExchangeFinder f(policy, 5, TreeMode::kBloom);
+    f.rebuild_summaries(g.snapshot(), 32, 0.05);
+    RefBloomFinder<RandomRequestGraph> ref(policy, 5);
+    ref.rebuild(g, 32, 0.05);
+    for (std::uint32_t root = 0; root < 60; ++root) {
+      const auto got = f.find(g.snapshot(), PeerId{root}, 8);
+      const auto want = ref.find(g, PeerId{root}, 8);
+      expect_same_proposals(got, want, "bloom root=" + std::to_string(root));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SnapshotEquivalence,
+                         ::testing::ValuesIn(test::kGraphFuzzSeeds),
+                         test::fuzz_seed_name);
+
+// ---------------------------------------------------------------------------
+// Live System audit: the lazily rebuilt snapshot must agree with the
+// naive accessors at any reachable state.
+// ---------------------------------------------------------------------------
+
+void audit_snapshot_against_naive(const System& s) {
+  const GraphSnapshot& snap = s.graph_snapshot();
+  ASSERT_EQ(snap.num_peers(), s.num_peers());
+  for (std::uint32_t p = 0; p < s.num_peers(); ++p) {
+    const PeerId peer{p};
+    const std::vector<PeerId> naive_req = s.requesters_of(peer);
+    const auto req = snap.requesters_of(peer);
+    ASSERT_EQ(req.size(), naive_req.size()) << "provider " << p;
+    for (std::size_t i = 0; i < req.size(); ++i) {
+      EXPECT_EQ(req[i], naive_req[i]) << "provider " << p;
+      EXPECT_EQ(snap.edge_objects_of(peer)[i],
+                s.request_between(peer, naive_req[i]))
+          << "provider " << p;
+    }
+    std::size_t naive_wants = 0;
+    const auto wants = snap.want_providers(peer);
+    std::size_t wi = 0;
+    for (const auto& [object, providers] : s.want_providers(peer)) {
+      naive_wants += providers.size();
+      for (PeerId prov : providers) {
+        ASSERT_LT(wi, wants.size()) << "root " << p;
+        EXPECT_EQ(wants[wi].object, object) << "root " << p;
+        EXPECT_EQ(wants[wi].provider, prov) << "root " << p;
+        ++wi;
+      }
+    }
+    EXPECT_EQ(wants.size(), naive_wants) << "root " << p;
+    for (std::uint32_t q = 0; q < s.num_peers(); ++q) {
+      const std::vector<ObjectId> naive_close =
+          s.close_objects(peer, PeerId{q});
+      const auto close = snap.close_objects(peer, PeerId{q});
+      ASSERT_EQ(close.size(), naive_close.size())
+          << "root " << p << " provider " << q;
+      for (std::size_t i = 0; i < close.size(); ++i) {
+        EXPECT_EQ(close[i].provider, PeerId{q});
+        EXPECT_EQ(close[i].object, naive_close[i])
+            << "root " << p << " provider " << q;
+      }
+    }
+  }
+}
+
+TEST(SystemSnapshot, AgreesWithNaiveAccessorsAcrossTheRun) {
+  System s(test::Scenario::view().build());
+  // Mid-run states exercise live queues, active rings and evictions; the
+  // snapshot must track every mutation epoch.
+  for (const double t : {500.0, 2000.0, 3500.0}) {
+    s.run_to(t);
+    audit_snapshot_against_naive(s);
+  }
+}
+
+TEST(SystemSnapshot, RebuildsAtMostOncePerMutationEpoch) {
+  System s(test::Scenario::view().build());
+  s.run_to(2500.0);
+  // Caching: repeated reads with no mutation in between never rebuild.
+  (void)s.graph_snapshot();
+  const std::uint64_t rebuilds = s.snapshot_rebuilds();
+  (void)s.graph_snapshot();
+  (void)s.graph_snapshot();
+  EXPECT_EQ(s.snapshot_rebuilds(), rebuilds);
+  // Amortization: the run's searches shared snapshots — strictly fewer
+  // rebuilds than ring searches (the point of epoch-keyed laziness).
+  EXPECT_GT(rebuilds, 0u);
+  ASSERT_GT(s.finder_stats().searches, 0u);
+  EXPECT_LT(rebuilds, s.finder_stats().searches);
+}
+
+}  // namespace
+}  // namespace p2pex

@@ -1,5 +1,6 @@
-// Consistency of the live ExchangeGraphView a running System exposes:
-// every fact the ring search consumes must be backed by real state.
+// Consistency of the live request-graph facts a running System exposes
+// (the naive reference accessors behind the GraphSnapshot): every fact
+// the ring search consumes must be backed by real state.
 #include <gtest/gtest.h>
 
 #include <algorithm>
