@@ -25,6 +25,8 @@ struct CatalogConfig {
   double category_popularity_f = 0.2;  ///< skew of category ranks
   double object_popularity_f = 0.2;    ///< skew of object ranks in a category
   Bytes object_size = megabytes(20);   ///< identical for all objects
+
+  friend bool operator==(const CatalogConfig&, const CatalogConfig&) = default;
 };
 
 /// Immutable universe of categories and objects.

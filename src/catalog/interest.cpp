@@ -7,14 +7,25 @@
 namespace p2pex {
 
 InterestProfile::InterestProfile(const Catalog& catalog,
-                                 std::size_t num_categories, Rng& rng) {
+                                 std::size_t num_categories, Rng& rng)
+    : InterestProfile(catalog, num_categories, catalog.num_categories(),
+                      rng) {}
+
+InterestProfile::InterestProfile(const Catalog& catalog,
+                                 std::size_t num_categories,
+                                 std::size_t max_category, Rng& rng) {
   P2PEX_ASSERT_MSG(num_categories >= 1, "peer needs at least one category");
-  P2PEX_ASSERT_MSG(num_categories <= catalog.num_categories(),
-                   "more interests than categories exist");
-  // Distinct draws by popularity: re-draw on duplicates. num_categories is
-  // tiny (paper: <= 8) relative to 300 categories, so this terminates fast.
+  P2PEX_ASSERT_MSG(num_categories <= max_category,
+                   "interest cap below the interests to draw");
+  P2PEX_ASSERT_MSG(max_category <= catalog.num_categories(),
+                   "interest cap beyond the catalog");
+  // Distinct draws by popularity: re-draw on duplicates (and on draws
+  // past the popularity cap). num_categories is tiny (paper: <= 8)
+  // relative to 300 categories, so this terminates fast; with a cap, the
+  // head categories it restricts to are exactly the likeliest draws.
   while (categories_.size() < num_categories) {
     const CategoryId c = catalog.sample_category(rng);
+    if (c.value >= max_category) continue;
     if (std::find(categories_.begin(), categories_.end(), c) ==
         categories_.end())
       categories_.push_back(c);

@@ -25,6 +25,13 @@ class InterestProfile {
   InterestProfile(const Catalog& catalog, std::size_t num_categories,
                   Rng& rng);
 
+  /// As above, but draws only from the `max_category` most popular
+  /// categories (CategoryIds are popularity ranks). Models cohorts whose
+  /// interests concentrate on the head of the catalog.
+  /// Requires num_categories <= max_category <= catalog.num_categories().
+  InterestProfile(const Catalog& catalog, std::size_t num_categories,
+                  std::size_t max_category, Rng& rng);
+
   /// Samples a category from the local preference distribution.
   [[nodiscard]] CategoryId sample_category(Rng& rng) const;
 

@@ -48,6 +48,9 @@ void SimConfig::validate() const {
 }
 
 std::string SimConfig::describe() const {
+  // Every knob that shapes a run appears here: bench headers print this
+  // line as the experiment's operating point, so an omitted knob means a
+  // silently mislabelled figure (a test pins the exact output).
   std::ostringstream os;
   os << "peers=" << num_peers
      << " nonsharing=" << nonsharing_fraction
@@ -61,13 +64,24 @@ std::string SimConfig::describe() const {
      << " storage=[" << min_storage_objects << "," << max_storage_objects << "]"
      << " cats/peer=[" << min_categories_per_peer << ","
      << max_categories_per_peer << "]"
+     << " fill=" << initial_fill_fraction
      << " irq=" << irq_capacity
      << " pending=" << max_pending
+     << " lookup=" << lookup_fraction
+     << " providers=" << max_providers_per_request
      << " policy=" << policy_label(policy, max_ring_size)
+     << " attempts=" << max_ring_attempts_per_search
      << " scheduler=" << to_string(scheduler)
+     << " liars=" << liar_fraction
      << " preemption=" << (preemption ? "on" : "off")
      << " tree=" << to_string(tree_mode)
+     << " bloom=[" << bloom_expected_per_level << "," << bloom_fpp << ","
+     << bloom_hop_budget << "]"
+     << " search=" << search_interval << "s"
+     << " evict=" << eviction_interval << "s"
+     << " retry=" << request_retry_interval << "s"
      << " duration=" << sim_duration << "s"
+     << " warmup=" << warmup_fraction
      << " seed=" << seed;
   return os.str();
 }

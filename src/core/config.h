@@ -146,6 +146,8 @@ struct SimConfig {
 
   /// Rendered parameter table (printed by bench headers).
   [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const SimConfig&, const SimConfig&) = default;
 };
 
 }  // namespace p2pex

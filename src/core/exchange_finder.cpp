@@ -18,6 +18,12 @@ ExchangeFinder::ExchangeFinder(ExchangePolicy policy,
   P2PEX_ASSERT_MSG(hop_budget_ > 0, "bloom hop budget must be positive");
 }
 
+void ExchangeFinder::set_policy(ExchangePolicy policy,
+                                std::size_t max_ring_size) {
+  policy_ = policy;
+  max_ring_ = policy == ExchangePolicy::kPairwiseOnly ? 2 : max_ring_size;
+}
+
 std::vector<RingProposal> ExchangeFinder::find(const GraphSnapshot& view,
                                                PeerId root,
                                                std::size_t max_candidates) {

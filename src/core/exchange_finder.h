@@ -92,6 +92,11 @@ class ExchangeFinder {
   void rebuild_summaries(const GraphSnapshot& view,
                          std::size_t expected_per_level, double fpp);
 
+  /// Mid-run policy/ring-cap flip (scenario timelines). Stats and scratch
+  /// survive; in kBloom mode the caller must rebuild_summaries() so the
+  /// per-level summaries match a grown cap.
+  void set_policy(ExchangePolicy policy, std::size_t max_ring_size);
+
   [[nodiscard]] const FinderStats& stats() const { return stats_; }
   [[nodiscard]] ExchangePolicy policy() const { return policy_; }
   [[nodiscard]] std::size_t max_ring_size() const { return max_ring_; }

@@ -5,10 +5,9 @@
 
 namespace p2pex {
 
-RunResult run_experiment(const SimConfig& config, std::string label) {
-  System system(config);
-  system.run();
+RunResult summarize_run(const System& system, std::string label) {
   const MetricsCollector& m = system.metrics();
+  const SimConfig& config = system.config();
 
   RunResult r;
   r.label = label.empty() ? policy_label(config.policy, config.max_ring_size)
@@ -26,6 +25,12 @@ RunResult run_experiment(const SimConfig& config, std::string label) {
   r.rings_formed = system.counters().rings_formed;
   r.preemptions = system.counters().preemptions;
   return r;
+}
+
+RunResult run_experiment(const SimConfig& config, std::string label) {
+  System system(config);
+  system.run();
+  return summarize_run(system, std::move(label));
 }
 
 std::unique_ptr<System> run_system(const SimConfig& config) {

@@ -32,6 +32,11 @@ struct RunResult {
   }
 };
 
+/// Summarizes an already-run System into the paper's units. Label
+/// defaults to the policy label of the system's config. Scenario-driven
+/// runs (scenario::Driver) go through this to share the figure pipeline.
+RunResult summarize_run(const System& system, std::string label = "");
+
 /// Runs one simulation to completion and summarizes it. The System is
 /// discarded; use run_system() when CDFs or counters are needed.
 RunResult run_experiment(const SimConfig& config, std::string label = "");

@@ -1,0 +1,50 @@
+#include "core/population.h"
+
+#include <cmath>
+#include <string>
+
+namespace p2pex {
+
+void validate_plan(const PopulationPlan& plan, const SimConfig& config) {
+  if (plan.empty()) return;
+  auto fail = [](const std::string& msg) { throw ConfigError(msg); };
+
+  if (plan_size(plan) != config.num_peers)
+    fail("population plan builds " + std::to_string(plan_size(plan)) +
+         " peers but num_peers is " + std::to_string(config.num_peers));
+
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const PeerClass& c = plan[i];
+    const std::string where = "population class " + std::to_string(i) + ": ";
+    if (c.count < 1) fail(where + "count must be positive");
+    if (c.liar_fraction < 0.0 || c.liar_fraction > 1.0)
+      fail(where + "liar_fraction must be in [0, 1]");
+    if (c.upload_kbps != 0.0 && c.upload_kbps < config.slot_kbps)
+      fail(where + "upload below one slot — members could never serve");
+    if (c.download_kbps != 0.0 && c.download_kbps < config.slot_kbps)
+      fail(where + "download below one slot — members could never download");
+    if ((c.min_storage == 0) != (c.max_storage == 0))
+      fail(where + "storage range needs both bounds (or neither)");
+    if (c.max_storage != 0 && c.min_storage > c.max_storage)
+      fail(where + "bad storage range");
+    if ((c.min_categories == 0) != (c.max_categories == 0))
+      fail(where + "categories range needs both bounds (or neither)");
+    if (c.max_categories != 0 && c.min_categories > c.max_categories)
+      fail(where + "bad categories range");
+    const std::size_t max_cats = c.max_categories != 0
+                                     ? c.max_categories
+                                     : config.max_categories_per_peer;
+    if (max_cats > config.catalog.num_categories)
+      fail(where + "categories per peer exceeds catalog categories");
+    if (c.interest_top_fraction <= 0.0 || c.interest_top_fraction > 1.0)
+      fail(where + "interest_top_fraction must be in (0, 1]");
+    const auto cap = static_cast<std::size_t>(
+        std::ceil(c.interest_top_fraction *
+                  static_cast<double>(config.catalog.num_categories)));
+    if (cap < max_cats)
+      fail(where + "interest_top_fraction keeps only " + std::to_string(cap) +
+           " categories but members draw up to " + std::to_string(max_cats));
+  }
+}
+
+}  // namespace p2pex

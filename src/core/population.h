@@ -1,0 +1,61 @@
+// Heterogeneous population construction.
+//
+// A PopulationPlan describes the peer population as an ordered list of
+// classes ("cohorts" at the scenario layer): each class contributes
+// `count` peers sharing one behavioral profile. Peers are created in
+// plan order, so a class always occupies one contiguous PeerId range —
+// the scenario Driver relies on that to scope timeline events to a
+// cohort. An empty plan reproduces the homogeneous Table II population
+// drawn from SimConfig alone (bit-for-bit: the golden replays pin it).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.h"
+
+namespace p2pex {
+
+/// One homogeneous slice of the peer population.
+struct PeerClass {
+  std::size_t count = 0;
+  bool shares = true;
+  /// Fraction of this class (non-sharing classes only, matching the
+  /// participation baseline's liar model) that falsely claim the maximum
+  /// participation level.
+  double liar_fraction = 0.0;
+  /// Per-class bandwidth; 0 means "use the SimConfig value".
+  double upload_kbps = 0.0;
+  double download_kbps = 0.0;
+  /// Per-class storage-capacity range in objects; 0/0 means "use the
+  /// SimConfig range".
+  std::size_t min_storage = 0;
+  std::size_t max_storage = 0;
+  /// Per-class interests-per-peer range; 0/0 means "use the SimConfig
+  /// range".
+  std::size_t min_categories = 0;
+  std::size_t max_categories = 0;
+  /// Interest skew: members draw their interest categories only from the
+  /// most popular `interest_top_fraction` of the catalog (1.0 = whole
+  /// catalog, the homogeneous behavior).
+  double interest_top_fraction = 1.0;
+  /// Members start offline and enter the system only when a timeline
+  /// event brings them online (late-arrival / flash-crowd cohorts).
+  bool start_offline = false;
+};
+
+using PopulationPlan = std::vector<PeerClass>;
+
+/// Total peers the plan builds.
+[[nodiscard]] inline std::size_t plan_size(const PopulationPlan& plan) {
+  std::size_t total = 0;
+  for (const PeerClass& c : plan) total += c.count;
+  return total;
+}
+
+/// Throws ConfigError if the plan is inconsistent with the config (peer
+/// total mismatch, degenerate ranges, bandwidth below one slot, interest
+/// cap narrower than the interests a member must draw).
+void validate_plan(const PopulationPlan& plan, const SimConfig& config);
+
+}  // namespace p2pex

@@ -5,19 +5,20 @@
 #include "core/system.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/assert.h"
 
 namespace p2pex {
 
-System::System(const SimConfig& config)
+System::System(const SimConfig& config, const PopulationPlan& plan)
     : cfg_(config),
-      rng_((config.validate(), config.seed)),
+      rng_((config.validate(), validate_plan(plan, config), config.seed)),
       catalog_(cfg_.catalog, rng_),
       finder_(cfg_.policy, cfg_.max_ring_size, cfg_.tree_mode,
               cfg_.bloom_hop_budget),
       metrics_(cfg_.warmup()) {
-  build_peers();
+  build_peers(plan);
   place_initial_objects();
 }
 
@@ -41,33 +42,83 @@ Session& System::session(SessionId s) {
   return sessions_[s.value];
 }
 
-void System::build_peers() {
+void System::build_peers(const PopulationPlan& plan) {
   const std::size_t n = cfg_.num_peers;
-  // Exactly round(n * fraction) freeloaders, assigned to random peers.
-  const auto num_nonsharing = static_cast<std::size_t>(
-      static_cast<double>(n) * cfg_.nonsharing_fraction + 0.5);
-  std::vector<std::uint8_t> nonsharing(n, 0);
-  for (std::size_t i = 0; i < std::min(num_nonsharing, n); ++i)
-    nonsharing[i] = 1;
-  rng_.shuffle(nonsharing);
-
   peers_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto cap = static_cast<std::size_t>(rng_.uniform_int(
-        static_cast<std::int64_t>(cfg_.min_storage_objects),
-        static_cast<std::int64_t>(cfg_.max_storage_objects)));
-    const auto cats = static_cast<std::size_t>(rng_.uniform_int(
-        static_cast<std::int64_t>(cfg_.min_categories_per_peer),
-        static_cast<std::int64_t>(cfg_.max_categories_per_peer)));
-    const bool lies = nonsharing[i] != 0 && rng_.chance(cfg_.liar_fraction);
-    peers_.emplace_back(PeerId{static_cast<std::uint32_t>(i)}, Storage(cap),
-                        InterestProfile(catalog_, cats, rng_),
-                        cfg_.irq_capacity, lies);
-    Peer& p = peers_.back();
-    p.shares = nonsharing[i] == 0;
-    p.upload_slots = cfg_.upload_slots();
-    p.download_slots = cfg_.download_slots();
-    if (p.shares) ++num_sharing_;
+
+  if (plan.empty()) {
+    // Homogeneous Table II population: exactly round(n * fraction)
+    // freeloaders, assigned to random peers.
+    const auto num_nonsharing = static_cast<std::size_t>(
+        static_cast<double>(n) * cfg_.nonsharing_fraction + 0.5);
+    std::vector<std::uint8_t> nonsharing(n, 0);
+    for (std::size_t i = 0; i < std::min(num_nonsharing, n); ++i)
+      nonsharing[i] = 1;
+    rng_.shuffle(nonsharing);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto cap = static_cast<std::size_t>(rng_.uniform_int(
+          static_cast<std::int64_t>(cfg_.min_storage_objects),
+          static_cast<std::int64_t>(cfg_.max_storage_objects)));
+      const auto cats = static_cast<std::size_t>(rng_.uniform_int(
+          static_cast<std::int64_t>(cfg_.min_categories_per_peer),
+          static_cast<std::int64_t>(cfg_.max_categories_per_peer)));
+      const bool lies = nonsharing[i] != 0 && rng_.chance(cfg_.liar_fraction);
+      peers_.emplace_back(PeerId{static_cast<std::uint32_t>(i)}, Storage(cap),
+                          InterestProfile(catalog_, cats, rng_),
+                          cfg_.irq_capacity, lies);
+      Peer& p = peers_.back();
+      p.shares = nonsharing[i] == 0;
+      p.upload_slots = cfg_.upload_slots();
+      p.download_slots = cfg_.download_slots();
+      if (p.shares) ++num_sharing_;
+    }
+    return;
+  }
+
+  // Heterogeneous population: classes in plan order, each a contiguous
+  // PeerId range, members drawn from the class's own ranges.
+  for (const PeerClass& cls : plan) {
+    const std::size_t min_storage =
+        cls.max_storage != 0 ? cls.min_storage : cfg_.min_storage_objects;
+    const std::size_t max_storage =
+        cls.max_storage != 0 ? cls.max_storage : cfg_.max_storage_objects;
+    const std::size_t min_cats = cls.max_categories != 0
+                                     ? cls.min_categories
+                                     : cfg_.min_categories_per_peer;
+    const std::size_t max_cats = cls.max_categories != 0
+                                     ? cls.max_categories
+                                     : cfg_.max_categories_per_peer;
+    const double up_kbps =
+        cls.upload_kbps != 0.0 ? cls.upload_kbps : cfg_.upload_capacity_kbps;
+    const double down_kbps = cls.download_kbps != 0.0
+                                 ? cls.download_kbps
+                                 : cfg_.download_capacity_kbps;
+    const auto interest_cap = std::max<std::size_t>(
+        max_cats,
+        static_cast<std::size_t>(
+            std::ceil(cls.interest_top_fraction *
+                      static_cast<double>(catalog_.num_categories()))));
+
+    for (std::size_t i = 0; i < cls.count; ++i) {
+      const auto cap = static_cast<std::size_t>(
+          rng_.uniform_int(static_cast<std::int64_t>(min_storage),
+                           static_cast<std::int64_t>(max_storage)));
+      const auto cats = static_cast<std::size_t>(
+          rng_.uniform_int(static_cast<std::int64_t>(min_cats),
+                           static_cast<std::int64_t>(max_cats)));
+      const bool lies = !cls.shares && rng_.chance(cls.liar_fraction);
+      peers_.emplace_back(
+          PeerId{static_cast<std::uint32_t>(peers_.size())}, Storage(cap),
+          InterestProfile(catalog_, cats, interest_cap, rng_),
+          cfg_.irq_capacity, lies);
+      Peer& p = peers_.back();
+      p.shares = cls.shares;
+      p.online = !cls.start_offline;
+      p.upload_slots = static_cast<int>(up_kbps / cfg_.slot_kbps);
+      p.download_slots = static_cast<int>(down_kbps / cfg_.slot_kbps);
+      if (p.shares) ++num_sharing_;
+    }
   }
 }
 
@@ -87,7 +138,9 @@ void System::place_initial_objects() {
       const ObjectId o = catalog_.sample_object_in(c, rng_);
       p.storage.add(o);  // duplicate adds are rejected, costing an attempt
     }
-    if (p.shares)
+    // Offline members (late-arrival cohorts) keep their storage private
+    // until they join.
+    if (p.shares && p.online)
       for (ObjectId o : p.storage.objects()) lookup_.add_owner(o, p.id);
   }
 }
@@ -144,7 +197,11 @@ bool System::issue_one_request(PeerId p) {
   // "Continue to generate candidate requests until a miss is found";
   // bounded so a pathological configuration cannot spin forever.
   for (int attempt = 0; attempt < 300; ++attempt) {
-    const CategoryId c = peer.interests.sample_category(rng_);
+    // Flash-crowd override first (the short-circuit keeps the no-spike
+    // request stream bit-identical: no Bernoulli draw is consumed).
+    const CategoryId c = (spike_weight_ > 0.0 && rng_.chance(spike_weight_))
+                             ? spike_category_
+                             : peer.interests.sample_category(rng_);
     const ObjectId o = catalog_.sample_object_in(c, rng_);
     if (peer.storage.contains(o) || peer.pending.count(o) != 0)
       continue;  // cache hit — ignored per the paper
@@ -197,7 +254,7 @@ bool System::issue_one_request(PeerId p) {
   return false;
 }
 
-void System::cancel_download(DownloadId did) {
+void System::cancel_download(DownloadId did, bool starved) {
   Download& d = download(did);
   if (!d.active) return;
   touch_graph();  // pending download and its IRQ registrations go away
@@ -214,8 +271,12 @@ void System::cancel_download(DownloadId did) {
   peer.pending.erase(d.object);
   peer.pending_list.erase(
       std::find(peer.pending_list.begin(), peer.pending_list.end(), did));
-  ++counters_.downloads_starved;
-  issue_requests(d.peer);
+  if (starved) {
+    ++counters_.downloads_starved;
+    issue_requests(d.peer);  // closed loop: replace the lost request
+  } else {
+    ++counters_.downloads_withdrawn;
+  }
 }
 
 void System::eviction_sweep() {

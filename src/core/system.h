@@ -19,6 +19,7 @@
 #include "core/entities.h"
 #include "core/exchange_finder.h"
 #include "core/lookup.h"
+#include "core/population.h"
 #include "metrics/collector.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -37,6 +38,11 @@ struct SystemCounters {
   std::uint64_t rings_by_size[9] = {};   ///< index = ring size (2..8)
   std::uint64_t preemptions = 0;         ///< non-exchange sessions displaced
   std::uint64_t sessions_started = 0;
+  // --- population dynamics (scenario timelines) ---
+  std::uint64_t peer_departures = 0;     ///< peer_leave() applications
+  std::uint64_t peer_arrivals = 0;       ///< peer_join() applications
+  std::uint64_t sharing_flips = 0;       ///< set_sharing() state changes
+  std::uint64_t downloads_withdrawn = 0; ///< cancelled by requester churn
 };
 
 /// One complete simulation instance.
@@ -44,7 +50,13 @@ class System final {
  public:
   /// Validates the config and builds the initial world (peers, catalog,
   /// initial object placement). The workload starts on run().
-  explicit System(const SimConfig& config);
+  ///
+  /// A non-empty `plan` builds a heterogeneous population instead of the
+  /// homogeneous Table II draw: peers are created class by class (each
+  /// class a contiguous PeerId range), and plan_size(plan) must equal
+  /// config.num_peers. An empty plan reproduces the homogeneous
+  /// population bit-for-bit.
+  explicit System(const SimConfig& config, const PopulationPlan& plan = {});
 
   /// Runs the whole configured duration (idempotent: second call no-ops).
   void run();
@@ -71,6 +83,40 @@ class System final {
   /// sessions, rings are consistent, IRQ states match sessions, download
   /// byte counts are sane. Throws AssertionError on violation.
   void check_invariants() const;
+
+  // --- runtime population dynamics (scenario timelines; see
+  // scenario::Driver). All are idempotent and keep the request graph,
+  // lookup index and metrics coherent; each drains the scheduling pass
+  // before returning. ---
+
+  /// Takes a peer offline: ends every session it serves or receives,
+  /// withdraws its in-flight downloads, drops the requests queued at it
+  /// (starving requesters re-issue), and retracts its lookup ownership.
+  /// Its storage survives for a later rejoin. No-op if already offline.
+  void peer_leave(PeerId p);
+
+  /// Brings an offline peer (back) online: re-registers its stored
+  /// objects in the lookup index (sharing peers) and starts issuing
+  /// requests. No-op if already online.
+  void peer_join(PeerId p);
+
+  /// Flips a peer's sharing behavior mid-run (free-rider waves). Turning
+  /// sharing off ends its uploads, drops its queued requests and retracts
+  /// its lookup ownership; turning it on re-registers its storage.
+  void set_sharing(PeerId p, bool shares);
+
+  /// Flash-crowd demand spike: every subsequent request is drawn from
+  /// `category` with probability `weight` (otherwise from the peer's own
+  /// interest profile). weight = 0 clears the spike; with no spike the
+  /// request stream is untouched (bit-for-bit).
+  void set_demand_spike(CategoryId category, double weight);
+
+  /// Mid-run exchange-policy flip (also re-caps the ring size; the cap is
+  /// ignored under kNoExchange). Re-examines every sharing peer.
+  void set_policy(ExchangePolicy policy, std::size_t max_ring_size);
+
+  /// Mid-run non-exchange scheduler flip. Re-examines every sharing peer.
+  void set_scheduler(SchedulerKind scheduler);
 
   // --- request-graph views ---
   /// CSR snapshot of the request graph the ring search walks, rebuilt
@@ -104,13 +150,22 @@ class System final {
 
  private:
   // --- construction ---
-  void build_peers();
+  void build_peers(const PopulationPlan& plan);
   void place_initial_objects();
 
   // --- workload ---
   void issue_requests(PeerId p);
   bool issue_one_request(PeerId p);
-  void cancel_download(DownloadId d);
+  /// Withdraws an in-flight download (ends its sessions, unregisters it
+  /// everywhere). `starved` distinguishes provider starvation (counted,
+  /// requester re-issues) from requester-side withdrawal (churn).
+  void cancel_download(DownloadId d, bool starved = true);
+
+  // --- population dynamics ---
+  /// Ends every upload `p` is serving and drops every request queued at
+  /// it, starving-out affected downloads. Requires the caller to have
+  /// made `p` unable to serve (offline or non-sharing) first.
+  void retract_service(Peer& p);
 
   // --- transfers (fluid model) ---
   SessionId start_session(PeerId provider, IrqEntry& entry,
@@ -174,6 +229,9 @@ class System final {
   bool started_ = false;
   bool finished_ = false;
   std::size_t num_sharing_ = 0;
+  // Flash-crowd demand override (set_demand_spike); weight 0 = inactive.
+  CategoryId spike_category_;
+  double spike_weight_ = 0.0;
   SystemCounters counters_;
 };
 

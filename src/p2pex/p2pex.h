@@ -27,6 +27,7 @@
 #include "core/lookup.h"
 #include "core/nonring.h"
 #include "core/policy.h"
+#include "core/population.h"
 #include "core/system.h"
 #include "metrics/collector.h"
 #include "metrics/report.h"
@@ -36,6 +37,8 @@
 #include "proto/request.h"
 #include "proto/request_tree.h"
 #include "proto/token.h"
+#include "scenario/driver.h"
+#include "scenario/spec.h"
 #include "security/blacklist.h"
 #include "security/block_exchange.h"
 #include "security/cheat_study.h"

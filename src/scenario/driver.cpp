@@ -1,0 +1,190 @@
+#include "scenario/driver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace p2pex::scenario {
+
+namespace {
+
+/// Stream-splitting constant for the driver's own Rng: scenario-level
+/// draws must not perturb the System's stream (a no-timeline scenario is
+/// bit-identical to a plain run).
+constexpr std::uint64_t kDriverSeedSalt = 0x5CE2A110D0D1ULL;
+
+}  // namespace
+
+Driver::Driver(Spec spec)
+    : spec_((spec.validate(), std::move(spec))),
+      cfg_(spec_.compile_config()),
+      rng_(cfg_.seed ^ kDriverSeedSalt),
+      system_(std::make_unique<System>(cfg_, spec_.population_plan())) {
+  expand_timeline();
+}
+
+void Driver::expand_timeline() {
+  for (std::size_t i = 0; i < spec_.timeline.size(); ++i) {
+    const Event& e = spec_.timeline[i];
+    auto add = [&](SimTime t, Action::Op op) {
+      actions_.push_back(Action{t, op, i});
+    };
+    switch (e.kind) {
+      case EventKind::kDepart:
+        add(e.time, Action::Op::kDepart);
+        break;
+      case EventKind::kArrive:
+        add(e.time, Action::Op::kArrive);
+        break;
+      case EventKind::kFlashCrowd:
+        add(e.time, Action::Op::kFlashStart);
+        if (e.time + e.duration < cfg_.sim_duration)
+          add(e.time + e.duration, Action::Op::kFlashEnd);
+        break;
+      case EventKind::kFreerideWave:
+        add(e.time, Action::Op::kFreerideStart);
+        if (e.duration > 0.0 && e.time + e.duration < cfg_.sim_duration)
+          add(e.time + e.duration, Action::Op::kFreerideEnd);
+        break;
+      case EventKind::kChurn: {
+        const SimTime window_end =
+            std::min(e.time + e.duration, cfg_.sim_duration);
+        for (SimTime t = e.time + e.interval; t <= window_end;
+             t += e.interval)
+          add(t, Action::Op::kChurnTick);
+        break;
+      }
+      case EventKind::kSetPolicy:
+        add(e.time, Action::Op::kPolicy);
+        break;
+      case EventKind::kSetScheduler:
+        add(e.time, Action::Op::kScheduler);
+        break;
+    }
+  }
+  // Stable: simultaneous actions apply in timeline order, except that
+  // window-closing actions run before window-opening ones so that
+  // back-to-back flash crowds / waves hand over cleanly regardless of
+  // declaration order (the end of the first must not clear the start of
+  // the second).
+  auto rank = [](const Action& a) {
+    return a.op == Action::Op::kFlashEnd || a.op == Action::Op::kFreerideEnd
+               ? 0
+               : 1;
+  };
+  std::stable_sort(actions_.begin(), actions_.end(),
+                   [&rank](const Action& a, const Action& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return rank(a) < rank(b);
+                   });
+}
+
+std::pair<std::uint32_t, std::uint32_t> Driver::cohort_range(
+    const std::string& cohort) const {
+  if (cohort.empty())
+    return {0, static_cast<std::uint32_t>(cfg_.num_peers)};
+  std::uint32_t first = 0;
+  for (const Cohort& c : spec_.cohorts) {
+    const auto count = static_cast<std::uint32_t>(c.count);
+    if (c.name == cohort) return {first, first + count};
+    first += count;
+  }
+  P2PEX_ASSERT_MSG(false, "unknown cohort scope (spec was validated?)");
+  return {0, 0};
+}
+
+void Driver::apply(const Action& a) {
+  const Event& e = spec_.timeline[a.event];
+  const auto [first, last] = cohort_range(e.cohort);
+  System& sys = *system_;
+
+  // Candidate collectors: ascending PeerId order keeps every scenario
+  // draw deterministic.
+  auto collect = [&](auto&& keep) {
+    std::vector<PeerId> out;
+    for (std::uint32_t i = first; i < last; ++i) {
+      const PeerId id{i};
+      if (keep(sys.peer(id))) out.push_back(id);
+    }
+    return out;
+  };
+
+  switch (a.op) {
+    case Action::Op::kDepart: {
+      auto online = collect([](const Peer& p) { return p.online; });
+      auto chosen = rng_.sample(online, e.count);
+      std::sort(chosen.begin(), chosen.end());
+      for (PeerId id : chosen) sys.peer_leave(id);
+      break;
+    }
+    case Action::Op::kArrive: {
+      auto offline = collect([](const Peer& p) { return !p.online; });
+      auto chosen = rng_.sample(offline, e.count);
+      std::sort(chosen.begin(), chosen.end());
+      for (PeerId id : chosen) sys.peer_join(id);
+      break;
+    }
+    case Action::Op::kFlashStart:
+      sys.set_demand_spike(e.category, e.weight);
+      break;
+    case Action::Op::kFlashEnd:
+      sys.set_demand_spike(e.category, 0.0);
+      break;
+    case Action::Op::kFreerideStart: {
+      auto sharing = collect([](const Peer& p) { return p.shares; });
+      const auto flips = static_cast<std::size_t>(std::llround(
+          e.fraction * static_cast<double>(sharing.size())));
+      auto chosen = rng_.sample(sharing, flips);
+      std::sort(chosen.begin(), chosen.end());
+      for (PeerId id : chosen) sys.set_sharing(id, false);
+      freeride_flipped_[a.event] = std::move(chosen);
+      break;
+    }
+    case Action::Op::kFreerideEnd: {
+      for (PeerId id : freeride_flipped_[a.event]) sys.set_sharing(id, true);
+      freeride_flipped_.erase(a.event);
+      break;
+    }
+    case Action::Op::kChurnTick: {
+      // Memoryless per-tick probabilities from the per-second rates.
+      const double p_down = 1.0 - std::exp(-e.depart_rate * e.interval);
+      const double p_up = 1.0 - std::exp(-e.arrive_rate * e.interval);
+      std::vector<PeerId> leaving, joining;
+      for (std::uint32_t i = first; i < last; ++i) {
+        const PeerId id{i};
+        if (sys.peer(id).online) {
+          if (p_down > 0.0 && rng_.chance(p_down)) leaving.push_back(id);
+        } else {
+          if (p_up > 0.0 && rng_.chance(p_up)) joining.push_back(id);
+        }
+      }
+      for (PeerId id : leaving) sys.peer_leave(id);
+      for (PeerId id : joining) sys.peer_join(id);
+      break;
+    }
+    case Action::Op::kPolicy:
+      sys.set_policy(e.policy, e.max_ring);
+      break;
+    case Action::Op::kScheduler:
+      sys.set_scheduler(e.scheduler);
+      break;
+  }
+}
+
+void Driver::run_to(SimTime t) {
+  P2PEX_ASSERT_MSG(t <= cfg_.sim_duration, "run_to beyond sim_duration");
+  while (next_action_ < actions_.size() && actions_[next_action_].time <= t) {
+    system_->run_to(actions_[next_action_].time);
+    apply(actions_[next_action_]);
+    ++next_action_;
+  }
+  system_->run_to(t);
+}
+
+void Driver::run() {
+  run_to(cfg_.sim_duration);
+  system_->run();  // finalizes (censored records, ring teardown)
+}
+
+}  // namespace p2pex::scenario

@@ -1,0 +1,88 @@
+// Scenario execution: schedules a Spec's timeline onto a System.
+//
+// The Driver compiles the Spec into a System (config + population plan)
+// plus a time-sorted action list: churn processes expand into periodic
+// ticks, flash crowds and free-rider waves into paired start/end
+// actions. run() then interleaves System::run_to() with action
+// application, so control-plane scenario changes happen at exact
+// simulated instants between model events.
+//
+// Determinism: scenario-level randomness (which peers churn, who joins a
+// free-rider wave) draws from a driver-owned Rng forked off the config
+// seed, so a (Spec, seed) pair fully determines the run — replays are
+// bit-exact, and a Spec with an empty timeline reproduces the plain
+// System::run() numbers exactly.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/system.h"
+#include "scenario/spec.h"
+#include "util/rng.h"
+
+namespace p2pex::scenario {
+
+/// Runs one scenario to completion (or stepwise via run_to).
+class Driver {
+ public:
+  /// Validates the spec and builds the System; the run starts on run().
+  explicit Driver(Spec spec);
+
+  /// Runs the whole configured duration, applying the timeline.
+  void run();
+
+  /// Advances to absolute simulated time `t`, applying every action due
+  /// at or before it (actions at exactly `t` apply after the simulator
+  /// reaches `t`).
+  void run_to(SimTime t);
+
+  [[nodiscard]] System& system() { return *system_; }
+  [[nodiscard]] const System& system() const { return *system_; }
+  [[nodiscard]] const Spec& spec() const { return spec_; }
+
+  /// Timeline progress (expanded actions, not Spec events).
+  [[nodiscard]] std::size_t actions_applied() const { return next_action_; }
+  [[nodiscard]] std::size_t actions_total() const { return actions_.size(); }
+
+  /// The contiguous PeerId range [first, last) a cohort occupies; the
+  /// whole population when `cohort` is empty.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> cohort_range(
+      const std::string& cohort) const;
+
+ private:
+  /// One expanded, schedulable timeline step.
+  struct Action {
+    enum class Op : std::uint8_t {
+      kDepart,
+      kArrive,
+      kFlashStart,
+      kFlashEnd,
+      kFreerideStart,
+      kFreerideEnd,
+      kChurnTick,
+      kPolicy,
+      kScheduler,
+    };
+    SimTime time = 0.0;
+    Op op = Op::kDepart;
+    std::size_t event = 0;  ///< index into spec_.timeline (parameters)
+  };
+
+  void expand_timeline();
+  void apply(const Action& a);
+
+  Spec spec_;
+  SimConfig cfg_;  ///< compiled config the System runs
+  Rng rng_;        ///< scenario-level randomness (peer picks, churn draws)
+  std::unique_ptr<System> system_;
+  std::vector<Action> actions_;  ///< stable-sorted by time
+  std::size_t next_action_ = 0;
+  /// Peers flipped by each free-rider wave, so its end restores exactly
+  /// those peers (keyed by timeline index).
+  std::unordered_map<std::size_t, std::vector<PeerId>> freeride_flipped_;
+};
+
+}  // namespace p2pex::scenario

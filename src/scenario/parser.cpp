@@ -1,0 +1,266 @@
+// Line-oriented .scn parser. Grammar (one directive per line, '#'
+// comments): see the header comment in spec.h. Every malformed input
+// raises ScenarioError carrying an origin:line diagnostic.
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/spec.h"
+
+namespace p2pex::scenario {
+
+namespace {
+
+using detail::parse_bool;
+using detail::parse_double;
+using detail::parse_size;
+
+std::vector<std::string> tokenize(const std::string& raw) {
+  // Strip the comment tail, then split on blanks.
+  std::string line = raw.substr(0, raw.find('#'));
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char ch : line) {
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      if (!cur.empty()) tokens.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+/// Splits "key=value"; throws on anything else (empty key or value too).
+std::pair<std::string, std::string> split_kv(const std::string& token) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == token.size())
+    throw ScenarioError("expected key=value, got '" + token + "'");
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+/// Parses "a..b" into an inclusive size range.
+std::pair<std::size_t, std::size_t> parse_range(const std::string& value) {
+  const auto dots = value.find("..");
+  if (dots == std::string::npos)
+    throw ScenarioError("expected a range like 5..40, got '" + value + "'");
+  return {parse_size(value.substr(0, dots)),
+          parse_size(value.substr(dots + 2))};
+}
+
+Cohort parse_cohort(const std::vector<std::string>& tokens) {
+  if (tokens.size() < 3)
+    throw ScenarioError("cohort needs a name and key=value fields "
+                        "(at least count=N)");
+  Cohort c;
+  c.name = tokens[1];
+  bool have_count = false;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const auto [key, value] = split_kv(tokens[i]);
+    if (key == "count") {
+      c.count = parse_size(value);
+      have_count = true;
+    } else if (key == "share") {
+      c.shares = parse_bool(value);
+    } else if (key == "liar") {
+      c.liar_fraction = parse_double(value);
+    } else if (key == "upload") {
+      c.upload_kbps = parse_double(value);
+    } else if (key == "download") {
+      c.download_kbps = parse_double(value);
+    } else if (key == "storage") {
+      std::tie(c.min_storage, c.max_storage) = parse_range(value);
+    } else if (key == "categories") {
+      std::tie(c.min_categories, c.max_categories) = parse_range(value);
+    } else if (key == "interest_top") {
+      c.interest_top_fraction = parse_double(value);
+    } else if (key == "offline") {
+      c.start_offline = parse_bool(value);
+    } else {
+      throw ScenarioError(
+          "unknown cohort field '" + key +
+          "' (known: count share liar upload download storage categories "
+          "interest_top offline)");
+    }
+  }
+  if (!have_count) throw ScenarioError("cohort needs count=N");
+  return c;
+}
+
+Event parse_event(const std::vector<std::string>& tokens) {
+  if (tokens.size() < 3)
+    throw ScenarioError("expected: at <time> <kind> [args...]");
+  Event e;
+  e.time = parse_double(tokens[1]);
+  const std::string& kind = tokens[2];
+  std::size_t first_kv = 3;
+
+  if (kind == "depart") {
+    e.kind = EventKind::kDepart;
+  } else if (kind == "arrive") {
+    e.kind = EventKind::kArrive;
+  } else if (kind == "flash_crowd") {
+    e.kind = EventKind::kFlashCrowd;
+  } else if (kind == "freeride") {
+    e.kind = EventKind::kFreerideWave;
+  } else if (kind == "churn") {
+    e.kind = EventKind::kChurn;
+  } else if (kind == "policy") {
+    e.kind = EventKind::kSetPolicy;
+    if (tokens.size() < 4)
+      throw ScenarioError("expected: at <time> policy <name> [max_ring=N]");
+    e.policy = parse_policy(tokens[3]);
+    first_kv = 4;
+  } else if (kind == "scheduler") {
+    e.kind = EventKind::kSetScheduler;
+    if (tokens.size() < 4)
+      throw ScenarioError("expected: at <time> scheduler <name>");
+    e.scheduler = parse_scheduler(tokens[3]);
+    first_kv = 4;
+  } else {
+    throw ScenarioError(
+        "unknown event kind '" + kind +
+        "' (known: depart arrive flash_crowd freeride churn policy "
+        "scheduler)");
+  }
+
+  bool have_count = false, have_category = false, have_weight = false,
+       have_duration = false, have_fraction = false, have_interval = false;
+  for (std::size_t i = first_kv; i < tokens.size(); ++i) {
+    const auto [key, value] = split_kv(tokens[i]);
+    if (key == "cohort") {
+      e.cohort = value;
+    } else if (key == "count" && (e.kind == EventKind::kDepart ||
+                                  e.kind == EventKind::kArrive)) {
+      e.count = parse_size(value);
+      have_count = true;
+    } else if (key == "category" && e.kind == EventKind::kFlashCrowd) {
+      const std::uint64_t raw = detail::parse_u64(value);
+      // Guard the narrowing cast: a wrapped id would silently pass the
+      // beyond-the-catalog validation and target the wrong category.
+      if (raw >= CategoryId::kInvalidValue)
+        throw ScenarioError("category id " + value + " out of range");
+      e.category = CategoryId{static_cast<std::uint32_t>(raw)};
+      have_category = true;
+    } else if (key == "weight" && e.kind == EventKind::kFlashCrowd) {
+      e.weight = parse_double(value);
+      have_weight = true;
+    } else if (key == "duration" && (e.kind == EventKind::kFlashCrowd ||
+                                     e.kind == EventKind::kFreerideWave ||
+                                     e.kind == EventKind::kChurn)) {
+      e.duration = parse_double(value);
+      have_duration = true;
+    } else if (key == "fraction" && e.kind == EventKind::kFreerideWave) {
+      e.fraction = parse_double(value);
+      have_fraction = true;
+    } else if (key == "interval" && e.kind == EventKind::kChurn) {
+      e.interval = parse_double(value);
+      have_interval = true;
+    } else if (key == "depart_rate" && e.kind == EventKind::kChurn) {
+      e.depart_rate = parse_double(value);
+    } else if (key == "arrive_rate" && e.kind == EventKind::kChurn) {
+      e.arrive_rate = parse_double(value);
+    } else if (key == "max_ring" && e.kind == EventKind::kSetPolicy) {
+      e.max_ring = parse_size(value);
+    } else {
+      throw ScenarioError("unknown or misplaced key '" + key + "' for " +
+                          to_string(e.kind));
+    }
+  }
+
+  switch (e.kind) {
+    case EventKind::kDepart:
+    case EventKind::kArrive:
+      if (!have_count) throw ScenarioError("missing count=N");
+      break;
+    case EventKind::kFlashCrowd:
+      if (!have_category) throw ScenarioError("missing category=N");
+      if (!have_weight) throw ScenarioError("missing weight=F");
+      if (!have_duration) throw ScenarioError("missing duration=S");
+      break;
+    case EventKind::kFreerideWave:
+      if (!have_fraction) throw ScenarioError("missing fraction=F");
+      break;
+    case EventKind::kChurn:
+      if (!have_interval) throw ScenarioError("missing interval=S");
+      if (!have_duration) throw ScenarioError("missing duration=S");
+      break;
+    case EventKind::kSetPolicy:
+    case EventKind::kSetScheduler:
+      break;
+  }
+  return e;
+}
+
+}  // namespace
+
+Spec Spec::parse_text(const std::string& text, const std::string& origin) {
+  Spec spec;
+  bool saw_base = false;
+  bool base_locked = false;  // a set/cohort/at line pins the preset
+  int lineno = 0;
+
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::vector<std::string> tokens = tokenize(raw);
+    if (tokens.empty()) continue;
+    try {
+      const std::string& directive = tokens[0];
+      if (directive == "scenario") {
+        if (tokens.size() != 2)
+          throw ScenarioError("expected: scenario <name>");
+        spec.name = tokens[1];
+      } else if (directive == "base") {
+        if (tokens.size() != 2)
+          throw ScenarioError("expected: base calibrated|paper");
+        if (saw_base) throw ScenarioError("duplicate base directive");
+        if (base_locked)
+          throw ScenarioError(
+              "base must precede every set/cohort/at line (it replaces "
+              "the whole configuration)");
+        const std::string name_keep = spec.name;
+        spec = Spec::with_base(tokens[1]);
+        spec.name = name_keep;
+        saw_base = true;
+      } else if (directive == "set") {
+        if (tokens.size() != 3)
+          throw ScenarioError("expected: set <knob> <value>");
+        base_locked = true;
+        set_config_knob(spec.config, tokens[1], tokens[2]);
+      } else if (directive == "cohort") {
+        base_locked = true;
+        spec.cohorts.push_back(parse_cohort(tokens));
+      } else if (directive == "at") {
+        base_locked = true;
+        spec.timeline.push_back(parse_event(tokens));
+      } else {
+        throw ScenarioError("unknown directive '" + directive +
+                            "' (expected scenario|base|set|cohort|at)");
+      }
+    } catch (const ScenarioError& e) {
+      throw ScenarioError(origin + ":" + std::to_string(lineno) + ": " +
+                          e.what());
+    }
+  }
+
+  try {
+    spec.validate();
+  } catch (const ScenarioError& e) {
+    throw ScenarioError(origin + ": " + e.what());
+  }
+  return spec;
+}
+
+Spec Spec::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw ScenarioError("cannot open scenario file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_text(buf.str(), path);
+}
+
+}  // namespace p2pex::scenario

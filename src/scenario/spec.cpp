@@ -1,0 +1,695 @@
+// Spec model: knob table, validation, canonical serialization, builder.
+// The .scn text parser lives in parser.cpp.
+#include "scenario/spec.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace p2pex::scenario {
+
+// ---------------------------------------------------------------------------
+// Value formatting / parsing (canonical, round-trip exact)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+std::string format_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);  // shortest exact representation
+}
+
+double parse_double(const std::string& s) {
+  double v = 0.0;
+  const char* end = s.data() + s.size();
+  const auto res = std::from_chars(s.data(), end, v);
+  if (res.ec != std::errc{} || res.ptr != end)
+    throw ScenarioError("expected a number, got '" + s + "'");
+  // from_chars accepts "nan"/"inf"; a non-finite knob or event time
+  // would sail through every range check (NaN compares false against
+  // both bounds) and corrupt the run silently — reject it here.
+  if (!std::isfinite(v))
+    throw ScenarioError("expected a finite number, got '" + s + "'");
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  const char* end = s.data() + s.size();
+  const auto res = std::from_chars(s.data(), end, v);
+  if (res.ec != std::errc{} || res.ptr != end)
+    throw ScenarioError("expected a non-negative integer, got '" + s + "'");
+  return v;
+}
+
+std::size_t parse_size(const std::string& s) {
+  return static_cast<std::size_t>(parse_u64(s));
+}
+
+bool parse_bool(const std::string& s) {
+  if (s == "yes" || s == "on" || s == "true" || s == "1") return true;
+  if (s == "no" || s == "off" || s == "false" || s == "0") return false;
+  throw ScenarioError("expected yes/no, got '" + s + "'");
+}
+
+}  // namespace detail
+
+using detail::format_double;
+using detail::parse_bool;
+using detail::parse_double;
+using detail::parse_size;
+using detail::parse_u64;
+
+ExchangePolicy parse_policy(const std::string& s) {
+  if (s == "no-exchange") return ExchangePolicy::kNoExchange;
+  if (s == "pairwise-only") return ExchangePolicy::kPairwiseOnly;
+  if (s == "shortest-first") return ExchangePolicy::kShortestFirst;
+  if (s == "longest-first") return ExchangePolicy::kLongestFirst;
+  throw ScenarioError(
+      "unknown policy '" + s +
+      "' (expected no-exchange|pairwise-only|shortest-first|longest-first)");
+}
+
+SchedulerKind parse_scheduler(const std::string& s) {
+  if (s == "fifo") return SchedulerKind::kFifo;
+  if (s == "credit") return SchedulerKind::kCredit;
+  if (s == "participation") return SchedulerKind::kParticipation;
+  throw ScenarioError("unknown scheduler '" + s +
+                      "' (expected fifo|credit|participation)");
+}
+
+TreeMode parse_tree_mode(const std::string& s) {
+  if (s == "full-tree") return TreeMode::kFullTree;
+  if (s == "bloom") return TreeMode::kBloom;
+  throw ScenarioError("unknown tree mode '" + s +
+                      "' (expected full-tree|bloom)");
+}
+
+std::string to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kDepart:       return "depart";
+    case EventKind::kArrive:       return "arrive";
+    case EventKind::kFlashCrowd:   return "flash_crowd";
+    case EventKind::kFreerideWave: return "freeride";
+    case EventKind::kChurn:        return "churn";
+    case EventKind::kSetPolicy:    return "policy";
+    case EventKind::kSetScheduler: return "scheduler";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Config knob table
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Knob {
+  const char* name;
+  void (*set)(SimConfig&, const std::string&);
+  std::string (*get)(const SimConfig&);
+};
+
+// Every externally meaningful SimConfig field, in the order the canonical
+// serialization emits them. Growing SimConfig? Add the knob here and the
+// round-trip tests cover it for free.
+const Knob kKnobs[] = {
+    {"peers",
+     [](SimConfig& c, const std::string& v) { c.num_peers = parse_size(v); },
+     [](const SimConfig& c) { return std::to_string(c.num_peers); }},
+    {"nonsharing",
+     [](SimConfig& c, const std::string& v) {
+       c.nonsharing_fraction = parse_double(v);
+     },
+     [](const SimConfig& c) { return format_double(c.nonsharing_fraction); }},
+    {"download_kbps",
+     [](SimConfig& c, const std::string& v) {
+       c.download_capacity_kbps = parse_double(v);
+     },
+     [](const SimConfig& c) {
+       return format_double(c.download_capacity_kbps);
+     }},
+    {"upload_kbps",
+     [](SimConfig& c, const std::string& v) {
+       c.upload_capacity_kbps = parse_double(v);
+     },
+     [](const SimConfig& c) { return format_double(c.upload_capacity_kbps); }},
+    {"slot_kbps",
+     [](SimConfig& c, const std::string& v) { c.slot_kbps = parse_double(v); },
+     [](const SimConfig& c) { return format_double(c.slot_kbps); }},
+    {"categories",
+     [](SimConfig& c, const std::string& v) {
+       c.catalog.num_categories = parse_size(v);
+     },
+     [](const SimConfig& c) {
+       return std::to_string(c.catalog.num_categories);
+     }},
+    {"min_objects_per_category",
+     [](SimConfig& c, const std::string& v) {
+       c.catalog.min_objects_per_category = parse_size(v);
+     },
+     [](const SimConfig& c) {
+       return std::to_string(c.catalog.min_objects_per_category);
+     }},
+    {"max_objects_per_category",
+     [](SimConfig& c, const std::string& v) {
+       c.catalog.max_objects_per_category = parse_size(v);
+     },
+     [](const SimConfig& c) {
+       return std::to_string(c.catalog.max_objects_per_category);
+     }},
+    {"f_cat",
+     [](SimConfig& c, const std::string& v) {
+       c.catalog.category_popularity_f = parse_double(v);
+     },
+     [](const SimConfig& c) {
+       return format_double(c.catalog.category_popularity_f);
+     }},
+    {"f_obj",
+     [](SimConfig& c, const std::string& v) {
+       c.catalog.object_popularity_f = parse_double(v);
+     },
+     [](const SimConfig& c) {
+       return format_double(c.catalog.object_popularity_f);
+     }},
+    {"object_bytes",
+     [](SimConfig& c, const std::string& v) {
+       c.catalog.object_size = static_cast<Bytes>(parse_u64(v));
+     },
+     [](const SimConfig& c) {
+       return std::to_string(c.catalog.object_size);
+     }},
+    {"min_categories",
+     [](SimConfig& c, const std::string& v) {
+       c.min_categories_per_peer = parse_size(v);
+     },
+     [](const SimConfig& c) {
+       return std::to_string(c.min_categories_per_peer);
+     }},
+    {"max_categories",
+     [](SimConfig& c, const std::string& v) {
+       c.max_categories_per_peer = parse_size(v);
+     },
+     [](const SimConfig& c) {
+       return std::to_string(c.max_categories_per_peer);
+     }},
+    {"min_storage",
+     [](SimConfig& c, const std::string& v) {
+       c.min_storage_objects = parse_size(v);
+     },
+     [](const SimConfig& c) { return std::to_string(c.min_storage_objects); }},
+    {"max_storage",
+     [](SimConfig& c, const std::string& v) {
+       c.max_storage_objects = parse_size(v);
+     },
+     [](const SimConfig& c) { return std::to_string(c.max_storage_objects); }},
+    {"initial_fill",
+     [](SimConfig& c, const std::string& v) {
+       c.initial_fill_fraction = parse_double(v);
+     },
+     [](const SimConfig& c) {
+       return format_double(c.initial_fill_fraction);
+     }},
+    {"irq_capacity",
+     [](SimConfig& c, const std::string& v) { c.irq_capacity = parse_size(v); },
+     [](const SimConfig& c) { return std::to_string(c.irq_capacity); }},
+    {"max_pending",
+     [](SimConfig& c, const std::string& v) { c.max_pending = parse_size(v); },
+     [](const SimConfig& c) { return std::to_string(c.max_pending); }},
+    {"lookup_fraction",
+     [](SimConfig& c, const std::string& v) {
+       c.lookup_fraction = parse_double(v);
+     },
+     [](const SimConfig& c) { return format_double(c.lookup_fraction); }},
+    {"max_providers",
+     [](SimConfig& c, const std::string& v) {
+       c.max_providers_per_request = parse_size(v);
+     },
+     [](const SimConfig& c) {
+       return std::to_string(c.max_providers_per_request);
+     }},
+    {"policy",
+     [](SimConfig& c, const std::string& v) { c.policy = parse_policy(v); },
+     [](const SimConfig& c) { return p2pex::to_string(c.policy); }},
+    {"max_ring",
+     [](SimConfig& c, const std::string& v) {
+       c.max_ring_size = parse_size(v);
+     },
+     [](const SimConfig& c) { return std::to_string(c.max_ring_size); }},
+    {"preemption",
+     [](SimConfig& c, const std::string& v) { c.preemption = parse_bool(v); },
+     [](const SimConfig& c) {
+       return std::string(c.preemption ? "yes" : "no");
+     }},
+    {"max_ring_attempts",
+     [](SimConfig& c, const std::string& v) {
+       c.max_ring_attempts_per_search = parse_size(v);
+     },
+     [](const SimConfig& c) {
+       return std::to_string(c.max_ring_attempts_per_search);
+     }},
+    {"tree",
+     [](SimConfig& c, const std::string& v) { c.tree_mode = parse_tree_mode(v); },
+     [](const SimConfig& c) { return p2pex::to_string(c.tree_mode); }},
+    {"bloom_expected",
+     [](SimConfig& c, const std::string& v) {
+       c.bloom_expected_per_level = parse_size(v);
+     },
+     [](const SimConfig& c) {
+       return std::to_string(c.bloom_expected_per_level);
+     }},
+    {"bloom_fpp",
+     [](SimConfig& c, const std::string& v) { c.bloom_fpp = parse_double(v); },
+     [](const SimConfig& c) { return format_double(c.bloom_fpp); }},
+    {"bloom_hop_budget",
+     [](SimConfig& c, const std::string& v) {
+       c.bloom_hop_budget = parse_size(v);
+     },
+     [](const SimConfig& c) { return std::to_string(c.bloom_hop_budget); }},
+    {"scheduler",
+     [](SimConfig& c, const std::string& v) {
+       c.scheduler = parse_scheduler(v);
+     },
+     [](const SimConfig& c) { return p2pex::to_string(c.scheduler); }},
+    {"liar_fraction",
+     [](SimConfig& c, const std::string& v) {
+       c.liar_fraction = parse_double(v);
+     },
+     [](const SimConfig& c) { return format_double(c.liar_fraction); }},
+    {"search_interval",
+     [](SimConfig& c, const std::string& v) {
+       c.search_interval = parse_double(v);
+     },
+     [](const SimConfig& c) { return format_double(c.search_interval); }},
+    {"eviction_interval",
+     [](SimConfig& c, const std::string& v) {
+       c.eviction_interval = parse_double(v);
+     },
+     [](const SimConfig& c) { return format_double(c.eviction_interval); }},
+    {"request_retry_interval",
+     [](SimConfig& c, const std::string& v) {
+       c.request_retry_interval = parse_double(v);
+     },
+     [](const SimConfig& c) {
+       return format_double(c.request_retry_interval);
+     }},
+    {"duration",
+     [](SimConfig& c, const std::string& v) {
+       c.sim_duration = parse_double(v);
+     },
+     [](const SimConfig& c) { return format_double(c.sim_duration); }},
+    {"warmup",
+     [](SimConfig& c, const std::string& v) {
+       c.warmup_fraction = parse_double(v);
+     },
+     [](const SimConfig& c) { return format_double(c.warmup_fraction); }},
+    {"seed",
+     [](SimConfig& c, const std::string& v) { c.seed = parse_u64(v); },
+     [](const SimConfig& c) { return std::to_string(c.seed); }},
+};
+
+}  // namespace
+
+void set_config_knob(SimConfig& config, const std::string& knob,
+                     const std::string& value) {
+  for (const Knob& k : kKnobs) {
+    if (knob == k.name) {
+      k.set(config, value);
+      return;
+    }
+  }
+  std::string known;
+  for (const Knob& k : kKnobs) {
+    if (!known.empty()) known += ' ';
+    known += k.name;
+  }
+  throw ScenarioError("unknown knob '" + knob + "' (known: " + known + ")");
+}
+
+std::vector<std::pair<std::string, std::string>> config_knobs(
+    const SimConfig& config) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(std::size(kKnobs));
+  for (const Knob& k : kKnobs) out.emplace_back(k.name, k.get(config));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Spec
+// ---------------------------------------------------------------------------
+
+Spec Spec::with_base(const std::string& base_name) {
+  Spec s;
+  s.base = base_name;
+  if (base_name == "calibrated") {
+    s.config = SimConfig::calibrated_defaults();
+  } else if (base_name == "paper") {
+    s.config = SimConfig::paper_defaults();
+  } else {
+    throw ScenarioError("unknown base preset '" + base_name +
+                        "' (expected calibrated|paper)");
+  }
+  return s;
+}
+
+const Cohort* Spec::find_cohort(const std::string& cohort_name) const {
+  for (const Cohort& c : cohorts)
+    if (c.name == cohort_name) return &c;
+  return nullptr;
+}
+
+SimConfig Spec::compile_config() const {
+  SimConfig c = config;
+  if (!cohorts.empty()) {
+    std::size_t total = 0;
+    for (const Cohort& co : cohorts) total += co.count;
+    c.num_peers = total;
+  }
+  return c;
+}
+
+PopulationPlan Spec::population_plan() const {
+  PopulationPlan plan;
+  plan.reserve(cohorts.size());
+  for (const Cohort& c : cohorts) {
+    PeerClass cls;
+    cls.count = c.count;
+    cls.shares = c.shares;
+    cls.liar_fraction = c.liar_fraction;
+    cls.upload_kbps = c.upload_kbps;
+    cls.download_kbps = c.download_kbps;
+    cls.min_storage = c.min_storage;
+    cls.max_storage = c.max_storage;
+    cls.min_categories = c.min_categories;
+    cls.max_categories = c.max_categories;
+    cls.interest_top_fraction = c.interest_top_fraction;
+    cls.start_offline = c.start_offline;
+    plan.push_back(cls);
+  }
+  return plan;
+}
+
+namespace {
+
+bool single_token(const std::string& s) {
+  return !s.empty() && s.find_first_of(" \t#=") == std::string::npos;
+}
+
+void validate_event(const Spec& spec, const Event& e, std::size_t i) {
+  auto fail = [&](const std::string& msg) {
+    throw ScenarioError("timeline event " + std::to_string(i) + " (" +
+                        to_string(e.kind) + " at t=" +
+                        format_double(e.time) + "): " + msg);
+  };
+  if (e.time < 0.0) fail("time must be non-negative");
+  if (e.time > spec.config.sim_duration)
+    fail("time beyond the run duration (" +
+         format_double(spec.config.sim_duration) + "s)");
+  if (!e.cohort.empty() && spec.find_cohort(e.cohort) == nullptr)
+    fail("unknown cohort '" + e.cohort + "'");
+  switch (e.kind) {
+    case EventKind::kDepart:
+    case EventKind::kArrive:
+      if (e.count < 1) fail("count must be positive");
+      break;
+    case EventKind::kFlashCrowd:
+      if (!e.category.valid() ||
+          e.category.value >= spec.config.catalog.num_categories)
+        fail("category beyond the catalog (" +
+             std::to_string(spec.config.catalog.num_categories) +
+             " categories)");
+      if (e.weight <= 0.0 || e.weight > 1.0)
+        fail("weight must be in (0, 1]");
+      if (e.duration <= 0.0) fail("duration must be positive");
+      break;
+    case EventKind::kFreerideWave:
+      if (e.fraction <= 0.0 || e.fraction > 1.0)
+        fail("fraction must be in (0, 1]");
+      if (e.duration < 0.0)
+        fail("duration must be non-negative (0 = permanent)");
+      break;
+    case EventKind::kChurn:
+      if (e.interval <= 0.0) fail("interval must be positive");
+      if (e.duration < e.interval)
+        fail("window shorter than one interval — no tick would fire");
+      if (e.depart_rate < 0.0 || e.arrive_rate < 0.0)
+        fail("rates must be non-negative");
+      if (e.depart_rate == 0.0 && e.arrive_rate == 0.0)
+        fail("at least one of depart_rate/arrive_rate must be positive");
+      break;
+    case EventKind::kSetPolicy:
+      if (e.max_ring < 2 && e.policy != ExchangePolicy::kNoExchange)
+        fail("max_ring must be >= 2 when exchanges are enabled");
+      break;
+    case EventKind::kSetScheduler:
+      break;
+  }
+}
+
+}  // namespace
+
+void Spec::validate() const {
+  if (!single_token(name))
+    throw ScenarioError("scenario name must be one token, got '" + name +
+                        "'");
+  if (base != "calibrated" && base != "paper")
+    throw ScenarioError("unknown base preset '" + base +
+                        "' (expected calibrated|paper)");
+
+  for (std::size_t i = 0; i < cohorts.size(); ++i) {
+    const Cohort& c = cohorts[i];
+    auto fail = [&](const std::string& msg) {
+      throw ScenarioError("cohort '" + c.name + "': " + msg);
+    };
+    if (!single_token(c.name)) fail("name must be one token");
+    for (std::size_t j = 0; j < i; ++j)
+      if (cohorts[j].name == c.name) fail("duplicate cohort name");
+    if (c.shares && c.liar_fraction > 0.0)
+      fail("liar_fraction applies to non-sharing cohorts only");
+  }
+
+  const SimConfig compiled = compile_config();
+  try {
+    compiled.validate();
+    validate_plan(population_plan(), compiled);
+  } catch (const ConfigError& e) {
+    throw ScenarioError(std::string("invalid configuration: ") + e.what());
+  }
+
+  for (std::size_t i = 0; i < timeline.size(); ++i)
+    validate_event(*this, timeline[i], i);
+
+  // The demand spike is one global slot (System::set_demand_spike), so
+  // overlapping flash-crowd windows would silently cancel each other:
+  // the earlier wave's end action clears the later wave's active spike.
+  std::vector<std::pair<double, double>> flash_windows;
+  for (const Event& e : timeline)
+    if (e.kind == EventKind::kFlashCrowd)
+      flash_windows.emplace_back(e.time, e.time + e.duration);
+  std::sort(flash_windows.begin(), flash_windows.end());
+  for (std::size_t i = 1; i < flash_windows.size(); ++i)
+    if (flash_windows[i].first < flash_windows[i - 1].second)
+      throw ScenarioError(
+          "flash_crowd windows overlap (" +
+          detail::format_double(flash_windows[i - 1].first) + ".." +
+          detail::format_double(flash_windows[i - 1].second) + " and " +
+          detail::format_double(flash_windows[i].first) + ".." +
+          detail::format_double(flash_windows[i].second) +
+          ") — only one demand spike can be active at a time");
+}
+
+std::string Spec::to_text() const {
+  std::ostringstream os;
+  os << "# p2pex scenario (canonical form)\n";
+  os << "scenario " << name << "\n";
+  os << "base " << base << "\n";
+
+  // Only knobs that differ from the base preset.
+  const Spec base_spec = with_base(base);
+  const auto base_knobs = config_knobs(base_spec.config);
+  const auto knobs = config_knobs(config);
+  for (std::size_t i = 0; i < knobs.size(); ++i)
+    if (knobs[i].second != base_knobs[i].second)
+      os << "set " << knobs[i].first << " " << knobs[i].second << "\n";
+
+  for (const Cohort& c : cohorts) {
+    os << "cohort " << c.name << " count=" << c.count;
+    if (!c.shares) os << " share=no";
+    if (c.liar_fraction > 0.0)
+      os << " liar=" << format_double(c.liar_fraction);
+    if (c.upload_kbps != 0.0)
+      os << " upload=" << format_double(c.upload_kbps);
+    if (c.download_kbps != 0.0)
+      os << " download=" << format_double(c.download_kbps);
+    if (c.max_storage != 0)
+      os << " storage=" << c.min_storage << ".." << c.max_storage;
+    if (c.max_categories != 0)
+      os << " categories=" << c.min_categories << ".." << c.max_categories;
+    if (c.interest_top_fraction != 1.0)
+      os << " interest_top=" << format_double(c.interest_top_fraction);
+    if (c.start_offline) os << " offline=yes";
+    os << "\n";
+  }
+
+  for (const Event& e : timeline) {
+    os << "at " << format_double(e.time) << " " << to_string(e.kind);
+    switch (e.kind) {
+      case EventKind::kDepart:
+      case EventKind::kArrive:
+        os << " count=" << e.count;
+        break;
+      case EventKind::kFlashCrowd:
+        os << " category=" << e.category.value
+           << " weight=" << format_double(e.weight)
+           << " duration=" << format_double(e.duration);
+        break;
+      case EventKind::kFreerideWave:
+        os << " fraction=" << format_double(e.fraction);
+        if (e.duration > 0.0)
+          os << " duration=" << format_double(e.duration);
+        break;
+      case EventKind::kChurn:
+        os << " duration=" << format_double(e.duration)
+           << " interval=" << format_double(e.interval)
+           << " depart_rate=" << format_double(e.depart_rate)
+           << " arrive_rate=" << format_double(e.arrive_rate);
+        break;
+      case EventKind::kSetPolicy:
+        os << " " << p2pex::to_string(e.policy);
+        if (e.policy != ExchangePolicy::kNoExchange)
+          os << " max_ring=" << e.max_ring;
+        break;
+      case EventKind::kSetScheduler:
+        os << " " << p2pex::to_string(e.scheduler);
+        break;
+    }
+    if (!e.cohort.empty()) os << " cohort=" << e.cohort;
+    os << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// SpecBuilder
+// ---------------------------------------------------------------------------
+
+SpecBuilder& SpecBuilder::name(std::string n) {
+  spec_.name = std::move(n);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::seed(std::uint64_t s) {
+  spec_.config.seed = s;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::duration(double seconds) {
+  spec_.config.sim_duration = seconds;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::warmup(double fraction) {
+  spec_.config.warmup_fraction = fraction;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::set(const std::string& knob,
+                              const std::string& value) {
+  set_config_knob(spec_.config, knob, value);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::cohort(Cohort c) {
+  spec_.cohorts.push_back(std::move(c));
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::depart_at(SimTime t, std::size_t count,
+                                    std::string cohort) {
+  Event e;
+  e.kind = EventKind::kDepart;
+  e.time = t;
+  e.count = count;
+  e.cohort = std::move(cohort);
+  spec_.timeline.push_back(std::move(e));
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::arrive_at(SimTime t, std::size_t count,
+                                    std::string cohort) {
+  Event e;
+  e.kind = EventKind::kArrive;
+  e.time = t;
+  e.count = count;
+  e.cohort = std::move(cohort);
+  spec_.timeline.push_back(std::move(e));
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::flash_crowd(SimTime t, CategoryId category,
+                                      double weight, double duration) {
+  Event e;
+  e.kind = EventKind::kFlashCrowd;
+  e.time = t;
+  e.category = category;
+  e.weight = weight;
+  e.duration = duration;
+  spec_.timeline.push_back(std::move(e));
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::freeride_wave(SimTime t, double fraction,
+                                        double duration, std::string cohort) {
+  Event e;
+  e.kind = EventKind::kFreerideWave;
+  e.time = t;
+  e.fraction = fraction;
+  e.duration = duration;
+  e.cohort = std::move(cohort);
+  spec_.timeline.push_back(std::move(e));
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::churn(SimTime start, double duration,
+                                double interval, double depart_rate,
+                                double arrive_rate, std::string cohort) {
+  Event e;
+  e.kind = EventKind::kChurn;
+  e.time = start;
+  e.duration = duration;
+  e.interval = interval;
+  e.depart_rate = depart_rate;
+  e.arrive_rate = arrive_rate;
+  e.cohort = std::move(cohort);
+  spec_.timeline.push_back(std::move(e));
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::policy_flip(SimTime t, ExchangePolicy policy,
+                                      std::size_t max_ring) {
+  Event e;
+  e.kind = EventKind::kSetPolicy;
+  e.time = t;
+  e.policy = policy;
+  e.max_ring = max_ring;
+  spec_.timeline.push_back(std::move(e));
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::scheduler_flip(SimTime t, SchedulerKind scheduler) {
+  Event e;
+  e.kind = EventKind::kSetScheduler;
+  e.time = t;
+  e.scheduler = scheduler;
+  spec_.timeline.push_back(std::move(e));
+  return *this;
+}
+
+Spec SpecBuilder::build() const {
+  spec_.validate();
+  return spec_;
+}
+
+}  // namespace p2pex::scenario

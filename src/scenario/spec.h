@@ -1,0 +1,227 @@
+// Declarative scenario descriptions (ROADMAP: scenario DSL).
+//
+// A Spec is the in-memory form of one workload: a base SimConfig preset
+// with knob overrides, named population cohorts (each a PeerClass slice
+// of the population), and a timeline of events — churn processes, flash
+// crowds, free-rider waves, mid-run policy/scheduler flips. Specs are
+// built fluently in C++ (SpecBuilder), parsed from the line-oriented
+// .scn text format (parse_text / parse_file), and executed against a
+// System by scenario::Driver.
+//
+// The .scn format, one directive per line ('#' starts a comment):
+//
+//   scenario flash-crowd-demo
+//   base calibrated                 # or: paper
+//   set seed 42
+//   set duration 20000
+//   cohort sharers count=30 upload=160
+//   cohort leechers count=30 share=no liar=0.2
+//   at 5000 flash_crowd category=0 weight=0.6 duration=4000
+//   at 6000 depart count=10 cohort=sharers
+//   at 9000 churn duration=6000 interval=60 depart_rate=0.001 arrive_rate=0.005
+//   at 16000 policy longest-first max_ring=5
+//
+// Every malformed input raises ScenarioError with a file:line diagnostic
+// — never a crash, never a silent default.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/population.h"
+#include "util/types.h"
+
+namespace p2pex::scenario {
+
+/// Thrown on any invalid scenario (parse error, unknown knob, value out
+/// of range, inconsistent timeline). The message carries an actionable
+/// diagnostic, prefixed "origin:line:" when raised by the parser.
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One named population cohort. Field semantics (and the 0-means-default
+/// convention) match core PeerClass; `name` scopes timeline events.
+struct Cohort {
+  std::string name;
+  std::size_t count = 0;
+  bool shares = true;
+  double liar_fraction = 0.0;
+  double upload_kbps = 0.0;    ///< 0 = SimConfig value
+  double download_kbps = 0.0;  ///< 0 = SimConfig value
+  std::size_t min_storage = 0, max_storage = 0;      ///< 0/0 = SimConfig range
+  std::size_t min_categories = 0, max_categories = 0;///< 0/0 = SimConfig range
+  double interest_top_fraction = 1.0;
+  bool start_offline = false;
+
+  friend bool operator==(const Cohort&, const Cohort&) = default;
+};
+
+/// What a timeline entry does.
+enum class EventKind : std::uint8_t {
+  kDepart,        ///< take `count` random online peers offline
+  kArrive,        ///< bring `count` random offline peers online
+  kFlashCrowd,    ///< demand spike on `category` for `duration` seconds
+  kFreerideWave,  ///< flip `fraction` of sharing peers to non-sharing
+  kChurn,         ///< Poisson-style leave/rejoin process over a window
+  kSetPolicy,     ///< mid-run exchange-policy flip
+  kSetScheduler,  ///< mid-run non-exchange-scheduler flip
+};
+
+[[nodiscard]] std::string to_string(EventKind k);
+
+/// One timeline entry. Only the fields its kind documents are
+/// meaningful; the rest stay at their defaults.
+struct Event {
+  EventKind kind = EventKind::kDepart;
+  SimTime time = 0.0;
+  std::string cohort;      ///< scope; empty = whole population
+  std::size_t count = 0;   ///< kDepart / kArrive
+  CategoryId category;     ///< kFlashCrowd target
+  double weight = 0.0;     ///< kFlashCrowd demand share in (0, 1]
+  double duration = 0.0;   ///< kFlashCrowd / kFreerideWave / kChurn window
+                           ///< (0 for a wave = permanent)
+  double fraction = 0.0;   ///< kFreerideWave share of sharing peers
+  double interval = 0.0;   ///< kChurn tick spacing in seconds
+  double depart_rate = 0.0;///< kChurn per-peer departures / second
+  double arrive_rate = 0.0;///< kChurn per-peer rejoins / second
+  ExchangePolicy policy = ExchangePolicy::kShortestFirst;  ///< kSetPolicy
+  std::size_t max_ring = 5;                                ///< kSetPolicy
+  SchedulerKind scheduler = SchedulerKind::kFifo;          ///< kSetScheduler
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// A complete scenario: base config + cohorts + timeline.
+struct Spec {
+  std::string name = "unnamed";
+  std::string base = "calibrated";  ///< "calibrated" | "paper"
+  /// The run configuration: base preset with `set` overrides applied.
+  /// num_peers is derived from the cohorts when any are declared.
+  SimConfig config = SimConfig::calibrated_defaults();
+  std::vector<Cohort> cohorts;
+  std::vector<Event> timeline;
+
+  /// Throws ScenarioError on any inconsistency (bad cohort ranges,
+  /// events beyond the run, unknown cohort scopes, invalid config).
+  void validate() const;
+
+  /// The SimConfig the run executes: `config` with num_peers replaced by
+  /// the cohort total when cohorts are declared.
+  [[nodiscard]] SimConfig compile_config() const;
+
+  /// The cohorts as a core PopulationPlan (empty when no cohorts, which
+  /// keeps the homogeneous Table II population).
+  [[nodiscard]] PopulationPlan population_plan() const;
+
+  /// Cohort by name; nullptr when absent.
+  [[nodiscard]] const Cohort* find_cohort(const std::string& name) const;
+
+  /// Canonical .scn text. Emits only knobs that differ from the base
+  /// preset, so parse_text(to_text()) round-trips to an equal Spec.
+  [[nodiscard]] std::string to_text() const;
+
+  /// A Spec on a named base preset ("calibrated" or "paper").
+  static Spec with_base(const std::string& base_name);
+
+  /// Parses .scn text; `origin` labels diagnostics (file name). The
+  /// returned Spec is validated.
+  static Spec parse_text(const std::string& text,
+                         const std::string& origin = "<string>");
+
+  /// Loads and parses a .scn file.
+  static Spec parse_file(const std::string& path);
+
+  friend bool operator==(const Spec&, const Spec&) = default;
+};
+
+// --- config knob table (shared by `set` lines, serialization, tests) ---
+
+/// Sets one named knob on a config from its text form. Throws
+/// ScenarioError for unknown knobs or unparseable values.
+void set_config_knob(SimConfig& config, const std::string& knob,
+                     const std::string& value);
+
+/// All knobs as (name, canonical value) pairs, table order.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> config_knobs(
+    const SimConfig& config);
+
+// --- enum spellings shared by the parser and serializer ---
+
+[[nodiscard]] ExchangePolicy parse_policy(const std::string& s);
+[[nodiscard]] SchedulerKind parse_scheduler(const std::string& s);
+[[nodiscard]] TreeMode parse_tree_mode(const std::string& s);
+
+namespace detail {
+// Canonical scalar formatting/parsing shared by the knob table, the
+// serializer and the parser. format_double emits the shortest exact
+// (round-trip) decimal form; the parsers reject any trailing garbage
+// with a ScenarioError.
+[[nodiscard]] std::string format_double(double v);
+[[nodiscard]] double parse_double(const std::string& s);
+[[nodiscard]] std::uint64_t parse_u64(const std::string& s);
+[[nodiscard]] std::size_t parse_size(const std::string& s);
+[[nodiscard]] bool parse_bool(const std::string& s);
+}  // namespace detail
+
+/// Fluent Spec construction:
+///
+///   Spec spec = SpecBuilder()
+///                   .name("churn-study")
+///                   .seed(7)
+///                   .cohort({.name = "sharers", .count = 40})
+///                   .cohort({.name = "leechers", .count = 40,
+///                            .shares = false})
+///                   .churn(0.0, 20000.0, 60.0, 1e-3, 5e-3)
+///                   .build();
+class SpecBuilder {
+ public:
+  /// Starts from the calibrated base preset.
+  SpecBuilder() = default;
+  /// Starts from a named base preset ("calibrated" | "paper").
+  explicit SpecBuilder(const std::string& base_name)
+      : spec_(Spec::with_base(base_name)) {}
+
+  SpecBuilder& name(std::string n);
+  SpecBuilder& seed(std::uint64_t s);
+  SpecBuilder& duration(double seconds);
+  SpecBuilder& warmup(double fraction);
+  /// Sets any knob from the knob table by its .scn spelling.
+  SpecBuilder& set(const std::string& knob, const std::string& value);
+  /// Escape hatch: direct access to the underlying config.
+  [[nodiscard]] SimConfig& config() { return spec_.config; }
+
+  SpecBuilder& cohort(Cohort c);
+
+  // --- timeline ---
+  SpecBuilder& depart_at(SimTime t, std::size_t count,
+                         std::string cohort = "");
+  SpecBuilder& arrive_at(SimTime t, std::size_t count,
+                         std::string cohort = "");
+  SpecBuilder& flash_crowd(SimTime t, CategoryId category, double weight,
+                           double duration);
+  SpecBuilder& freeride_wave(SimTime t, double fraction, double duration,
+                             std::string cohort = "");
+  SpecBuilder& churn(SimTime start, double duration, double interval,
+                     double depart_rate, double arrive_rate,
+                     std::string cohort = "");
+  SpecBuilder& policy_flip(SimTime t, ExchangePolicy policy,
+                           std::size_t max_ring);
+  SpecBuilder& scheduler_flip(SimTime t, SchedulerKind scheduler);
+
+  /// Read access while building (the wrapper presets use this).
+  [[nodiscard]] const Spec& spec() const { return spec_; }
+
+  /// Validates and returns the finished Spec.
+  [[nodiscard]] Spec build() const;
+
+ private:
+  Spec spec_;
+};
+
+}  // namespace p2pex::scenario

@@ -17,24 +17,40 @@ EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
 void Simulator::schedule_periodic(SimTime period, std::function<void()> fn) {
   P2PEX_ASSERT_MSG(period > 0.0, "non-positive period");
   auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
-  // Self-rescheduling wrapper; stops once past the run horizon so that
-  // run_until() terminates and destruction is clean. The simulator holds
-  // the only strong reference to the wrapper — the lambda captures a weak
-  // one, since a shared self-capture would be an unreclaimable cycle.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, shared_fn,
-           weak = std::weak_ptr<std::function<void()>>(tick)]() {
+  // Self-rescheduling wrapper; parks (instead of rescheduling) once the
+  // next occurrence falls past the run horizon so that run_until()
+  // terminates and destruction is clean — run_until() re-arms parked
+  // tasks when the horizon moves out. The simulator holds the only
+  // strong reference to the record — the lambda captures a weak one,
+  // since a shared self-capture would be an unreclaimable cycle.
+  auto rec = std::make_shared<Periodic>();
+  rec->period = period;
+  rec->tick = std::make_shared<std::function<void()>>();
+  *rec->tick = [this, shared_fn, weak = std::weak_ptr<Periodic>(rec)]() {
     (*shared_fn)();
-    if (now_ + period > horizon_) return;
-    if (auto self = weak.lock()) queue_.schedule(now_ + period, *self);
+    auto self = weak.lock();
+    if (!self) return;
+    self->next = now_ + self->period;
+    self->armed = self->next <= horizon_;
+    if (self->armed) queue_.schedule(self->next, *self->tick);
   };
-  periodic_ticks_.push_back(tick);
-  queue_.schedule(now_ + period, *tick);
+  rec->next = now_ + period;
+  rec->armed = true;
+  queue_.schedule(rec->next, *rec->tick);
+  periodics_.push_back(std::move(rec));
 }
 
 std::uint64_t Simulator::run_until(SimTime t_end) {
   P2PEX_ASSERT_MSG(t_end >= now_, "running backwards");
   horizon_ = t_end;
+  // Re-arm periodic tasks that parked against an earlier horizon; they
+  // resume at exactly the occurrence they parked on.
+  for (const auto& rec : periodics_) {
+    if (!rec->armed && rec->next <= t_end) {
+      rec->armed = true;
+      queue_.schedule(rec->next, *rec->tick);
+    }
+  }
   std::uint64_t n = 0;
   while (!queue_.empty() && queue_.peek_time() <= t_end) {
     auto [when, fn] = queue_.pop();

@@ -34,9 +34,12 @@ class Simulator {
   void cancel(EventHandle h) { queue_.cancel(h); }
 
   /// Schedules `fn` every `period` seconds, first firing at now()+period.
-  /// Periodic tasks cannot be cancelled individually; they stop
-  /// rescheduling once the next occurrence would fall past the run
-  /// horizon, and live as long as the simulator.
+  /// Periodic tasks cannot be cancelled individually and live as long as
+  /// the simulator. A task whose next occurrence falls past the current
+  /// run horizon parks instead of rescheduling; a later run_until() with
+  /// a farther horizon re-arms it at exactly the occurrence it parked on,
+  /// so stepping a run with repeated run_until() calls fires periodics at
+  /// the same instants as one straight run.
   void schedule_periodic(SimTime period, std::function<void()> fn);
 
   /// Runs events until the queue empties or the next event is after
@@ -53,12 +56,21 @@ class Simulator {
   }
 
  private:
+  /// One periodic task: the self-rescheduling wrapper plus the park/re-arm
+  /// state run_until() consults when the horizon moves.
+  struct Periodic {
+    std::shared_ptr<std::function<void()>> tick;
+    SimTime period = 0.0;
+    SimTime next = 0.0;   ///< next occurrence (scheduled or parked)
+    bool armed = false;   ///< an event for `next` sits in the queue
+  };
+
   EventQueue queue_;
-  /// Strong owners of the periodic self-rescheduling wrappers (their
-  /// lambdas capture themselves weakly); one entry per periodic task.
-  std::vector<std::shared_ptr<std::function<void()>>> periodic_ticks_;
+  /// Strong owners of the periodic wrappers (their lambdas capture their
+  /// own record weakly); one entry per periodic task.
+  std::vector<std::shared_ptr<Periodic>> periodics_;
   SimTime now_ = 0.0;
-  SimTime horizon_ = 0.0;  // periodic tasks stop rescheduling past this
+  SimTime horizon_ = 0.0;  // periodic tasks park past this
   std::uint64_t processed_ = 0;
 };
 

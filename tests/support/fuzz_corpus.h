@@ -25,6 +25,12 @@ inline constexpr std::uint64_t kEventQueueFuzzSeeds[] = {21, 22, 23, 25, 28,
 inline constexpr std::uint64_t kGraphFuzzSeeds[] = {31, 32, 33, 35, 38,
                                                     53, 97};
 
+/// Seeds for the .scn mutation fuzzer (test_scenario_fuzz.cpp): random
+/// byte edits of a valid scenario must parse cleanly or raise
+/// ScenarioError — never crash or silently default.
+inline constexpr std::uint64_t kScenarioFuzzSeeds[] = {41, 42, 43, 45, 48,
+                                                       61, 83};
+
 /// Names a parameterized fuzz instance "seed<N>" so the CTest case list
 /// reads as the corpus itself.
 inline std::string fuzz_seed_name(

@@ -4,13 +4,13 @@ namespace p2pex::test {
 
 Scenario::Scenario(std::size_t peers, double duration, double warmup,
                    std::uint64_t seed) {
-  cfg_ = SimConfig::calibrated_defaults();
-  cfg_.num_peers = peers;
-  cfg_.catalog.num_categories = peers;
-  cfg_.catalog.object_size = megabytes(4);
-  cfg_.sim_duration = duration;
-  cfg_.warmup_fraction = warmup;
-  cfg_.seed = seed;
+  SimConfig& cfg = builder_.config();  // calibrated base preset
+  cfg.num_peers = peers;
+  cfg.catalog.num_categories = peers;
+  cfg.catalog.object_size = megabytes(4);
+  cfg.sim_duration = duration;
+  cfg.warmup_fraction = warmup;
+  cfg.seed = seed;
 }
 
 Scenario Scenario::tiny(std::uint64_t seed) {
@@ -31,79 +31,80 @@ Scenario Scenario::view(std::uint64_t seed) {
 
 Scenario Scenario::medium(std::uint64_t seed) {
   Scenario s(100, 60000.0, 0.35, seed);
-  s.cfg_.catalog.object_size = megabytes(10);
+  s.builder_.config().catalog.object_size = megabytes(10);
   return s;
 }
 
 Scenario& Scenario::peers(std::size_t n) {
-  cfg_.num_peers = n;
-  cfg_.catalog.num_categories = n;
+  builder_.config().num_peers = n;
+  builder_.config().catalog.num_categories = n;
   return *this;
 }
 
 Scenario& Scenario::policy(ExchangePolicy p) {
-  cfg_.policy = p;
+  builder_.config().policy = p;
   return *this;
 }
 
 Scenario& Scenario::scheduler(SchedulerKind k) {
-  cfg_.scheduler = k;
+  builder_.config().scheduler = k;
   return *this;
 }
 
 Scenario& Scenario::tree(TreeMode m) {
-  cfg_.tree_mode = m;
+  builder_.config().tree_mode = m;
   return *this;
 }
 
 Scenario& Scenario::seed(std::uint64_t s) {
-  cfg_.seed = s;
+  builder_.config().seed = s;
   return *this;
 }
 
 Scenario& Scenario::duration(double seconds) {
-  cfg_.sim_duration = seconds;
+  builder_.config().sim_duration = seconds;
   return *this;
 }
 
 Scenario& Scenario::warmup(double fraction) {
-  cfg_.warmup_fraction = fraction;
+  builder_.config().warmup_fraction = fraction;
   return *this;
 }
 
 Scenario& Scenario::object_size(Bytes bytes) {
-  cfg_.catalog.object_size = bytes;
+  builder_.config().catalog.object_size = bytes;
   return *this;
 }
 
 Scenario& Scenario::nonsharing(double fraction) {
-  cfg_.nonsharing_fraction = fraction;
+  builder_.config().nonsharing_fraction = fraction;
   return *this;
 }
 
 Scenario& Scenario::liars(double fraction) {
-  cfg_.liar_fraction = fraction;
+  builder_.config().liar_fraction = fraction;
   return *this;
 }
 
 Scenario& Scenario::max_ring(std::size_t n) {
-  cfg_.max_ring_size = n;
+  builder_.config().max_ring_size = n;
   return *this;
 }
 
 Scenario& Scenario::max_pending(std::size_t n) {
-  cfg_.max_pending = n;
+  builder_.config().max_pending = n;
   return *this;
 }
 
 Scenario& Scenario::preemption(bool on) {
-  cfg_.preemption = on;
+  builder_.config().preemption = on;
   return *this;
 }
 
 SimConfig Scenario::build() const {
-  cfg_.validate();
-  return cfg_;
+  SimConfig cfg = builder_.spec().compile_config();
+  cfg.validate();
+  return cfg;
 }
 
 }  // namespace p2pex::test

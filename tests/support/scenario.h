@@ -1,15 +1,23 @@
-// Scenario builder shared by the test suite: named presets for the
-// system sizes the tests run at, plus fluent knobs so individual tests
-// state only what they vary.
+// Scenario presets shared by the test suite: named sizes for the system
+// scales the tests run at, plus fluent knobs so individual tests state
+// only what they vary.
 //
 //   SimConfig cfg = Scenario::small().policy(ExchangePolicy::kPairwiseOnly)
 //                       .seed(11)
 //                       .build();
+//
+// Since PR 3 this is a thin preset wrapper over the scenario subsystem
+// (scenario::SpecBuilder): every knob mutates a real scenario::Spec, and
+// spec() hands the underlying builder to tests that want to attach
+// cohorts or timeline events to a preset. build() compiles to the exact
+// same SimConfig values as before the rebuild — the golden replays pin
+// that.
 #pragma once
 
 #include <cstdint>
 
 #include "core/config.h"
+#include "scenario/spec.h"
 
 namespace p2pex::test {
 
@@ -50,7 +58,11 @@ class Scenario {
   Scenario& preemption(bool on);
 
   /// Escape hatch for knobs without a named setter.
-  SimConfig& raw() { return cfg_; }
+  SimConfig& raw() { return builder_.config(); }
+
+  /// The underlying scenario builder, for tests that grow a preset into
+  /// a full scenario (cohorts, timeline events).
+  scenario::SpecBuilder& spec() { return builder_; }
 
   /// Validates and returns the finished config.
   [[nodiscard]] SimConfig build() const;
@@ -61,7 +73,7 @@ class Scenario {
   Scenario(std::size_t peers, double duration, double warmup,
            std::uint64_t seed);
 
-  SimConfig cfg_;
+  scenario::SpecBuilder builder_;
 };
 
 }  // namespace p2pex::test

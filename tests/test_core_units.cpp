@@ -80,6 +80,20 @@ TEST(Config, DescribeMentionsPolicy) {
   EXPECT_NE(c.describe().find("5-2-way"), std::string::npos);
 }
 
+// Bench headers print describe() as the experiment's operating point, so
+// it must cover every knob; this pins the exact Table II rendering. If a
+// knob is added to SimConfig, extend describe() and re-pin here.
+TEST(Config, DescribePinsEveryKnob) {
+  EXPECT_EQ(
+      SimConfig::paper_defaults().describe(),
+      "peers=200 nonsharing=0.5 dl=800kbps ul=80kbps slot=10kbps "
+      "categories=300 f_cat=0.2 f_obj=0.2 object=20MB storage=[5,40] "
+      "cats/peer=[1,8] fill=0.5 irq=1000 pending=6 lookup=0.5 providers=8 "
+      "policy=2-5-way attempts=8 scheduler=fifo liars=0 preemption=on "
+      "tree=full-tree bloom=[64,0.02,256] search=30s evict=60s retry=60s "
+      "duration=30000s warmup=0.2 seed=1");
+}
+
 // --- Policy labels ---
 
 TEST(Policy, PaperLabels) {

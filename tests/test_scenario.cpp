@@ -1,0 +1,368 @@
+// Scenario subsystem: Spec model, knob table, .scn parsing/serialization
+// round-trips, diagnostics, and Driver-applied population dynamics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/experiment.h"
+#include "core/system.h"
+#include "scenario/driver.h"
+#include "scenario/spec.h"
+#include "support/scenario.h"
+
+namespace p2pex {
+namespace {
+
+using scenario::Cohort;
+using scenario::Driver;
+using scenario::EventKind;
+using scenario::ScenarioError;
+using scenario::Spec;
+using scenario::SpecBuilder;
+
+// A small but fully featured scenario used across the tests.
+Spec demo_spec() {
+  return SpecBuilder()
+      .name("demo")
+      .seed(9)
+      .duration(4000.0)
+      .warmup(0.1)
+      .set("categories", "40")
+      .set("object_bytes", "4000000")
+      .cohort({.name = "sharers", .count = 24, .upload_kbps = 160.0})
+      .cohort({.name = "leechers",
+               .count = 12,
+               .shares = false,
+               .liar_fraction = 0.5})
+      .cohort({.name = "late",
+               .count = 8,
+               .min_storage = 5,
+               .max_storage = 10,
+               .interest_top_fraction = 0.5,
+               .start_offline = true})
+      .arrive_at(1000.0, 8, "late")
+      .flash_crowd(1500.0, CategoryId{0}, 0.5, 1000.0)
+      .depart_at(2000.0, 4, "sharers")
+      .freeride_wave(2200.0, 0.25, 800.0)
+      .churn(2500.0, 1000.0, 100.0, 1e-3, 5e-3)
+      .policy_flip(3000.0, ExchangePolicy::kLongestFirst, 4)
+      .scheduler_flip(3200.0, SchedulerKind::kCredit)
+      .build();
+}
+
+// --- Spec / builder ---
+
+TEST(ScenarioSpec, BuilderProducesValidatedSpec) {
+  const Spec s = demo_spec();
+  EXPECT_EQ(s.name, "demo");
+  EXPECT_EQ(s.base, "calibrated");
+  EXPECT_EQ(s.cohorts.size(), 3u);
+  EXPECT_EQ(s.timeline.size(), 7u);
+  EXPECT_EQ(s.config.seed, 9u);
+  EXPECT_EQ(s.compile_config().num_peers, 44u);  // cohort total wins
+  ASSERT_NE(s.find_cohort("late"), nullptr);
+  EXPECT_TRUE(s.find_cohort("late")->start_offline);
+  EXPECT_EQ(s.find_cohort("absent"), nullptr);
+}
+
+TEST(ScenarioSpec, PopulationPlanMirrorsCohorts) {
+  const Spec s = demo_spec();
+  const PopulationPlan plan = s.population_plan();
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].count, 24u);
+  EXPECT_DOUBLE_EQ(plan[0].upload_kbps, 160.0);
+  EXPECT_FALSE(plan[1].shares);
+  EXPECT_DOUBLE_EQ(plan[1].liar_fraction, 0.5);
+  EXPECT_TRUE(plan[2].start_offline);
+  EXPECT_DOUBLE_EQ(plan[2].interest_top_fraction, 0.5);
+  EXPECT_EQ(plan_size(plan), 44u);
+}
+
+TEST(ScenarioSpec, KnobTableRoundTripsEveryKnob) {
+  // Writing each knob's rendered value onto a fresh config must render
+  // back identically — the set/get sides of the table agree.
+  const SimConfig reference = SimConfig::calibrated_defaults();
+  const auto knobs = scenario::config_knobs(reference);
+  EXPECT_GE(knobs.size(), 30u);
+  SimConfig rebuilt = SimConfig::paper_defaults();
+  for (const auto& [name, value] : knobs)
+    scenario::set_config_knob(rebuilt, name, value);
+  EXPECT_EQ(scenario::config_knobs(rebuilt), knobs);
+  EXPECT_TRUE(rebuilt == reference);
+}
+
+TEST(ScenarioSpec, UnknownKnobDiagnosesKnownNames) {
+  SimConfig c;
+  try {
+    scenario::set_config_knob(c, "bogus", "1");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown knob 'bogus'"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("lookup_fraction"),
+              std::string::npos);  // lists what it does know
+  }
+}
+
+// --- .scn round trips ---
+
+TEST(ScenarioText, BuilderSpecRoundTripsThroughText) {
+  const Spec original = demo_spec();
+  const std::string text = original.to_text();
+  const Spec reparsed = Spec::parse_text(text);
+  EXPECT_TRUE(reparsed == original) << text;
+  EXPECT_EQ(reparsed.to_text(), text);
+}
+
+TEST(ScenarioText, HandWrittenFileParses) {
+  const std::string text = R"(# comment
+scenario hand-written
+base paper
+set seed 1234            # trailing comment
+set duration 5000
+cohort a count=10 storage=5..9 categories=1..3
+cohort b count=10 share=no offline=yes
+at 100 depart count=2 cohort=a
+at 200 flash_crowd category=7 weight=0.25 duration=300
+at 400 policy no-exchange
+at 450 scheduler participation
+)";
+  const Spec s = Spec::parse_text(text, "hand.scn");
+  EXPECT_EQ(s.name, "hand-written");
+  EXPECT_EQ(s.base, "paper");
+  EXPECT_EQ(s.config.seed, 1234u);
+  EXPECT_DOUBLE_EQ(s.config.sim_duration, 5000.0);
+  ASSERT_EQ(s.cohorts.size(), 2u);
+  EXPECT_EQ(s.cohorts[0].min_storage, 5u);
+  EXPECT_EQ(s.cohorts[0].max_storage, 9u);
+  EXPECT_TRUE(s.cohorts[1].start_offline);
+  ASSERT_EQ(s.timeline.size(), 4u);
+  EXPECT_EQ(s.timeline[0].kind, EventKind::kDepart);
+  EXPECT_EQ(s.timeline[0].cohort, "a");
+  EXPECT_EQ(s.timeline[1].category, CategoryId{7});
+  EXPECT_EQ(s.timeline[2].policy, ExchangePolicy::kNoExchange);
+  EXPECT_EQ(s.timeline[3].scheduler, SchedulerKind::kParticipation);
+  // Round-trips too.
+  EXPECT_TRUE(Spec::parse_text(s.to_text()) == s);
+}
+
+TEST(ScenarioText, DiagnosticsCarryOriginAndLine) {
+  const std::string bad = "scenario x\nset bogus 1\n";
+  try {
+    Spec::parse_text(bad, "broken.scn");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("broken.scn:2:"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioText, BaseAfterOverridesIsRejected) {
+  EXPECT_THROW(Spec::parse_text("set seed 1\nbase paper\n"), ScenarioError);
+  EXPECT_THROW(Spec::parse_text("base paper\nbase paper\n"), ScenarioError);
+}
+
+TEST(ScenarioText, MissingFileDiagnoses) {
+  EXPECT_THROW(Spec::parse_file("/nonexistent/x.scn"), ScenarioError);
+}
+
+// --- validation ---
+
+TEST(ScenarioValidate, RejectsInconsistentSpecs) {
+  auto expect_bad = [](auto mutate, const char* why) {
+    SpecBuilder b;
+    b.duration(1000.0);
+    b.cohort({.name = "all", .count = 20});
+    mutate(b);
+    EXPECT_THROW((void)b.build(), ScenarioError) << why;
+  };
+  expect_bad([](SpecBuilder& b) { b.cohort({.name = "all", .count = 5}); },
+             "duplicate cohort name");
+  expect_bad([](SpecBuilder& b) { b.depart_at(2000.0, 1); },
+             "event beyond duration");
+  expect_bad([](SpecBuilder& b) { b.depart_at(500.0, 1, "ghost"); },
+             "unknown cohort scope");
+  expect_bad([](SpecBuilder& b) { b.depart_at(500.0, 0); },
+             "zero count");
+  expect_bad(
+      [](SpecBuilder& b) { b.flash_crowd(500.0, CategoryId{999}, 0.5, 10.0); },
+      "flash category beyond catalog");
+  expect_bad(
+      [](SpecBuilder& b) { b.flash_crowd(500.0, CategoryId{0}, 1.5, 10.0); },
+      "flash weight beyond 1");
+  expect_bad([](SpecBuilder& b) { b.freeride_wave(500.0, 0.0, 10.0); },
+             "zero freeride fraction");
+  expect_bad([](SpecBuilder& b) { b.churn(0.0, 500.0, 600.0, 1e-3, 1e-3); },
+             "churn window shorter than interval");
+  expect_bad([](SpecBuilder& b) { b.churn(0.0, 500.0, 100.0, 0.0, 0.0); },
+             "churn with both rates zero");
+  expect_bad(
+      [](SpecBuilder& b) {
+        b.policy_flip(500.0, ExchangePolicy::kShortestFirst, 1);
+      },
+      "ring cap below 2");
+  expect_bad(
+      [](SpecBuilder& b) {
+        b.cohort({.name = "liars", .count = 4, .liar_fraction = 0.5});
+      },
+      "liar fraction on a sharing cohort");
+  expect_bad(
+      [](SpecBuilder& b) {
+        b.cohort({.name = "narrow",
+                  .count = 4,
+                  .interest_top_fraction = 0.001});
+      },
+      "interest cap narrower than interests drawn");
+  expect_bad(
+      [](SpecBuilder& b) {
+        // Overlapping windows would fight over the single spike slot.
+        b.flash_crowd(100.0, CategoryId{0}, 0.5, 400.0);
+        b.flash_crowd(300.0, CategoryId{1}, 0.5, 400.0);
+      },
+      "overlapping flash-crowd windows");
+}
+
+TEST(ScenarioValidate, BackToBackFlashCrowdsAreFine) {
+  SpecBuilder b;
+  b.duration(2000.0);
+  b.cohort({.name = "all", .count = 20});
+  b.flash_crowd(100.0, CategoryId{0}, 0.5, 400.0);
+  b.flash_crowd(500.0, CategoryId{1}, 0.5, 400.0);  // starts as #1 ends
+  EXPECT_NO_THROW((void)b.build());
+}
+
+// --- Driver dynamics ---
+
+TEST(ScenarioDriver, CohortRangesAreContiguous) {
+  Driver d(demo_spec());
+  EXPECT_EQ(d.cohort_range(""), (std::pair<std::uint32_t, std::uint32_t>{
+                                    0, 44}));
+  EXPECT_EQ(d.cohort_range("sharers"),
+            (std::pair<std::uint32_t, std::uint32_t>{0, 24}));
+  EXPECT_EQ(d.cohort_range("leechers"),
+            (std::pair<std::uint32_t, std::uint32_t>{24, 36}));
+  EXPECT_EQ(d.cohort_range("late"),
+            (std::pair<std::uint32_t, std::uint32_t>{36, 44}));
+}
+
+TEST(ScenarioDriver, OfflineCohortStaysOutUntilArrival) {
+  Driver d(demo_spec());
+  d.run_to(500.0);
+  const System& s = d.system();
+  for (std::uint32_t i = 36; i < 44; ++i)
+    EXPECT_FALSE(s.peer(PeerId{i}).online) << "peer " << i;
+  d.run_to(1100.0);  // arrival event at t=1000
+  for (std::uint32_t i = 36; i < 44; ++i)
+    EXPECT_TRUE(s.peer(PeerId{i}).online) << "peer " << i;
+  EXPECT_EQ(s.counters().peer_arrivals, 8u);
+}
+
+TEST(ScenarioDriver, FullTimelineKeepsInvariants) {
+  Driver d(demo_spec());
+  for (double t = 400.0; t <= 4000.0; t += 400.0) {
+    d.run_to(t);
+    ASSERT_NO_THROW(d.system().check_invariants()) << "at t=" << t;
+  }
+  EXPECT_EQ(d.actions_applied(), d.actions_total());
+  const SystemCounters& c = d.system().counters();
+  EXPECT_GE(c.peer_departures, 4u);   // the explicit depart event fired
+  EXPECT_GE(c.sharing_flips, 2u);     // wave out and back
+  EXPECT_GT(c.downloads_completed, 0u);
+}
+
+TEST(ScenarioDriver, DepartedPeersDropOutOfServiceAndLookup) {
+  // Exercise the System-side churn primitives directly.
+  System s(test::Scenario::view(5).build());
+  s.run_to(2000.0);
+  const PeerId victim{1};
+  s.peer_leave(victim);
+  ASSERT_NO_THROW(s.check_invariants());
+  EXPECT_FALSE(s.peer(victim).online);
+  EXPECT_TRUE(s.peer(victim).irq.empty());
+  EXPECT_TRUE(s.peer(victim).pending_list.empty());
+  EXPECT_EQ(s.peer(victim).upload_in_use, 0);
+  EXPECT_EQ(s.peer(victim).download_in_use, 0);
+  // No request-graph fact may mention an offline peer.
+  for (std::uint32_t p = 0; p < s.num_peers(); ++p) {
+    const auto reqs = s.requesters_of(PeerId{p});
+    EXPECT_EQ(std::find(reqs.begin(), reqs.end(), victim), reqs.end());
+  }
+  // Rejoin restores service.
+  s.peer_join(victim);
+  EXPECT_TRUE(s.peer(victim).online);
+  s.run_to(3000.0);
+  ASSERT_NO_THROW(s.check_invariants());
+  EXPECT_EQ(s.counters().peer_departures, 1u);
+  EXPECT_EQ(s.counters().peer_arrivals, 1u);
+}
+
+TEST(ScenarioDriver, SharingFlipRetractsAndRestores) {
+  System s(test::Scenario::view(11).build());
+  s.run_to(2000.0);
+  // Find a sharing peer.
+  PeerId sharer;
+  for (std::uint32_t p = 0; p < s.num_peers(); ++p)
+    if (s.peer(PeerId{p}).shares) {
+      sharer = PeerId{p};
+      break;
+    }
+  ASSERT_TRUE(sharer.valid());
+  const std::size_t before = s.num_sharing();
+  s.set_sharing(sharer, false);
+  ASSERT_NO_THROW(s.check_invariants());
+  EXPECT_EQ(s.num_sharing(), before - 1);
+  EXPECT_EQ(s.peer(sharer).upload_in_use, 0);
+  EXPECT_TRUE(s.peer(sharer).irq.empty());
+  s.set_sharing(sharer, true);
+  EXPECT_EQ(s.num_sharing(), before);
+  s.run_to(3000.0);
+  ASSERT_NO_THROW(s.check_invariants());
+  EXPECT_EQ(s.counters().sharing_flips, 2u);
+}
+
+TEST(ScenarioDriver, FlashCrowdConcentratesDemand) {
+  // Weight-1.0 spike over the whole run: post-warmup completions must
+  // concentrate on the spiked category.
+  SpecBuilder b;
+  b.name("spike");
+  b.config() = test::Scenario::tiny(23).build();
+  b.flash_crowd(0.0, CategoryId{0}, 1.0, b.spec().config.sim_duration);
+  Driver d(b.build());
+  d.run();
+  const auto& downloads = d.system().metrics().downloads();
+  ASSERT_FALSE(downloads.empty());
+  std::size_t in_spike = 0;
+  for (const DownloadRecord& r : downloads)
+    if (d.system().catalog().category_of(r.object) == CategoryId{0})
+      ++in_spike;
+  EXPECT_GT(in_spike * 2, downloads.size())
+      << in_spike << " of " << downloads.size() << " in the spiked category";
+}
+
+TEST(ScenarioDriver, PolicyFlipTurnsExchangesOn) {
+  SpecBuilder b;
+  b.name("flip");
+  b.config() = test::Scenario::small(13).build();
+  b.config().policy = ExchangePolicy::kNoExchange;
+  b.policy_flip(4500.0, ExchangePolicy::kShortestFirst, 5);
+  Driver d(b.build());
+  d.run_to(4400.0);  // just before the flip
+  EXPECT_EQ(d.system().counters().rings_formed, 0u);
+  d.run();
+  EXPECT_GT(d.system().counters().rings_formed, 0u);
+  ASSERT_NO_THROW(d.system().check_invariants());
+}
+
+TEST(ScenarioDriver, EmptyTimelineNeedsNoActions) {
+  SpecBuilder b;
+  b.name("static");
+  b.config() = test::Scenario::tiny(3).build();
+  Driver d(b.build());
+  EXPECT_EQ(d.actions_total(), 0u);
+  d.run();
+  EXPECT_GT(d.system().counters().downloads_completed, 0u);
+}
+
+}  // namespace
+}  // namespace p2pex

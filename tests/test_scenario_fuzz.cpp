@@ -1,0 +1,172 @@
+// .scn parser robustness: a corpus of malformed inputs that must each
+// raise ScenarioError (never crash, never silently default), plus a
+// seeded mutation fuzzer over a valid scenario.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.h"
+#include "support/fuzz_corpus.h"
+#include "util/rng.h"
+
+namespace p2pex {
+namespace {
+
+using scenario::ScenarioError;
+using scenario::Spec;
+
+// --- malformed corpus ---
+//
+// One entry per known way to get a .scn wrong; every entry must raise
+// ScenarioError. Grow this list with every parser bug found.
+const std::vector<std::string> kMalformed = {
+    // structure
+    "wibble\n",                            // unknown directive
+    "scenario\n",                          // missing name
+    "scenario two words extra\n",          // too many tokens
+    "base\n",                              // missing base name
+    "base klingon\n",                      // unknown base
+    "base paper\nbase paper\n",            // duplicate base
+    "set seed 1\nbase paper\n",            // base after overrides
+    "set seed\n",                          // missing value
+    "set seed 1 2\n",                      // extra value
+    "set bogus 1\n",                       // unknown knob
+    "set seed banana\n",                   // non-numeric
+    "set seed -3\n",                       // negative unsigned
+    "set duration 1e\n",                   // truncated float
+    "set duration 10zz\n",                 // trailing garbage
+    "set preemption perhaps\n",            // bad boolean
+    "set policy sometimes\n",              // unknown policy
+    "set scheduler roulette\n",            // unknown scheduler
+    "set tree shrub\n",                    // unknown tree mode
+    // cohorts
+    "cohort\n",                            // missing everything
+    "cohort a\n",                          // missing fields
+    "cohort a share=no\n",                 // missing count
+    "cohort a count=0\n",                  // zero members
+    "cohort a count=4 color=red\n",        // unknown field
+    "cohort a count=4 storage=5\n",        // not a range
+    "cohort a count=4 storage=9..5\n",     // inverted range
+    "cohort a count=4 storage=a..b\n",     // non-numeric range
+    "cohort a count=4 liar=0.5\n",         // liar on sharing cohort
+    "cohort a count=4 interest_top=0\n",   // empty interest cap
+    "cohort a count=4 upload=1\n",         // below one slot
+    "cohort a count=4\ncohort a count=4\n",// duplicate name
+    "cohort a count=4 offline\n",          // bare key, no '='
+    // events
+    "at\n",                                // missing time and kind
+    "at 100\n",                            // missing kind
+    "at noon depart count=1\n",            // non-numeric time
+    "at -5 depart count=1\n",              // negative time
+    "at nan depart count=1\n",             // non-finite time
+    "at inf depart count=1\n",             // non-finite time
+    "set duration inf\n",                  // non-finite knob
+    "set warmup nan\n",                    // non-finite knob
+    "at 100 implode count=1\n",            // unknown kind
+    "at 100 depart\n",                     // missing count
+    "at 100 depart count=0\n",             // zero count
+    "at 100 depart count=1 cohort=ghost\n",// unknown cohort
+    "at 100 depart weight=0.5 count=1\n",  // misplaced key
+    "at 1e9 depart count=1\n",             // beyond the run duration
+    "at 100 flash_crowd weight=0.5 duration=10\n",       // missing category
+    "at 100 flash_crowd category=0 duration=10\n",       // missing weight
+    "at 100 flash_crowd category=0 weight=2 duration=10\n",  // weight > 1
+    "at 100 flash_crowd category=99999 weight=0.5 duration=10\n",
+    // u32 wrap-around must not silently target category 0
+    "at 100 flash_crowd category=4294967296 weight=0.5 duration=10\n",
+    // overlapping windows would cancel each other's spike
+    "at 100 flash_crowd category=0 weight=0.5 duration=1000\n"
+    "at 500 flash_crowd category=1 weight=0.8 duration=1000\n",
+    "at 100 freeride\n",                   // missing fraction
+    "at 100 freeride fraction=1.5\n",      // fraction > 1
+    "at 100 churn interval=10\n",          // missing duration
+    "at 100 churn duration=100 interval=0 depart_rate=1\n",  // zero interval
+    "at 100 churn duration=5 interval=10 depart_rate=1\n",   // no tick fits
+    "at 100 churn duration=100 interval=10\n",               // no rates
+    "at 100 policy\n",                     // missing policy name
+    "at 100 policy shortest-first max_ring=1\n",             // cap below 2
+    "at 100 scheduler\n",                  // missing scheduler name
+    // config-level inconsistencies reached through the scenario layer
+    "set peers 1\n",                       // too few peers
+    "set warmup 1\n",                      // warmup must be < 1
+    "set max_categories 100000\n",         // beyond the catalog
+};
+
+class ScenarioMalformed : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScenarioMalformed, RaisesScenarioError) {
+  const std::string& text = kMalformed[GetParam()];
+  EXPECT_THROW((void)Spec::parse_text(text, "fuzz.scn"), ScenarioError)
+      << "accepted: " << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ScenarioMalformed,
+                         ::testing::Range<std::size_t>(0, kMalformed.size()));
+
+// --- mutation fuzz ---
+
+std::string valid_text() {
+  return R"(scenario fuzz-base
+base calibrated
+set seed 7
+set duration 9000
+set categories 50
+cohort a count=20 storage=5..20
+cohort b count=20 share=no
+at 1000 depart count=3 cohort=a
+at 2000 flash_crowd category=2 weight=0.4 duration=500
+at 3000 churn duration=2000 interval=100 depart_rate=0.001 arrive_rate=0.002
+at 6000 policy longest-first max_ring=4
+)";
+}
+
+/// Parse must either succeed or throw ScenarioError; anything else
+/// (crash, other exception type) fails the test.
+void expect_parses_or_diagnoses(const std::string& text) {
+  try {
+    (void)Spec::parse_text(text, "mutated.scn");
+  } catch (const ScenarioError&) {
+    // expected failure mode
+  }
+}
+
+TEST(ScenarioFuzz, TruncationsNeverCrash) {
+  const std::string text = valid_text();
+  for (std::size_t cut = 0; cut <= text.size(); ++cut)
+    expect_parses_or_diagnoses(text.substr(0, cut));
+}
+
+class ScenarioMutationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScenarioMutationFuzz, RandomEditsNeverCrash) {
+  Rng rng(GetParam());
+  const std::string base = valid_text();
+  constexpr char kBytes[] = "azAZ09 .=#\n\t-_~!";
+  for (int round = 0; round < 400; ++round) {
+    std::string text = base;
+    const std::size_t edits = 1 + rng.index(8);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.index(text.size());
+      switch (rng.index(3)) {
+        case 0:  // overwrite
+          text[pos] = kBytes[rng.index(sizeof(kBytes) - 1)];
+          break;
+        case 1:  // insert
+          text.insert(pos, 1, kBytes[rng.index(sizeof(kBytes) - 1)]);
+          break;
+        case 2:  // delete
+          text.erase(pos, 1);
+          break;
+      }
+    }
+    expect_parses_or_diagnoses(text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ScenarioMutationFuzz,
+                         ::testing::ValuesIn(test::kScenarioFuzzSeeds),
+                         test::fuzz_seed_name);
+
+}  // namespace
+}  // namespace p2pex

@@ -1,0 +1,106 @@
+// Golden regressions for the scenario engine.
+//
+// Two guarantees pin the engine's semantics:
+//  * a Spec with an empty timeline is EXACTLY a plain System run — the
+//    Driver adds no randomness and perturbs no streams;
+//  * a seeded churn scenario is deterministic: replaying it is bit-exact
+//    (and a pinned replay guards against silent drift, re-record like
+//    test_golden_paper.cpp when a mechanism change moves it).
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "scenario/driver.h"
+#include "support/scenario.h"
+
+namespace p2pex {
+namespace {
+
+using scenario::Driver;
+using scenario::Spec;
+using scenario::SpecBuilder;
+
+constexpr std::uint64_t kGoldenSeed = 42;  // matches test_golden_paper.cpp
+
+// --- zero-event scenarios reproduce the plain-run goldens ---
+
+TEST(ScenarioGolden, EmptyTimelineMatchesPlainRunBitExact) {
+  SimConfig cfg = test::Scenario::small(kGoldenSeed).build();
+  cfg.policy = ExchangePolicy::kShortestFirst;
+  cfg.max_ring_size = 5;
+
+  SpecBuilder b;
+  b.name("golden-static");
+  b.config() = cfg;
+  Driver driver(b.build());
+  driver.run();
+  const RunResult via_scenario = summarize_run(driver.system());
+  const RunResult plain = run_experiment(cfg);
+
+  EXPECT_DOUBLE_EQ(via_scenario.exchange_fraction, plain.exchange_fraction);
+  EXPECT_DOUBLE_EQ(via_scenario.mean_dl_minutes_sharing,
+                   plain.mean_dl_minutes_sharing);
+  EXPECT_DOUBLE_EQ(via_scenario.mean_dl_minutes_nonsharing,
+                   plain.mean_dl_minutes_nonsharing);
+  EXPECT_DOUBLE_EQ(via_scenario.dl_time_ratio, plain.dl_time_ratio);
+  EXPECT_EQ(via_scenario.rings_formed, plain.rings_formed);
+  EXPECT_EQ(via_scenario.completed_sharing, plain.completed_sharing);
+  EXPECT_EQ(via_scenario.completed_nonsharing, plain.completed_nonsharing);
+
+  // And the absolute values are the ones test_golden_paper.cpp pins.
+  EXPECT_DOUBLE_EQ(via_scenario.exchange_fraction, 0.48492678725236865);
+  EXPECT_EQ(via_scenario.rings_formed, 257u);
+}
+
+// --- seeded churn scenario: deterministic and pinned ---
+
+Spec churn_spec() {
+  SpecBuilder b;
+  b.name("golden-churn");
+  b.config() = test::Scenario::small(kGoldenSeed).build();
+  b.churn(0.0, 9000.0, 120.0, 5e-4, 2e-3);
+  b.flash_crowd(3000.0, CategoryId{0}, 0.5, 2000.0);
+  b.freeride_wave(5000.0, 0.3, 2000.0);
+  return b.build();
+}
+
+TEST(ScenarioGolden, ChurnReplayIsBitExact) {
+  Driver a(churn_spec()), b(churn_spec());
+  a.run();
+  b.run();
+  const RunResult ra = summarize_run(a.system());
+  const RunResult rb = summarize_run(b.system());
+  EXPECT_DOUBLE_EQ(ra.exchange_fraction, rb.exchange_fraction);
+  EXPECT_DOUBLE_EQ(ra.mean_dl_minutes_sharing, rb.mean_dl_minutes_sharing);
+  EXPECT_DOUBLE_EQ(ra.dl_time_ratio, rb.dl_time_ratio);
+  EXPECT_EQ(ra.rings_formed, rb.rings_formed);
+  EXPECT_EQ(ra.completed_total(), rb.completed_total());
+  const SystemCounters& ca = a.system().counters();
+  const SystemCounters& cb = b.system().counters();
+  EXPECT_EQ(ca.peer_departures, cb.peer_departures);
+  EXPECT_EQ(ca.peer_arrivals, cb.peer_arrivals);
+  EXPECT_EQ(ca.sharing_flips, cb.sharing_flips);
+  EXPECT_EQ(ca.downloads_withdrawn, cb.downloads_withdrawn);
+  EXPECT_EQ(ca.sessions_started, cb.sessions_started);
+  EXPECT_EQ(a.system().metrics().uploaded(), b.system().metrics().uploaded());
+}
+
+TEST(ScenarioGolden, ChurnGoldenReplay) {
+  Driver driver(churn_spec());
+  driver.run();
+  const RunResult r = summarize_run(driver.system());
+  const SystemCounters& c = driver.system().counters();
+
+  // The timeline actually exercised dynamics.
+  EXPECT_GT(c.peer_departures, 0u);
+  EXPECT_GT(c.peer_arrivals, 0u);
+  EXPECT_GE(c.sharing_flips, 2u);
+
+  // Pinned replay (see the file header for how to re-record).
+  EXPECT_EQ(c.peer_departures, 215u);
+  EXPECT_EQ(c.sharing_flips, 18u);
+  EXPECT_EQ(r.rings_formed, 284u);
+  EXPECT_DOUBLE_EQ(r.exchange_fraction, 0.36767976278724984);
+}
+
+}  // namespace
+}  // namespace p2pex

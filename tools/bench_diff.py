@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Diff two Google Benchmark JSON outputs and fail on time regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json [--threshold 0.15]
+                  [--metric real_time]
+
+Benchmarks are matched by name. The tool prints one row per benchmark
+(baseline, current, delta) and exits non-zero when any matched benchmark
+regressed by more than the threshold (default +15% time). Benchmarks
+present on only one side are reported but never fail the run, so adding
+or retiring benchmarks doesn't break CI; a missing baseline file is a
+clean pass (first run has nothing to compare against).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_benchmarks(path, metric):
+    """Returns {name: metric_value} from a Google Benchmark JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions); the
+        # raw iterations are what successive CI runs compare.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if name is None or metric not in bench:
+            continue
+        out[name] = float(bench[metric])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="previous BENCH_*.json artifact")
+    parser.add_argument("current", help="freshly generated BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="fractional slowdown that fails the job (default 0.15)",
+    )
+    parser.add_argument(
+        "--metric",
+        default="real_time",
+        help="benchmark JSON field to compare (default real_time)",
+    )
+    args = parser.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(f"bench_diff: no baseline at {args.baseline} — nothing to "
+              "compare (first run?)")
+        return 0
+
+    old = load_benchmarks(args.baseline, args.metric)
+    new = load_benchmarks(args.current, args.metric)
+    if not new:
+        print(f"bench_diff: no benchmarks found in {args.current}")
+        return 1
+
+    regressions = []
+    width = max((len(n) for n in (set(old) | set(new))), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name in sorted(set(old) | set(new)):
+        if name not in old:
+            print(f"{name:<{width}}  {'—':>12}  {new[name]:>12.1f}  (new)")
+            continue
+        if name not in new:
+            print(f"{name:<{width}}  {old[name]:>12.1f}  {'—':>12}  (gone)")
+            continue
+        delta = (new[name] - old[name]) / old[name] if old[name] > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  <-- REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:<{width}}  {old[name]:>12.1f}  {new[name]:>12.1f}  "
+              f"{delta:+7.1%}{flag}")
+
+    if regressions:
+        print(f"\nbench_diff: {len(regressions)} benchmark(s) regressed "
+              f"more than {args.threshold:.0%}:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(f"\nbench_diff: OK ({len(new)} benchmarks within "
+          f"{args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
