@@ -13,18 +13,29 @@
 // search bench reports allocs_per_search via a counting operator new —
 // the regression guard for the allocation-free hot path.
 //
+// The churned benches (BM_ChurnedSearch*) interleave row mutations with
+// searches — the build-once-search-many benches above cannot see graph
+// maintenance cost at all. Each iteration dirties a handful of peers,
+// brings the snapshot up to date (delta patch, or full rebuild in the
+// *FullRebuild baselines), then searches; `maint_us_per_epoch` isolates
+// the maintenance cost the dirty-peer delta path exists to cut, and
+// `dirty_rows_per_epoch` records the churn intensity.
+//
 // Run without arguments, the binary writes its results to
 // BENCH_search.json (google-benchmark JSON) in the working directory so
 // CI can archive the perf trajectory; pass an explicit --benchmark_out
 // to override.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <new>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/exchange_finder.h"
@@ -207,6 +218,164 @@ BENCHMARK(BM_SearchFullDense)->Arg(1000)->Arg(10000)->Arg(50000);
 BENCHMARK(BM_SearchFullSparse)->Arg(1000)->Arg(10000)->Arg(50000);
 BENCHMARK(BM_SearchFullDeepRing)->Arg(1000)->Arg(10000)->Arg(50000);
 BENCHMARK(BM_SearchBloomDense)->Arg(1000)->Arg(10000);
+
+// --- churned search: mutation/search interleaving -------------------------
+
+/// Mutable synthetic request graph in the make_graph shapes: rows are
+/// kept in a naive per-peer model and the GraphSnapshot is maintained
+/// either by patching the dirty rows or by a full rebuild (baseline).
+class ChurnedGraph {
+ public:
+  ChurnedGraph(GraphKind kind, std::size_t n)
+      : kind_(kind), n_(n), rng_(7), edges_(n), closers_(n), version_(n, 0) {
+    for (std::size_t p = 0; p < n; ++p) regen_row(p);
+    maintain_rebuild();
+  }
+
+  /// Regenerates `count` rows (deterministic victim walk); the dirty
+  /// list is what the next maintain_* call must apply.
+  void mutate(std::size_t count) {
+    dirty_.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      victim_ = (victim_ + 7919) % n_;
+      regen_row(victim_);
+      dirty_.push_back(PeerId{static_cast<std::uint32_t>(victim_)});
+    }
+  }
+
+  void maintain_patch() {
+    snap_.begin_patch();
+    for (const PeerId p : dirty_) {
+      snap_.patch_peer(p);
+      emit_row(p.value);
+      snap_.seal_peer();
+    }
+    snap_.finish_patch();
+  }
+
+  void maintain_rebuild() {
+    snap_.begin(n_);
+    for (std::size_t p = 0; p < n_; ++p) {
+      emit_row(static_cast<std::uint32_t>(p));
+      snap_.next_peer();
+    }
+    snap_.finish();
+  }
+
+  [[nodiscard]] const GraphSnapshot& snapshot() const { return snap_; }
+  [[nodiscard]] std::size_t dirty_rows() const { return dirty_.size(); }
+
+ private:
+  void regen_row(std::size_t p) {
+    const std::uint32_t salt = ++version_[p];
+    auto& edges = edges_[p];
+    edges.clear();
+    if (kind_ == GraphKind::kDeepRing)
+      edges.emplace_back(PeerId{static_cast<std::uint32_t>((p + 1) % n_)},
+                         ObjectId{static_cast<std::uint32_t>(rng_.index(1000))});
+    const std::size_t deg = kind_ == GraphKind::kDense    ? 32
+                            : kind_ == GraphKind::kSparse ? 4
+                                                          : 2;
+    for (std::size_t d = 0; d < deg; ++d)
+      edges.emplace_back(PeerId{static_cast<std::uint32_t>(rng_.index(n_))},
+                         ObjectId{static_cast<std::uint32_t>(rng_.index(1000))});
+    auto& closers = closers_[p];
+    closers.clear();
+    for (std::size_t j = 0; j < kClosersPerRoot; ++j) {
+      const std::uint32_t q =
+          nth_closer(static_cast<std::uint32_t>(p) ^ (salt * 2246822519U), j,
+                     n_);
+      if (std::find(closers.begin(), closers.end(), q) != closers.end())
+        continue;
+      closers.push_back(q);
+    }
+  }
+
+  void emit_row(std::uint32_t p) {
+    for (const auto& [requester, object] : edges_[p])
+      snap_.add_edge(requester, object);
+    for (const std::uint32_t q : closers_[p]) {
+      snap_.add_want(ObjectId{q}, PeerId{q});
+      snap_.add_closure(PeerId{q}, ObjectId{q});
+    }
+  }
+
+  GraphKind kind_;
+  std::size_t n_;
+  Rng rng_;
+  std::vector<std::vector<std::pair<PeerId, ObjectId>>> edges_;
+  std::vector<std::vector<std::uint32_t>> closers_;
+  std::vector<std::uint32_t> version_;
+  std::vector<PeerId> dirty_;
+  std::size_t victim_ = 0;
+  GraphSnapshot snap_;
+};
+
+constexpr std::size_t kChurnDirtyPerEpoch = 32;
+constexpr std::size_t kChurnSearchesPerEpoch = 4;
+
+void run_churned_bench(benchmark::State& state, GraphKind kind, bool patch) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ChurnedGraph g(kind, n);
+  ExchangeFinder f(ExchangePolicy::kShortestFirst, 5, TreeMode::kFullTree);
+  std::uint32_t root = 0;
+  (void)f.find(g.snapshot(), PeerId{root}, 8);  // warm the scratch buffers
+  std::uint64_t rings = 0;
+  std::uint64_t maint_ns = 0;
+  std::uint64_t maint_allocs = 0;
+  std::uint64_t dirty_total = 0;
+  for (auto _ : state) {
+    g.mutate(kChurnDirtyPerEpoch);
+    dirty_total += g.dirty_rows();
+    // Allocations are counted around the maintenance call only —
+    // including the searches would bury a maintenance-allocation
+    // regression under the returned-proposal allocations.
+    const std::uint64_t a0 = g_alloc_count.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (patch)
+      g.maintain_patch();
+    else
+      g.maintain_rebuild();
+    maint_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    maint_allocs += g_alloc_count.load(std::memory_order_relaxed) - a0;
+    for (std::size_t s = 0; s < kChurnSearchesPerEpoch; ++s) {
+      rings += f.find(g.snapshot(), PeerId{root}, 8).size();
+      root = (root + 7919) % static_cast<std::uint32_t>(n);
+    }
+  }
+  const auto iters =
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+  state.SetItemsProcessed(state.iterations());
+  state.counters["maint_us_per_epoch"] =
+      benchmark::Counter(static_cast<double>(maint_ns) / 1000.0 / iters);
+  state.counters["dirty_rows_per_epoch"] =
+      benchmark::Counter(static_cast<double>(dirty_total) / iters);
+  state.counters["allocs_per_epoch"] =
+      benchmark::Counter(static_cast<double>(maint_allocs) / iters);
+  state.counters["rings_per_search"] = benchmark::Counter(
+      static_cast<double>(rings) /
+      (iters * static_cast<double>(kChurnSearchesPerEpoch)));
+}
+
+void BM_ChurnedSearchDense(benchmark::State& state) {
+  run_churned_bench(state, GraphKind::kDense, /*patch=*/true);
+}
+void BM_ChurnedSearchDenseFullRebuild(benchmark::State& state) {
+  run_churned_bench(state, GraphKind::kDense, /*patch=*/false);
+}
+void BM_ChurnedSearchSparse(benchmark::State& state) {
+  run_churned_bench(state, GraphKind::kSparse, /*patch=*/true);
+}
+void BM_ChurnedSearchSparseFullRebuild(benchmark::State& state) {
+  run_churned_bench(state, GraphKind::kSparse, /*patch=*/false);
+}
+BENCHMARK(BM_ChurnedSearchDense)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_ChurnedSearchDenseFullRebuild)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_ChurnedSearchSparse)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_ChurnedSearchSparseFullRebuild)->Arg(10000)->Arg(50000);
 
 void BM_RequestTreeBuild(benchmark::State& state) {
   const GraphSnapshot& g =

@@ -66,9 +66,16 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(c.peer_arrivals),
       static_cast<unsigned long long>(c.sharing_flips),
       static_cast<unsigned long long>(c.downloads_withdrawn));
-  std::printf("rings:    %llu formed, %llu preemptions\n\n",
+  std::printf("rings:    %llu formed, %llu preemptions\n",
               static_cast<unsigned long long>(r.rings_formed),
               static_cast<unsigned long long>(r.preemptions));
+  std::printf(
+      "snapshot: %llu full rebuilds, %llu patches (%llu dirty rows), "
+      "%.1f ms maintaining the request graph\n\n",
+      static_cast<unsigned long long>(r.snapshot_rebuilds),
+      static_cast<unsigned long long>(r.snapshot_patches),
+      static_cast<unsigned long long>(r.dirty_rows_patched),
+      r.snapshot_build_seconds * 1e3);
   std::printf("%s", format_report(system.metrics()).c_str());
   return 0;
 }

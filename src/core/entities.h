@@ -62,6 +62,12 @@ struct Download {
   std::unordered_set<PeerId> discovered;
   /// Providers where a request is actually registered (IRQ entry exists).
   std::unordered_set<PeerId> registered;
+  /// This download's slot in each discovered provider's watcher list
+  /// (System::watchers_), parallel to `discovered` iteration order —
+  /// `discovered` is immutable after creation, so the order is stable.
+  /// Lets un-watching swap-and-pop in O(1) instead of scanning watcher
+  /// lists that grow with crowd size. Empty once un-watched.
+  std::vector<std::uint32_t> watch_slots;
   std::vector<SessionId> sessions;  ///< currently active sessions
   EventHandle completion;           ///< pending completion event
   bool active = true;

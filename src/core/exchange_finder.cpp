@@ -157,11 +157,31 @@ void ExchangeFinder::rebuild_summaries(const GraphSnapshot& view,
   for (std::size_t i = 0; i < n; ++i)
     summaries_.emplace_back(levels, expected_per_level, fpp);
 
+  // Capture the rows the summaries are derived from, plus their reverse
+  // index, so refresh_summaries() can propagate a dirty set level by
+  // level later. resize+clear (not assign) keeps per-slot capacity.
+  sum_expected_ = expected_per_level;
+  sum_fpp_ = fpp;
+  sum_levels_ = levels;
+  sum_children_.resize(n);
+  sum_parents_.resize(n);
+  affected_stamp_.resize(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    sum_children_[i].clear();
+    sum_parents_[i].clear();
+  }
+
   // Level 1: each peer's direct requesters.
-  for (std::size_t i = 0; i < n; ++i)
-    for (const PeerId r :
-         view.requesters_of(PeerId{static_cast<std::uint32_t>(i)}))
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<const PeerId> row =
+        view.requesters_of(PeerId{static_cast<std::uint32_t>(i)});
+    sum_children_[i].assign(row.begin(), row.end());
+    for (const PeerId r : row) {
       summaries_[i].insert(1, r);
+      if (r.value < n)
+        sum_parents_[r.value].push_back(PeerId{static_cast<std::uint32_t>(i)});
+    }
+  }
 
   // Level k = union of the children's level k-1 filters — exactly the
   // protocol's merge of forwarded summaries, so false positives compound
@@ -169,12 +189,86 @@ void ExchangeFinder::rebuild_summaries(const GraphSnapshot& view,
   // level k-1, so in-place iteration is sound.
   for (std::size_t k = 2; k <= levels; ++k) {
     for (std::size_t i = 0; i < n; ++i) {
-      for (const PeerId r :
-           view.requesters_of(PeerId{static_cast<std::uint32_t>(i)})) {
+      for (const PeerId r : sum_children_[i]) {
         if (r.value >= n) continue;
         summaries_[i].merge_into_level(k, summaries_[r.value].level(k - 1));
       }
     }
+  }
+}
+
+void ExchangeFinder::refresh_summaries(const GraphSnapshot& view,
+                                       std::span<const PeerId> dirty_rows,
+                                       std::size_t expected_per_level,
+                                       double fpp) {
+  const std::size_t n = view.num_peers();
+  const std::size_t levels = max_ring_ >= 2 ? max_ring_ - 1 : 1;
+  // A geometry change (population, level count, filter sizing) or a
+  // majority-dirty set gets no benefit from propagation: start over.
+  if (summaries_.size() != n || sum_levels_ != levels ||
+      sum_expected_ != expected_per_level || sum_fpp_ != fpp ||
+      dirty_rows.size() * 2 >= n) {
+    rebuild_summaries(view, expected_per_level, fpp);
+    return;
+  }
+
+  // Re-point the captured rows and their reverse index at the current
+  // graph. Clean peers' rows are — by the dirty-set contract —
+  // unchanged, so the stale index stays exact for them; dirty peers are
+  // recomputed at every level regardless.
+  for (const PeerId p : dirty_rows) {
+    P2PEX_ASSERT_MSG(p.value < n, "dirty row beyond the population");
+    for (const PeerId c : sum_children_[p.value]) {
+      if (c.value >= n) continue;
+      std::vector<PeerId>& parents = sum_parents_[c.value];
+      const auto it = std::find(parents.begin(), parents.end(), p);
+      P2PEX_ASSERT_MSG(it != parents.end(), "summary reverse index broken");
+      *it = parents.back();  // order-free: merges are commutative unions
+      parents.pop_back();
+    }
+    const std::span<const PeerId> row = view.requesters_of(p);
+    sum_children_[p.value].assign(row.begin(), row.end());
+    for (const PeerId c : row)
+      if (c.value < n) sum_parents_[c.value].push_back(p);
+  }
+
+  // Level 1: only the dirty rows' own requester sets moved.
+  for (const PeerId p : dirty_rows) {
+    BloomTreeSummary& s = summaries_[p.value];
+    s.clear_level(1);
+    for (const PeerId c : sum_children_[p.value]) s.insert(1, c);
+  }
+
+  // Level k: a peer's level k moved iff its own row changed or some
+  // child's level k-1 moved — the reverse index walks exactly that
+  // frontier. Recomputation is clear + re-merge, which reproduces a
+  // from-scratch build bit for bit (unions are order-independent).
+  affected_.assign(dirty_rows.begin(), dirty_rows.end());
+  for (std::size_t k = 2; k <= levels; ++k) {
+    ++affected_epoch_;
+    next_affected_.clear();
+    for (const PeerId p : dirty_rows) {
+      if (affected_stamp_[p.value] == affected_epoch_) continue;
+      affected_stamp_[p.value] = affected_epoch_;
+      next_affected_.push_back(p);
+    }
+    for (const PeerId c : affected_) {
+      if (c.value >= n) continue;
+      for (const PeerId q : sum_parents_[c.value]) {
+        if (affected_stamp_[q.value] == affected_epoch_) continue;
+        affected_stamp_[q.value] = affected_epoch_;
+        next_affected_.push_back(q);
+      }
+    }
+    for (const PeerId q : next_affected_) {
+      BloomTreeSummary& s = summaries_[q.value];
+      s.clear_level(k);
+      for (const PeerId c : sum_children_[q.value]) {
+        if (c.value >= n) continue;
+        s.merge_into_level(k, summaries_[c.value].level(k - 1));
+      }
+    }
+    affected_.swap(next_affected_);
   }
 }
 

@@ -88,9 +88,28 @@ class ExchangeFinder {
 
   /// Rebuilds all per-peer per-level Bloom summaries from the live graph
   /// (kBloom mode; the System calls this on its periodic sweep, modelling
-  /// incremental summary propagation latency).
+  /// incremental summary propagation latency). Also captures the child
+  /// rows and their reverse (parent) index so later refreshes can
+  /// propagate dirtiness level by level.
   void rebuild_summaries(const GraphSnapshot& view,
                          std::size_t expected_per_level, double fpp);
+
+  /// Incremental form of rebuild_summaries: `dirty_rows` names the
+  /// peers whose requester rows may have changed since the last
+  /// rebuild/refresh. Only summary levels whose underlying rows moved
+  /// are recomputed — level 1 of the dirty rows, then, per level k, the
+  /// (reverse-reachable) peers with an affected child at level k-1 —
+  /// producing summaries bit-identical to a full rebuild. Falls back to
+  /// rebuild_summaries when the geometry changed or the dirty set
+  /// covers most of the population.
+  void refresh_summaries(const GraphSnapshot& view,
+                         std::span<const PeerId> dirty_rows,
+                         std::size_t expected_per_level, double fpp);
+
+  /// Test/audit access to the per-peer summaries (kBloom mode).
+  [[nodiscard]] const std::vector<BloomTreeSummary>& summaries() const {
+    return summaries_;
+  }
 
   /// Mid-run policy/ring-cap flip (scenario timelines). Stats and scratch
   /// survive; in kBloom mode the caller must rebuild_summaries() so the
@@ -136,6 +155,23 @@ class ExchangeFinder {
   std::size_t hop_budget_;
   FinderStats stats_;
   std::vector<BloomTreeSummary> summaries_;  ///< per peer, kBloom mode
+
+  // --- incremental summary maintenance state (kBloom mode) ---
+  // Geometry of the last build; a mismatch forces a full rebuild.
+  std::size_t sum_expected_ = 0;
+  double sum_fpp_ = 0.0;
+  std::size_t sum_levels_ = 0;
+  /// Requester rows as of the last rebuild/refresh (what the summaries
+  /// were computed from).
+  std::vector<std::vector<PeerId>> sum_children_;
+  /// Reverse index over sum_children_ (in-range children only): peers
+  /// whose summaries merge a given peer's levels.
+  std::vector<std::vector<PeerId>> sum_parents_;
+  // Refresh scratch: stamped affected-set dedupe + per-level worklists.
+  std::vector<std::uint64_t> affected_stamp_;
+  std::uint64_t affected_epoch_ = 0;
+  std::vector<PeerId> affected_;
+  std::vector<PeerId> next_affected_;
 
   /// Starts a new search generation; clears all stamped marks on the
   /// (astronomically rare) 32-bit wrap so stale stamps cannot collide.

@@ -24,6 +24,11 @@ RunResult summarize_run(const System& system, std::string label) {
       m.mean_session_volume_nonsharing() / 1e6;
   r.rings_formed = system.counters().rings_formed;
   r.preemptions = system.counters().preemptions;
+  r.snapshot_rebuilds = system.counters().snapshot_rebuilds;
+  r.snapshot_patches = system.counters().snapshot_patches;
+  r.dirty_rows_patched = system.counters().dirty_rows_patched;
+  r.snapshot_build_seconds =
+      static_cast<double>(system.counters().snapshot_build_ns) / 1e9;
   return r;
 }
 

@@ -26,6 +26,11 @@ struct RunResult {
   double mean_session_volume_mb_nonsharing = 0.0;
   std::uint64_t rings_formed = 0;
   std::uint64_t preemptions = 0;
+  // --- graph-maintenance cost (snapshot delta path; see System docs) ---
+  std::uint64_t snapshot_rebuilds = 0;    ///< full from-scratch builds
+  std::uint64_t snapshot_patches = 0;     ///< dirty-row delta builds
+  std::uint64_t dirty_rows_patched = 0;   ///< rows rewritten across patches
+  double snapshot_build_seconds = 0.0;    ///< cumulative build+patch time
 
   [[nodiscard]] std::size_t completed_total() const {
     return completed_sharing + completed_nonsharing;

@@ -10,53 +10,93 @@ namespace p2pex {
 void GraphSnapshot::begin(std::size_t num_peers) {
   num_peers_ = num_peers;
   cursor_ = 0;
+  patching_ = false;
+  peer_open_ = false;
   edge_requesters_.clear();
   edge_objects_.clear();
   closures_.clear();
   wants_.clear();
-  edge_offsets_.clear();
-  closure_offsets_.clear();
-  want_offsets_.clear();
-  edge_offsets_.reserve(num_peers + 1);
-  closure_offsets_.reserve(num_peers + 1);
-  want_offsets_.reserve(num_peers + 1);
-  edge_offsets_.push_back(0);
-  closure_offsets_.push_back(0);
-  want_offsets_.push_back(0);
+  edge_start_.clear();
+  edge_len_.clear();
+  closure_start_.clear();
+  closure_len_.clear();
+  want_start_.clear();
+  want_len_.clear();
+  edge_start_.reserve(num_peers);
+  edge_len_.reserve(num_peers);
+  closure_start_.reserve(num_peers);
+  closure_len_.reserve(num_peers);
+  want_start_.reserve(num_peers);
+  want_len_.reserve(num_peers);
+  edge_live_ = closure_live_ = want_live_ = 0;
+  edge_mark_ = closure_mark_ = want_mark_ = 0;
 }
 
 void GraphSnapshot::add_edge(PeerId requester, ObjectId object) {
-  P2PEX_ASSERT_MSG(cursor_ < num_peers_, "add_edge past the last peer");
+  P2PEX_ASSERT_MSG(cursor_ < num_peers_ || peer_open_,
+                   "add_edge outside an open peer");
   edge_requesters_.push_back(requester);
   edge_objects_.push_back(object);
 }
 
 void GraphSnapshot::add_closure(PeerId provider, ObjectId object) {
-  P2PEX_ASSERT_MSG(cursor_ < num_peers_, "add_closure past the last peer");
+  P2PEX_ASSERT_MSG(cursor_ < num_peers_ || peer_open_,
+                   "add_closure outside an open peer");
   closures_.push_back(CloseEdge{provider, object});
 }
 
 void GraphSnapshot::add_want(ObjectId object, PeerId provider) {
-  P2PEX_ASSERT_MSG(cursor_ < num_peers_, "add_want past the last peer");
+  P2PEX_ASSERT_MSG(cursor_ < num_peers_ || peer_open_,
+                   "add_want outside an open peer");
   wants_.push_back(WantEdge{object, provider});
 }
 
-void GraphSnapshot::next_peer() {
-  P2PEX_ASSERT_MSG(cursor_ < num_peers_, "next_peer past the last peer");
+void GraphSnapshot::seal_rows(std::uint32_t peer) {
   // Group the sealed root's closures by provider; stable so each
   // provider's objects stay in want (issue) order. Insertion sort: the
   // group is small and often pre-sorted, and std::stable_sort would
   // heap-allocate a merge buffer per peer per rebuild.
-  stable_insertion_sort(closures_.begin() +
-                            static_cast<std::ptrdiff_t>(closure_offsets_.back()),
-                        closures_.end(),
-                        [](const CloseEdge& a, const CloseEdge& b) {
-                          return a.provider < b.provider;
-                        });
-  edge_offsets_.push_back(
-      static_cast<std::uint32_t>(edge_requesters_.size()));
-  closure_offsets_.push_back(static_cast<std::uint32_t>(closures_.size()));
-  want_offsets_.push_back(static_cast<std::uint32_t>(wants_.size()));
+  stable_insertion_sort(
+      closures_.begin() + static_cast<std::ptrdiff_t>(closure_mark_),
+      closures_.end(), [](const CloseEdge& a, const CloseEdge& b) {
+        return a.provider < b.provider;
+      });
+  const auto edge_end = static_cast<std::uint32_t>(edge_requesters_.size());
+  const auto closure_end = static_cast<std::uint32_t>(closures_.size());
+  const auto want_end = static_cast<std::uint32_t>(wants_.size());
+  if (patching_) {
+    // Add the new length before subtracting the old so the arithmetic
+    // stays non-negative (size_t) even when a row shrinks.
+    edge_live_ = edge_live_ + (edge_end - edge_mark_) - edge_len_[peer];
+    closure_live_ =
+        closure_live_ + (closure_end - closure_mark_) - closure_len_[peer];
+    want_live_ = want_live_ + (want_end - want_mark_) - want_len_[peer];
+    edge_start_[peer] = edge_mark_;
+    edge_len_[peer] = edge_end - edge_mark_;
+    closure_start_[peer] = closure_mark_;
+    closure_len_[peer] = closure_end - closure_mark_;
+    want_start_[peer] = want_mark_;
+    want_len_[peer] = want_end - want_mark_;
+  } else {
+    edge_start_.push_back(edge_mark_);
+    edge_len_.push_back(edge_end - edge_mark_);
+    closure_start_.push_back(closure_mark_);
+    closure_len_.push_back(closure_end - closure_mark_);
+    want_start_.push_back(want_mark_);
+    want_len_.push_back(want_end - want_mark_);
+    edge_live_ += edge_end - edge_mark_;
+    closure_live_ += closure_end - closure_mark_;
+    want_live_ += want_end - want_mark_;
+  }
+  edge_mark_ = edge_end;
+  closure_mark_ = closure_end;
+  want_mark_ = want_end;
+}
+
+void GraphSnapshot::next_peer() {
+  P2PEX_ASSERT_MSG(!patching_, "next_peer during a patch");
+  P2PEX_ASSERT_MSG(cursor_ < num_peers_, "next_peer past the last peer");
+  seal_rows(static_cast<std::uint32_t>(cursor_));
   ++cursor_;
 }
 
@@ -65,12 +105,93 @@ void GraphSnapshot::finish() {
                    "finish before every peer was sealed");
 }
 
+void GraphSnapshot::begin_patch() {
+  P2PEX_ASSERT_MSG(cursor_ == num_peers_ && !patching_,
+                   "begin_patch on an unfinished snapshot");
+  patching_ = true;
+  peer_open_ = false;
+}
+
+void GraphSnapshot::patch_peer(PeerId p) {
+  P2PEX_ASSERT_MSG(patching_ && !peer_open_, "patch_peer outside a patch");
+  P2PEX_ASSERT_MSG(p.value < num_peers_, "patch_peer beyond the population");
+  patch_peer_ = p;
+  peer_open_ = true;
+  edge_mark_ = static_cast<std::uint32_t>(edge_requesters_.size());
+  closure_mark_ = static_cast<std::uint32_t>(closures_.size());
+  want_mark_ = static_cast<std::uint32_t>(wants_.size());
+}
+
+void GraphSnapshot::seal_peer() {
+  P2PEX_ASSERT_MSG(patching_ && peer_open_, "seal_peer without patch_peer");
+  seal_rows(patch_peer_.value);
+  peer_open_ = false;
+}
+
+void GraphSnapshot::finish_patch() {
+  P2PEX_ASSERT_MSG(patching_ && !peer_open_,
+                   "finish_patch with an open peer");
+  patching_ = false;
+  maybe_compact();
+}
+
+void GraphSnapshot::maybe_compact() {
+  // Per-table amortized compaction: a table is repacked (peer order)
+  // when its slack exceeds its live size, so total arena size stays
+  // within 2x live + slop and the repack cost amortizes over the
+  // patches that created the slack. The scratch/arena swap ping-pongs
+  // capacity, keeping steady-state compaction allocation-free.
+  if (edge_requesters_.size() > 2 * edge_live_ + kCompactSlop) {
+    scratch_requesters_.clear();
+    scratch_objects_.clear();
+    scratch_requesters_.reserve(edge_requesters_.capacity());
+    scratch_objects_.reserve(edge_objects_.capacity());
+    for (std::size_t i = 0; i < num_peers_; ++i) {
+      const std::uint32_t lo = edge_start_[i];
+      const std::uint32_t hi = lo + edge_len_[i];
+      edge_start_[i] = static_cast<std::uint32_t>(scratch_requesters_.size());
+      scratch_requesters_.insert(scratch_requesters_.end(),
+                                 edge_requesters_.begin() + lo,
+                                 edge_requesters_.begin() + hi);
+      scratch_objects_.insert(scratch_objects_.end(),
+                              edge_objects_.begin() + lo,
+                              edge_objects_.begin() + hi);
+    }
+    edge_requesters_.swap(scratch_requesters_);
+    edge_objects_.swap(scratch_objects_);
+  }
+  if (closures_.size() > 2 * closure_live_ + kCompactSlop) {
+    scratch_closures_.clear();
+    scratch_closures_.reserve(closures_.capacity());
+    for (std::size_t i = 0; i < num_peers_; ++i) {
+      const std::uint32_t lo = closure_start_[i];
+      const std::uint32_t hi = lo + closure_len_[i];
+      closure_start_[i] = static_cast<std::uint32_t>(scratch_closures_.size());
+      scratch_closures_.insert(scratch_closures_.end(),
+                               closures_.begin() + lo, closures_.begin() + hi);
+    }
+    closures_.swap(scratch_closures_);
+  }
+  if (wants_.size() > 2 * want_live_ + kCompactSlop) {
+    scratch_wants_.clear();
+    scratch_wants_.reserve(wants_.capacity());
+    for (std::size_t i = 0; i < num_peers_; ++i) {
+      const std::uint32_t lo = want_start_[i];
+      const std::uint32_t hi = lo + want_len_[i];
+      want_start_[i] = static_cast<std::uint32_t>(scratch_wants_.size());
+      scratch_wants_.insert(scratch_wants_.end(), wants_.begin() + lo,
+                            wants_.begin() + hi);
+    }
+    wants_.swap(scratch_wants_);
+  }
+}
+
 ObjectId GraphSnapshot::request_between(PeerId provider,
                                         PeerId requester) const {
   const std::span<const PeerId> requesters = requesters_of(provider);
   for (std::size_t i = 0; i < requesters.size(); ++i)
     if (requesters[i] == requester)
-      return edge_objects_[edge_offsets_[provider.value] + i];
+      return edge_objects_[edge_start_[provider.value] + i];
   return ObjectId{};
 }
 
@@ -83,6 +204,21 @@ std::span<const CloseEdge> GraphSnapshot::close_objects(
   auto hi = lo;
   while (hi != all.end() && hi->provider == provider) ++hi;
   return {lo, hi};
+}
+
+bool GraphSnapshot::rows_equal(const GraphSnapshot& other) const {
+  if (num_peers_ != other.num_peers_) return false;
+  const auto span_eq = [](auto a, auto b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  };
+  for (std::uint32_t i = 0; i < num_peers_; ++i) {
+    const PeerId p{i};
+    if (!span_eq(requesters_of(p), other.requesters_of(p))) return false;
+    if (!span_eq(edge_objects_of(p), other.edge_objects_of(p))) return false;
+    if (!span_eq(closures_of(p), other.closures_of(p))) return false;
+    if (!span_eq(want_providers(p), other.want_providers(p))) return false;
+  }
+  return true;
 }
 
 }  // namespace p2pex

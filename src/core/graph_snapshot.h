@@ -6,7 +6,7 @@
 // making one search O(N^2) in allocations. A GraphSnapshot flattens the
 // three facts the finder consumes into contiguous arrays queried by span:
 //
-//  * requesters_of(p)      — labelled request edges (CSR offsets+edges),
+//  * requesters_of(p)      — labelled request edges (CSR rows),
 //                            one edge per distinct usable requester with
 //                            the object of its oldest usable request;
 //  * close_objects(r, p)   — per-root ring-closure facts, grouped by
@@ -14,11 +14,24 @@
 //  * want_providers(r)     — per-root candidate closers for Bloom-mode
 //                            detection, grouped by wanted object.
 //
-// Builders fill the snapshot peer by peer (ids must be dense in
-// [0, num_peers)); all storage is reused across rebuilds, so a steady-
-// state rebuild performs no allocations once high-water capacity is
-// reached. The System rebuilds lazily, keyed on a mutation epoch; test
-// fixtures rebuild from their naive scripted state on demand.
+// Rows live in per-table arenas addressed by per-peer {start, len}
+// descriptors, which supports two maintenance paths:
+//
+//  * full build — begin()/add_*()/next_peer()/finish() fills the arenas
+//    peer by peer (ids must be dense in [0, num_peers)), packing rows
+//    contiguously;
+//  * patch — begin_patch()/patch_peer()/add_*()/seal_peer()/
+//    finish_patch() rewrites only dirty peers' rows by appending their
+//    new rows at the arena tail and repointing the descriptors. Stable
+//    rows are untouched; the replaced rows become slack, and
+//    finish_patch() compacts an arena (amortized) when its slack
+//    exceeds its live size, so reads stay branch-light spans.
+//
+// All storage is reused across rebuilds and patches, so steady-state
+// maintenance performs no allocations once high-water capacity is
+// reached. The System maintains the snapshot lazily from a dirty-peer
+// set (see System::touch_graph); test fixtures rebuild from their naive
+// scripted state on demand.
 #pragma once
 
 #include <cstddef>
@@ -60,7 +73,7 @@ struct WantEdge {
 
 class GraphSnapshot {
  public:
-  // --- build (strictly sequential: peer 0, 1, ..., n-1) ---
+  // --- full build (strictly sequential: peer 0, 1, ..., n-1) ---
 
   /// Starts a rebuild for `num_peers` peers. Previously allocated
   /// capacity is kept.
@@ -85,7 +98,24 @@ class GraphSnapshot {
   /// Completes the build; every peer must have been sealed.
   void finish();
 
-  // --- queries (valid after finish()) ---
+  // --- patch (rewrite only dirty peers' rows; any peer order) ---
+
+  /// Starts a patch session on a finished snapshot (same peer count).
+  void begin_patch();
+
+  /// Begins rewriting `p`'s rows; feed them with add_edge/add_closure/
+  /// add_want exactly as during a full build, then seal_peer().
+  void patch_peer(PeerId p);
+
+  /// Seals the peer opened by patch_peer(): repoints its descriptors at
+  /// the freshly appended rows (the old rows become arena slack).
+  void seal_peer();
+
+  /// Ends the patch session; compacts any arena whose slack exceeds its
+  /// live size (amortized O(live) — rare by construction).
+  void finish_patch();
+
+  // --- queries (valid after finish()/finish_patch()) ---
 
   [[nodiscard]] std::size_t num_peers() const { return num_peers_; }
 
@@ -94,14 +124,14 @@ class GraphSnapshot {
   /// edge_objects_of() span (structure-of-arrays: the BFS streams only
   /// requester ids; labels are touched only when a proposal is built).
   [[nodiscard]] std::span<const PeerId> requesters_of(PeerId provider) const {
-    return row(edge_requesters_, edge_offsets_, provider);
+    return row(edge_requesters_, edge_start_, edge_len_, provider);
   }
 
   /// Labels parallel to requesters_of(): the object of each requester's
   /// oldest usable request.
   [[nodiscard]] std::span<const ObjectId> edge_objects_of(
       PeerId provider) const {
-    return row(edge_objects_, edge_offsets_, provider);
+    return row(edge_objects_, edge_start_, edge_len_, provider);
   }
 
   /// The object of the oldest usable request `requester` registered at
@@ -112,7 +142,7 @@ class GraphSnapshot {
   /// All of `root`'s closure facts, grouped by provider (ascending),
   /// want order within a provider.
   [[nodiscard]] std::span<const CloseEdge> closures_of(PeerId root) const {
-    return row(closures_, closure_offsets_, root);
+    return row(closures_, closure_start_, closure_len_, root);
   }
 
   /// Objects `provider` can close a ring with for `root`, in want order.
@@ -121,35 +151,83 @@ class GraphSnapshot {
 
   /// `root`'s candidate ring closers (Bloom-mode detection input).
   [[nodiscard]] std::span<const WantEdge> want_providers(PeerId root) const {
-    return row(wants_, want_offsets_, root);
+    return row(wants_, want_start_, want_len_, root);
   }
 
-  [[nodiscard]] std::size_t num_edges() const {
-    return edge_requesters_.size();
+  /// Live (reachable) row entries — excludes patch slack.
+  [[nodiscard]] std::size_t num_edges() const { return edge_live_; }
+  [[nodiscard]] std::size_t num_closures() const { return closure_live_; }
+  [[nodiscard]] std::size_t num_wants() const { return want_live_; }
+
+  /// Unreachable arena entries left behind by patches (compaction
+  /// bounds each table's slack by live + kCompactSlop).
+  [[nodiscard]] std::size_t edge_slack() const {
+    return edge_requesters_.size() - edge_live_;
   }
-  [[nodiscard]] std::size_t num_closures() const { return closures_.size(); }
-  [[nodiscard]] std::size_t num_wants() const { return wants_.size(); }
+  [[nodiscard]] std::size_t closure_slack() const {
+    return closures_.size() - closure_live_;
+  }
+  [[nodiscard]] std::size_t want_slack() const {
+    return wants_.size() - want_live_;
+  }
+
+  /// Logical row-wise equality (every peer's three rows and edge
+  /// labels), independent of arena layout. Used by the
+  /// P2PEX_SNAPSHOT_AUDIT cross-check and the patch fuzz suites.
+  [[nodiscard]] bool rows_equal(const GraphSnapshot& other) const;
+
+  /// Slack beyond which finish_patch() compacts an arena: slack >
+  /// live + kCompactSlop. The slop keeps tiny snapshots from compacting
+  /// on every patch.
+  static constexpr std::size_t kCompactSlop = 64;
 
  private:
   template <class T>
   [[nodiscard]] std::span<const T> row(const std::vector<T>& items,
-                                       const std::vector<std::uint32_t>& offsets,
+                                       const std::vector<std::uint32_t>& start,
+                                       const std::vector<std::uint32_t>& len,
                                        PeerId peer) const {
-    const std::uint32_t lo = offsets[peer.value];
-    const std::uint32_t hi = offsets[peer.value + 1];
-    return {items.data() + lo, items.data() + hi};
+    const std::uint32_t lo = start[peer.value];
+    return {items.data() + lo, items.data() + lo + len[peer.value]};
   }
 
-  std::size_t num_peers_ = 0;
-  std::size_t cursor_ = 0;  ///< peer currently being built
+  /// Seals the rows appended since the current peer's marks: sorts the
+  /// closure group and writes the peer's descriptors.
+  void seal_rows(std::uint32_t peer);
 
-  std::vector<std::uint32_t> edge_offsets_;     ///< n+1 once finished
+  void maybe_compact();
+
+  std::size_t num_peers_ = 0;
+  std::size_t cursor_ = 0;   ///< peer currently being built (full build)
+  bool patching_ = false;    ///< inside begin_patch()..finish_patch()
+  bool peer_open_ = false;   ///< inside patch_peer()..seal_peer()
+  PeerId patch_peer_;        ///< peer currently being patched
+
+  // Arena marks where the currently open peer's rows start.
+  std::uint32_t edge_mark_ = 0;
+  std::uint32_t closure_mark_ = 0;
+  std::uint32_t want_mark_ = 0;
+
+  // Per-peer row descriptors (size n once finished).
+  std::vector<std::uint32_t> edge_start_, edge_len_;
+  std::vector<std::uint32_t> closure_start_, closure_len_;
+  std::vector<std::uint32_t> want_start_, want_len_;
+
+  // Arenas (parallel SoA for edges) + live-entry counts.
   std::vector<PeerId> edge_requesters_;
   std::vector<ObjectId> edge_objects_;
-  std::vector<std::uint32_t> closure_offsets_;  ///< n+1 once finished
   std::vector<CloseEdge> closures_;
-  std::vector<std::uint32_t> want_offsets_;     ///< n+1 once finished
   std::vector<WantEdge> wants_;
+  std::size_t edge_live_ = 0;
+  std::size_t closure_live_ = 0;
+  std::size_t want_live_ = 0;
+
+  // Compaction scratch, swapped with the arenas so capacity ping-pongs
+  // instead of reallocating.
+  std::vector<PeerId> scratch_requesters_;
+  std::vector<ObjectId> scratch_objects_;
+  std::vector<CloseEdge> scratch_closures_;
+  std::vector<WantEdge> scratch_wants_;
 };
 
 }  // namespace p2pex

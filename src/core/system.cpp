@@ -45,6 +45,13 @@ Session& System::session(SessionId s) {
 void System::build_peers(const PopulationPlan& plan) {
   const std::size_t n = cfg_.num_peers;
   peers_.reserve(n);
+  // Per-peer maintenance state: dirty-set stamps, the watcher reverse
+  // index, and the snapshot builder's dedupe marks. The population is
+  // fixed for the run, so these never resize again.
+  graph_dirty_stamp_.assign(n, 0);
+  bloom_dirty_stamp_.assign(n, 0);
+  watchers_.assign(n, {});
+  snap_seen_.assign(n, 0);
 
   if (plan.empty()) {
     // Homogeneous Table II population: exactly round(n * fraction)
@@ -160,8 +167,7 @@ void System::run_to(SimTime t) {
     });
     sim_.schedule_periodic(cfg_.search_interval, [this] { search_sweep(); });
     if (cfg_.tree_mode == TreeMode::kBloom)
-      finder_.rebuild_summaries(graph_snapshot(),
-                                cfg_.bloom_expected_per_level, cfg_.bloom_fpp);
+      refresh_bloom_summaries();  // first refresh is always a full build
     // Closed-loop workload: every peer immediately fills its pending set
     // (paper: "requests are generated fast enough so that each peer
     // reaches this maximum early enough in the simulation").
@@ -237,18 +243,20 @@ bool System::issue_one_request(PeerId p) {
       entry.request_time = sim_.now();
       if (peers_[provider.value].irq.add(entry)) {
         d.registered.insert(provider);
-        mark_dirty(provider);  // "on receipt of each request ..."
+        touch_graph(provider);  // provider gained a request edge
+        mark_dirty(provider);   // "on receipt of each request ..."
       }
     }
     if (d.registered.empty()) {
       downloads_.pop_back();  // nothing references it yet
       continue;
     }
+    watch_providers(d);  // closure eligibility now tracks the discovered set
     peer.pending[o] = did;
     peer.pending_list.push_back(did);
     ++counters_.requests_issued;
-    touch_graph();  // new pending download + IRQ registrations
-    mark_dirty(p);  // "prior to transmission of a request ..."
+    touch_graph(p);  // the root gained a pending download (closures/wants)
+    mark_dirty(p);   // "prior to transmission of a request ..."
     return true;
   }
   return false;
@@ -257,14 +265,17 @@ bool System::issue_one_request(PeerId p) {
 void System::cancel_download(DownloadId did, bool starved) {
   Download& d = download(did);
   if (!d.active) return;
-  touch_graph();  // pending download and its IRQ registrations go away
+  touch_graph(d.peer);    // the root loses this pending download
+  unwatch_providers(d);
   accrue_download(d);
   for (SessionId sid : std::vector<SessionId>(d.sessions))
     if (session(sid).active) end_session(sid, SessionEnd::kRequesterCancelled);
   std::vector<PeerId> providers(d.registered.begin(), d.registered.end());
   std::sort(providers.begin(), providers.end());
-  for (PeerId provider : providers)
+  for (PeerId provider : providers) {
     peers_[provider.value].irq.remove(RequestKey{d.peer, d.object});
+    touch_graph(provider);  // its request edge from d.peer goes away
+  }
   sim_.cancel(d.completion);
   d.active = false;
   Peer& peer = peers_[d.peer.value];
@@ -284,7 +295,8 @@ void System::eviction_sweep() {
     if (!p.online) continue;
     const std::vector<ObjectId> evicted = p.storage.evict_over_capacity(rng_);
     if (evicted.empty()) continue;
-    touch_graph();  // storage contents + doomed IRQ entries change
+    touch_graph(p.id);     // doomed IRQ entries drop from its edge row
+    touch_watchers(p.id);  // roots wanting an evicted object lose closers
     for (ObjectId o : evicted)
       if (p.shares) lookup_.remove_owner(o, p.id);
     // Queued requests for an evicted object can never be served here any
@@ -316,9 +328,7 @@ void System::search_sweep() {
   // revisits every peer, both to catch exchange opportunities created by
   // slot churn and to retry non-exchange service that was previously
   // blocked on requester download capacity.
-  if (cfg_.tree_mode == TreeMode::kBloom)
-    finder_.rebuild_summaries(graph_snapshot(), cfg_.bloom_expected_per_level,
-                              cfg_.bloom_fpp);
+  if (cfg_.tree_mode == TreeMode::kBloom) refresh_bloom_summaries();
   for (const Peer& p : peers_)
     if (p.online && p.shares && !p.irq.empty()) mark_dirty(p.id);
   drain_dirty();

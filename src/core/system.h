@@ -43,6 +43,11 @@ struct SystemCounters {
   std::uint64_t peer_arrivals = 0;       ///< peer_join() applications
   std::uint64_t sharing_flips = 0;       ///< set_sharing() state changes
   std::uint64_t downloads_withdrawn = 0; ///< cancelled by requester churn
+  // --- graph-snapshot maintenance (see System::graph_snapshot) ---
+  std::uint64_t snapshot_rebuilds = 0;   ///< full from-scratch builds
+  std::uint64_t snapshot_patches = 0;    ///< dirty-row delta builds
+  std::uint64_t dirty_rows_patched = 0;  ///< rows rewritten across patches
+  std::uint64_t snapshot_build_ns = 0;   ///< cumulative build+patch wall time
 };
 
 /// One complete simulation instance.
@@ -119,16 +124,25 @@ class System final {
   void set_scheduler(SchedulerKind scheduler);
 
   // --- request-graph views ---
-  /// CSR snapshot of the request graph the ring search walks, rebuilt
-  /// lazily when simulation state mutated since the last build (keyed on
-  /// a mutation epoch; see touch_graph()). Single-threaded: the returned
-  /// reference is invalidated by the next state mutation.
+  /// CSR snapshot of the request graph the ring search walks, maintained
+  /// lazily from the dirty-peer set (see touch_graph(PeerId)): peers
+  /// whose rows mutated since the last read are re-derived in place
+  /// (GraphSnapshot patch path); everything else is reused untouched. A
+  /// whole-population invalidation (argless touch_graph(), first read,
+  /// or a dirty set covering most of the population) falls back to a
+  /// full rebuild. Single-threaded: the returned reference is
+  /// invalidated by the next state mutation.
   [[nodiscard]] const GraphSnapshot& graph_snapshot() const;
 
-  /// Snapshot rebuilds performed so far — at most one per mutation
-  /// epoch, however many searches a sweep runs against it.
+  /// Full snapshot rebuilds performed so far — rare once the run is
+  /// warm (first read + whole-population events).
   [[nodiscard]] std::uint64_t snapshot_rebuilds() const {
-    return snapshot_rebuilds_;
+    return counters_.snapshot_rebuilds;
+  }
+  /// Dirty-row delta builds performed so far — at most one per mutation
+  /// epoch, however many searches a sweep runs against it.
+  [[nodiscard]] std::uint64_t snapshot_patches() const {
+    return counters_.snapshot_patches;
   }
 
   // Naive per-call reference implementations of the same three facts.
@@ -190,11 +204,38 @@ class System final {
   void finalize();
 
   // --- graph-snapshot cache ---
-  /// Records that request-graph-visible state (IRQ entries or their
-  /// states, storage contents, pending downloads) changed, invalidating
-  /// the cached GraphSnapshot. Every mutation site must call this.
-  void touch_graph() { ++graph_epoch_; }
-  void rebuild_snapshot() const;
+  /// Records that `p`'s snapshot rows (its request edges as provider,
+  /// its closures/wants as root) may have changed. Every mutation site
+  /// must mark exactly the peers whose rows moved; the next
+  /// graph_snapshot() read patches those rows only.
+  void touch_graph(PeerId p);
+  /// Whole-population invalidation (rare events only): the next read
+  /// rebuilds the snapshot — and, in Bloom mode, the summaries — from
+  /// scratch.
+  void touch_graph() {
+    graph_all_dirty_ = true;
+    bloom_all_dirty_ = true;
+  }
+  /// Marks every root whose closure/want rows depend on `provider`
+  /// (roots with a pending download that discovered it) dirty. Call
+  /// when the provider's closer eligibility moved: online/sharing flips
+  /// and storage content changes.
+  void touch_watchers(PeerId provider);
+  /// Registers/unregisters `d.peer` as a watcher of every provider in
+  /// `d.discovered`, keeping the touch_watchers() reverse index in sync
+  /// with the download table. O(|discovered|): each entry carries a
+  /// back-reference into its download's watch_slots so removal is a
+  /// swap-and-pop, not a scan of watcher lists (which grow with crowd
+  /// size at popular providers).
+  void watch_providers(Download& d);
+  void unwatch_providers(Download& d);
+  /// Rebuilds (full) or refreshes (dirty Bloom levels only) the
+  /// finder's summaries to the current graph. kBloom mode only.
+  void refresh_bloom_summaries();
+  /// From-scratch snapshot derivation (into `snap`), and the shared
+  /// per-peer row builder the patch path reuses.
+  void rebuild_snapshot_into(GraphSnapshot& snap) const;
+  void build_peer_rows(const Peer& p, GraphSnapshot& snap) const;
 
   [[nodiscard]] Peer& peer_mut(PeerId p);
   [[nodiscard]] Download& download(DownloadId d);
@@ -213,16 +254,43 @@ class System final {
   std::vector<Session> sessions_;
   std::vector<Ring> rings_;
 
-  // Lazily rebuilt request-graph snapshot (mutable: building is caching,
-  // not observable state; the simulation is single-threaded).
-  std::uint64_t graph_epoch_ = 0;
+  // Lazily maintained request-graph snapshot (mutable: building is
+  // caching, not observable state; the simulation is single-threaded).
   mutable GraphSnapshot snapshot_;
-  mutable std::uint64_t snapshot_epoch_ = 0;
-  mutable std::uint64_t snapshot_rebuilds_ = 0;
   mutable bool snapshot_built_ = false;
   mutable std::vector<std::uint64_t> snap_seen_;  ///< builder dedupe marks
   mutable std::uint64_t snap_seen_stamp_ = 0;
   mutable std::vector<PeerId> snap_providers_;    ///< builder sort scratch
+  /// From-scratch shadow rebuilt after every patch under
+  /// P2PEX_SNAPSHOT_AUDIT to cross-check the delta path (unused, but
+  /// kept unconditionally so the layout never depends on the macro).
+  mutable GraphSnapshot audit_snapshot_;
+
+  // Dirty-peer delta tracking (stamp-keyed dedupe; the list is the
+  // patch worklist). Mutable: the const graph_snapshot() read consumes
+  // and clears it.
+  mutable std::vector<PeerId> graph_dirty_;
+  mutable std::vector<std::uint64_t> graph_dirty_stamp_;
+  mutable std::uint64_t graph_dirty_epoch_ = 1;
+  mutable bool graph_all_dirty_ = true;
+  // Rows touched since the last Bloom summary refresh (kBloom mode;
+  // consumed by refresh_bloom_summaries on the periodic sweep).
+  std::vector<PeerId> bloom_dirty_;
+  std::vector<std::uint64_t> bloom_dirty_stamp_;
+  std::uint64_t bloom_dirty_epoch_ = 1;
+  bool bloom_all_dirty_ = true;
+  /// One watcher-list entry: `root`'s download `download` discovered
+  /// this provider; `ordinal` is the entry's index into the download's
+  /// watch_slots (so a swap-and-pop removal can fix the moved entry's
+  /// back-reference in O(1)).
+  struct WatchEntry {
+    PeerId root;
+    DownloadId download;
+    std::uint32_t ordinal;
+  };
+  /// watchers_[p] = downloads whose roots discovered p (multiset as a
+  /// flat list; one entry per watching download).
+  std::vector<std::vector<WatchEntry>> watchers_;
 
   std::set<PeerId> dirty_;
   bool draining_ = false;
@@ -232,7 +300,9 @@ class System final {
   // Flash-crowd demand override (set_demand_spike); weight 0 = inactive.
   CategoryId spike_category_;
   double spike_weight_ = 0.0;
-  SystemCounters counters_;
+  // Mutable: the snapshot-maintenance stats are incremented by the
+  // const, caching graph_snapshot() read.
+  mutable SystemCounters counters_;
 };
 
 }  // namespace p2pex

@@ -19,7 +19,7 @@ void System::retract_service(Peer& p) {
       end_session(sid, SessionEnd::kProviderLeft);
 
   if (p.irq.empty()) return;
-  touch_graph();  // queued requests at this peer disappear
+  touch_graph(p.id);  // queued requests at this peer disappear
   // All sessions at p just ended, so every remaining entry is queued;
   // drop them and starve-out downloads that lost their last provider.
   std::vector<std::pair<RequestKey, DownloadId>> dropped;
@@ -44,7 +44,8 @@ void System::peer_leave(PeerId pid) {
   if (!p.online) return;
   p.online = false;
   ++counters_.peer_departures;
-  touch_graph();  // its edges, wants and closures all vanish
+  touch_graph(pid);     // its own rows vanish
+  touch_watchers(pid);  // roots that discovered it lose a closer
 
   // Leave the lookup index FIRST: dropping the queue below makes starved
   // requesters re-issue immediately, and they must not rediscover the
@@ -66,7 +67,8 @@ void System::peer_join(PeerId pid) {
   if (p.online) return;
   p.online = true;
   ++counters_.peer_arrivals;
-  touch_graph();
+  touch_graph(pid);
+  touch_watchers(pid);  // roots that discovered it regain a closer
   if (p.shares)
     for (ObjectId o : p.storage.objects()) lookup_.add_owner(o, pid);
   issue_requests(pid);
@@ -79,7 +81,8 @@ void System::set_sharing(PeerId pid, bool shares) {
   if (p.shares == shares) return;
   p.shares = shares;
   ++counters_.sharing_flips;
-  touch_graph();  // provider eligibility feeds wants/closures
+  touch_graph(pid);     // turning off drops its queue (retract_service)
+  touch_watchers(pid);  // provider eligibility feeds roots' closures/wants
   if (shares) {
     ++num_sharing_;
     if (p.online) {
@@ -112,11 +115,13 @@ void System::set_policy(ExchangePolicy policy, std::size_t max_ring_size) {
   cfg_.policy = policy;
   cfg_.max_ring_size = max_ring_size;
   finder_.set_policy(policy, max_ring_size);
-  // Deeper rings need deeper summaries; refresh immediately rather than
-  // waiting out the periodic sweep.
-  if (cfg_.tree_mode == TreeMode::kBloom && started_)
-    finder_.rebuild_summaries(graph_snapshot(), cfg_.bloom_expected_per_level,
-                              cfg_.bloom_fpp);
+  // Deeper rings need deeper summaries; rebuild immediately (a changed
+  // ring cap changes the level count, so no incremental refresh applies)
+  // rather than waiting out the periodic sweep.
+  if (cfg_.tree_mode == TreeMode::kBloom && started_) {
+    bloom_all_dirty_ = true;
+    refresh_bloom_summaries();
+  }
   for (const Peer& p : peers_)
     if (p.online && p.shares && !p.irq.empty()) mark_dirty(p.id);
   drain_dirty();

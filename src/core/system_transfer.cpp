@@ -81,8 +81,13 @@ SessionId System::start_session(PeerId provider, IrqEntry& entry,
   entry.session = sid;
   // Only kActiveExchange entries leave the request graph; a non-exchange
   // start (kQueued -> kActiveNonExchange) is invisible to the snapshot,
-  // so don't force a rebuild for it.
-  if (ring.valid()) touch_graph();
+  // so don't dirty anything for it. A ring-bound entry drops from the
+  // provider's edge row and from the requester's closure row (the
+  // already-serving exclusion).
+  if (ring.valid()) {
+    touch_graph(provider);
+    touch_graph(entry.requester);
+  }
 
   // Re-acquire: the push_back above may have invalidated `d`? No —
   // downloads_ was not touched; sessions_ was. d stays valid.
@@ -99,9 +104,13 @@ void System::end_session(SessionId sid, SessionEnd reason) {
   accrue_download(d);  // brings s.bytes up to date
   s.active = false;
   // An ended exchange session returns its ring-bound entry to the graph
-  // below; ending a non-exchange session (kActiveNonExchange -> kQueued)
-  // leaves the snapshot's view of the entry unchanged.
-  if (s.ring.valid()) touch_graph();
+  // below (provider edge row + requester closure row); ending a
+  // non-exchange session (kActiveNonExchange -> kQueued) leaves the
+  // snapshot's view of the entry unchanged.
+  if (s.ring.valid()) {
+    touch_graph(s.provider);
+    touch_graph(s.requester);
+  }
 
   Peer& prov = peers_[s.provider.value];
   Peer& req = peers_[s.requester.value];
@@ -177,7 +186,8 @@ void System::complete_download(DownloadId did) {
     return;
   }
   d.received = static_cast<double>(d.size);
-  touch_graph();  // registrations drop, storage gains the object
+  touch_graph(d.peer);  // the root loses this pending download
+  unwatch_providers(d);
 
   for (SessionId sid : std::vector<SessionId>(d.sessions))
     if (sessions_[sid.value].active)
@@ -185,8 +195,10 @@ void System::complete_download(DownloadId did) {
 
   std::vector<PeerId> providers(d.registered.begin(), d.registered.end());
   std::sort(providers.begin(), providers.end());
-  for (PeerId provider : providers)
+  for (PeerId provider : providers) {
     peers_[provider.value].irq.remove(RequestKey{d.peer, d.object});
+    touch_graph(provider);  // its request edge from d.peer goes away
+  }
 
   sim_.cancel(d.completion);
   d.active = false;
@@ -211,8 +223,12 @@ void System::complete_download(DownloadId did) {
   // index; periodic eviction trims any overflow later.
   const ObjectId object = d.object;
   const PeerId owner = d.peer;
-  if (peer.storage.add(object) && peer.shares)
-    lookup_.add_owner(object, owner);
+  if (peer.storage.add(object)) {
+    if (peer.shares) lookup_.add_owner(object, owner);
+    // Roots that discovered this peer as a provider may now see it as a
+    // ring closer again (own-evict-then-redownload path).
+    touch_watchers(owner);
+  }
 
   issue_requests(owner);  // closed loop: replace the completed request
 }
@@ -359,7 +375,6 @@ bool System::try_form_ring(const RingProposal& proposal) {
   }
 
   // --- Execute atomically (control plane is instantaneous). ---
-  touch_graph();  // ring-closing entries may be created below
   const RingId rid{static_cast<std::uint32_t>(rings_.size())};
   rings_.push_back(Ring{rid, {}, true});
 
@@ -392,6 +407,7 @@ bool System::try_form_ring(const RingProposal& proposal) {
       P2PEX_ASSERT_MSG(added, "IRQ filled during token walk");
       e = x.irq.find(RequestKey{link.requester, link.object});
       downloads_[d.id.value].registered.insert(link.provider);
+      touch_graph(link.provider);  // ring-closing entry created
     }
     const SessionId sid =
         start_session(link.provider, *e, rid, static_cast<std::uint8_t>(n));

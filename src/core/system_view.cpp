@@ -1,8 +1,10 @@
 // Request-graph views of the live System: the CSR GraphSnapshot the ring
-// search walks plus the naive per-call reference accessors it is audited
-// against, Section V wire-cost accounting, and the invariant audit used
-// by property tests.
+// search walks (dirty-peer delta maintenance + the from-scratch rebuild
+// it falls back to) plus the naive per-call reference accessors it is
+// audited against, Section V wire-cost accounting, and the invariant
+// audit used by property tests.
 #include <algorithm>
+#include <chrono>
 
 #include "core/system.h"
 #include "proto/request_tree.h"
@@ -10,65 +12,171 @@
 
 namespace p2pex {
 
-const GraphSnapshot& System::graph_snapshot() const {
-  if (!snapshot_built_ || snapshot_epoch_ != graph_epoch_) {
-    rebuild_snapshot();
-    snapshot_epoch_ = graph_epoch_;
-    snapshot_built_ = true;
-    ++snapshot_rebuilds_;
+void System::touch_graph(PeerId p) {
+  if (!graph_all_dirty_ &&
+      graph_dirty_stamp_[p.value] != graph_dirty_epoch_) {
+    graph_dirty_stamp_[p.value] = graph_dirty_epoch_;
+    graph_dirty_.push_back(p);
   }
+  if (cfg_.tree_mode == TreeMode::kBloom && !bloom_all_dirty_ &&
+      bloom_dirty_stamp_[p.value] != bloom_dirty_epoch_) {
+    bloom_dirty_stamp_[p.value] = bloom_dirty_epoch_;
+    bloom_dirty_.push_back(p);
+  }
+}
+
+void System::touch_watchers(PeerId provider) {
+  for (const WatchEntry& e : watchers_[provider.value]) touch_graph(e.root);
+}
+
+void System::watch_providers(Download& d) {
+  d.watch_slots.clear();
+  d.watch_slots.reserve(d.discovered.size());
+  std::uint32_t ordinal = 0;
+  for (PeerId prov : d.discovered) {
+    std::vector<WatchEntry>& w = watchers_[prov.value];
+    d.watch_slots.push_back(static_cast<std::uint32_t>(w.size()));
+    w.push_back(WatchEntry{d.peer, d.id, ordinal++});
+  }
+}
+
+void System::unwatch_providers(Download& d) {
+  P2PEX_ASSERT_MSG(d.watch_slots.size() == d.discovered.size(),
+                   "unwatch without a matching watch");
+  std::uint32_t ordinal = 0;
+  for (PeerId prov : d.discovered) {
+    std::vector<WatchEntry>& w = watchers_[prov.value];
+    const std::uint32_t slot = d.watch_slots[ordinal++];
+    P2PEX_ASSERT_MSG(slot < w.size() && w[slot].download == d.id,
+                     "watcher back-reference broken");
+    w[slot] = w.back();  // order-free multiset: swap-and-pop
+    w.pop_back();
+    if (slot < w.size())  // fix the moved entry's back-reference
+      downloads_[w[slot].download.value].watch_slots[w[slot].ordinal] = slot;
+  }
+  d.watch_slots.clear();
+}
+
+const GraphSnapshot& System::graph_snapshot() const {
+  if (snapshot_built_ && !graph_all_dirty_ && graph_dirty_.empty())
+    return snapshot_;
+  const auto t0 = std::chrono::steady_clock::now();
+  // Patch only when the dirty set is a clear minority of the rows —
+  // rewriting most of the graph row by row (plus its patch slack) costs
+  // more than one contiguous rebuild.
+  [[maybe_unused]] bool patched = false;
+  if (!snapshot_built_ || graph_all_dirty_ ||
+      graph_dirty_.size() * 2 >= peers_.size()) {
+    rebuild_snapshot_into(snapshot_);
+    ++counters_.snapshot_rebuilds;
+  } else {
+    snapshot_.begin_patch();
+    for (const PeerId p : graph_dirty_) {
+      snapshot_.patch_peer(p);
+      build_peer_rows(peers_[p.value], snapshot_);
+      snapshot_.seal_peer();
+    }
+    snapshot_.finish_patch();
+    ++counters_.snapshot_patches;
+    counters_.dirty_rows_patched += graph_dirty_.size();
+    patched = true;
+  }
+  // Clock stops here: the audit below is debug scaffolding, and its
+  // O(graph) rebuild must not masquerade as maintenance cost.
+  counters_.snapshot_build_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+#ifdef P2PEX_SNAPSHOT_AUDIT
+  // Debug cross-check: every patched snapshot must be row-identical
+  // to a from-scratch derivation of the same state. Any mutation site
+  // that under-reports its dirty set fails here, at the patch that
+  // went stale, instead of as downstream golden drift.
+  if (patched) {
+    rebuild_snapshot_into(audit_snapshot_);
+    P2PEX_ASSERT_MSG(snapshot_.rows_equal(audit_snapshot_),
+                     "patched snapshot diverged from a full rebuild "
+                     "(missing touch_graph at a mutation site?)");
+  }
+#endif
+  snapshot_built_ = true;
+  graph_all_dirty_ = false;
+  graph_dirty_.clear();
+  ++graph_dirty_epoch_;
   return snapshot_;
 }
 
-void System::rebuild_snapshot() const {
+void System::rebuild_snapshot_into(GraphSnapshot& snap) const {
   const std::size_t n = peers_.size();
-  snapshot_.begin(n);
-  if (snap_seen_.size() < n) snap_seen_.assign(n, 0);
-
+  snap.begin(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const Peer& p = peers_[i];
-
-    // Request edges: distinct online requesters with a usable
-    // (non-ring-bound) entry, first-arrival order, labelled with the
-    // oldest usable object — must match requesters_of/request_between
-    // below exactly (the equivalence tests pin this).
-    const std::uint64_t stamp = ++snap_seen_stamp_;
-    for (const IrqEntry& e : p.irq.entries()) {
-      if (e.state == RequestState::kActiveExchange) continue;  // ring-bound
-      if (snap_seen_[e.requester.value] == stamp) continue;
-      if (!peers_[e.requester.value].online) continue;
-      snap_seen_[e.requester.value] = stamp;
-      snapshot_.add_edge(e.requester, e.object);
-    }
-
-    // Closure facts and Bloom closer candidates of peer i as search
-    // root, in issue order; d.discovered is unordered, so eligible
-    // providers are sorted per download (matching want_providers'
-    // sorted output, which the Bloom hit order depends on).
-    for (DownloadId did : p.pending_list) {
-      const Download& d = downloads_[did.value];
-      if (!d.active) continue;
-      snap_providers_.clear();
-      for (PeerId prov : d.discovered) {
-        const Peer& pr = peers_[prov.value];
-        if (pr.online && pr.shares && pr.storage.contains(d.object))
-          snap_providers_.push_back(prov);
-      }
-      std::sort(snap_providers_.begin(), snap_providers_.end());
-      for (PeerId prov : snap_providers_) {
-        snapshot_.add_want(d.object, prov);
-        // Skip wants this provider is already serving us in a ring
-        // (close_objects' exclusion; want_providers keeps them).
-        if (const IrqEntry* e =
-                peers_[prov.value].irq.find(RequestKey{p.id, d.object});
-            e != nullptr && e->state == RequestState::kActiveExchange)
-          continue;
-        snapshot_.add_closure(prov, d.object);
-      }
-    }
-    snapshot_.next_peer();
+    build_peer_rows(peers_[i], snap);
+    snap.next_peer();
   }
-  snapshot_.finish();
+  snap.finish();
+}
+
+/// Emits one peer's snapshot rows (request edges as provider, closures
+/// and wants as root) into the snapshot's currently open peer. Shared
+/// verbatim by the full rebuild and the patch path so a patched row can
+/// never diverge from a rebuilt one.
+void System::build_peer_rows(const Peer& p, GraphSnapshot& snap) const {
+  // Request edges: distinct online requesters with a usable
+  // (non-ring-bound) entry, first-arrival order, labelled with the
+  // oldest usable object — must match requesters_of/request_between
+  // below exactly (the equivalence tests pin this).
+  const std::uint64_t stamp = ++snap_seen_stamp_;
+  for (const IrqEntry& e : p.irq.entries()) {
+    if (e.state == RequestState::kActiveExchange) continue;  // ring-bound
+    if (snap_seen_[e.requester.value] == stamp) continue;
+    if (!peers_[e.requester.value].online) continue;
+    snap_seen_[e.requester.value] = stamp;
+    snap.add_edge(e.requester, e.object);
+  }
+
+  // Closure facts and Bloom closer candidates of the peer as search
+  // root, in issue order; d.discovered is unordered, so eligible
+  // providers are sorted per download (matching want_providers'
+  // sorted output, which the Bloom hit order depends on).
+  for (DownloadId did : p.pending_list) {
+    const Download& d = downloads_[did.value];
+    if (!d.active) continue;
+    snap_providers_.clear();
+    for (PeerId prov : d.discovered) {
+      const Peer& pr = peers_[prov.value];
+      if (pr.online && pr.shares && pr.storage.contains(d.object))
+        snap_providers_.push_back(prov);
+    }
+    std::sort(snap_providers_.begin(), snap_providers_.end());
+    for (PeerId prov : snap_providers_) {
+      snap.add_want(d.object, prov);
+      // Skip wants this provider is already serving us in a ring
+      // (close_objects' exclusion; want_providers keeps them).
+      if (const IrqEntry* e =
+              peers_[prov.value].irq.find(RequestKey{p.id, d.object});
+          e != nullptr && e->state == RequestState::kActiveExchange)
+        continue;
+      snap.add_closure(prov, d.object);
+    }
+  }
+}
+
+void System::refresh_bloom_summaries() {
+  const GraphSnapshot& snap = graph_snapshot();
+  if (bloom_all_dirty_) {
+    finder_.rebuild_summaries(snap, cfg_.bloom_expected_per_level,
+                              cfg_.bloom_fpp);
+  } else if (!bloom_dirty_.empty()) {
+    finder_.refresh_summaries(snap, bloom_dirty_,
+                              cfg_.bloom_expected_per_level, cfg_.bloom_fpp);
+  } else {
+    // Nothing moved since the last refresh: the summaries are already
+    // exactly what a rebuild would produce.
+    return;
+  }
+  bloom_all_dirty_ = false;
+  bloom_dirty_.clear();
+  ++bloom_dirty_epoch_;
 }
 
 std::vector<PeerId> System::requesters_of(PeerId provider) const {

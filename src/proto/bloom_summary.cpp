@@ -68,4 +68,9 @@ void BloomTreeSummary::clear() {
   for (auto& f : levels_) f.clear();
 }
 
+void BloomTreeSummary::clear_level(std::size_t k) {
+  P2PEX_ASSERT(k >= 1 && k <= levels_.size());
+  levels_[k - 1].clear();
+}
+
 }  // namespace p2pex

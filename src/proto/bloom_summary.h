@@ -60,6 +60,16 @@ class BloomTreeSummary {
 
   void clear();
 
+  /// Empties level `k` only — the incremental refresh re-derives one
+  /// level of one peer without touching the others.
+  void clear_level(std::size_t k);
+
+  /// Exact equality (every level's geometry, bits and counts); the
+  /// refresh-vs-rebuild audit relies on this.
+  friend bool operator==(const BloomTreeSummary& a, const BloomTreeSummary& b) {
+    return a.levels_ == b.levels_;
+  }
+
  private:
   std::vector<BloomFilter> levels_;  // levels_[k-1] = level k
 };

@@ -48,6 +48,12 @@ class BloomFilter {
   /// Fraction of bits set.
   double fill_ratio() const;
 
+  /// Exact equality: geometry, bit pattern and insert count.
+  friend bool operator==(const BloomFilter& a, const BloomFilter& b) {
+    return a.hashes_ == b.hashes_ && a.count_ == b.count_ &&
+           a.words_ == b.words_;
+  }
+
  private:
   std::size_t hashes_;
   std::size_t count_ = 0;

@@ -25,6 +25,13 @@ inline constexpr std::uint64_t kEventQueueFuzzSeeds[] = {21, 22, 23, 25, 28,
 inline constexpr std::uint64_t kGraphFuzzSeeds[] = {31, 32, 33, 35, 38,
                                                     53, 97};
 
+/// Seeds for the mutate/search interleaving patch fuzzer
+/// (test_graph_snapshot.cpp): randomized row mutations applied through
+/// the GraphSnapshot patch path (and the Bloom summary refresh) must
+/// stay bit-identical to a from-scratch rebuild.
+inline constexpr std::uint64_t kPatchFuzzSeeds[] = {51, 52, 53, 55, 58,
+                                                    71, 89};
+
 /// Seeds for the .scn mutation fuzzer (test_scenario_fuzz.cpp): random
 /// byte edits of a valid scenario must parse cleanly or raise
 /// ScenarioError — never crash or silently default.

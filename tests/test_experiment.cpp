@@ -5,6 +5,7 @@
 
 #include "core/experiment.h"
 #include "metrics/records.h"
+#include "support/scenario.h"
 
 namespace p2pex {
 namespace {
@@ -50,6 +51,21 @@ TEST(ExperimentUnits, RunResultTotals) {
   r.completed_sharing = 3;
   r.completed_nonsharing = 4;
   EXPECT_EQ(r.completed_total(), 7u);
+}
+
+TEST(ExperimentUnits, SummarizeRunCarriesSnapshotMaintenanceStats) {
+  System s(test::Scenario::small(7).build());
+  s.run();
+  const RunResult r = summarize_run(s);
+  const SystemCounters& c = s.counters();
+  EXPECT_EQ(r.snapshot_rebuilds, c.snapshot_rebuilds);
+  EXPECT_EQ(r.snapshot_patches, c.snapshot_patches);
+  EXPECT_EQ(r.dirty_rows_patched, c.dirty_rows_patched);
+  EXPECT_DOUBLE_EQ(r.snapshot_build_seconds,
+                   static_cast<double>(c.snapshot_build_ns) / 1e9);
+  // A real run maintains the snapshot: deltas dominate full rebuilds.
+  EXPECT_GT(r.snapshot_patches, 0u);
+  EXPECT_GT(r.snapshot_build_seconds, 0.0);
 }
 
 TEST(SessionEndNames, AllVariantsNamed) {

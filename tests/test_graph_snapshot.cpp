@@ -1,8 +1,10 @@
 // GraphSnapshot coverage: builder/query unit tests, randomized
 // equivalence of the snapshot-based ring search against a naive
-// reference implementation (the pre-snapshot per-call algorithm), and a
-// live audit that a running System's snapshot agrees with its naive
-// accessors.
+// reference implementation (the pre-snapshot per-call algorithm), the
+// patch-path fuzz (mutate/search interleavings must stay row-identical
+// to from-scratch rebuilds, for the snapshot and the Bloom summaries),
+// and live audits that a running System's snapshot — full-rebuilt or
+// dirty-patched — agrees with its naive accessors.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,9 +15,11 @@
 #include "core/exchange_finder.h"
 #include "core/graph_snapshot.h"
 #include "core/system.h"
+#include "scenario/driver.h"
 #include "support/fuzz_corpus.h"
 #include "support/graph_fixtures.h"
 #include "support/scenario.h"
+#include "util/rng.h"
 
 namespace p2pex {
 namespace {
@@ -330,6 +334,219 @@ INSTANTIATE_TEST_SUITE_P(Corpus, SnapshotEquivalence,
                          test::fuzz_seed_name);
 
 // ---------------------------------------------------------------------------
+// Patch path: unit tests + mutate/search interleaving fuzz. A snapshot
+// maintained through begin_patch()/patch_peer() must stay row-identical
+// to a from-scratch rebuild of the same model, and the incremental
+// Bloom summary refresh must reproduce a full rebuild bit for bit.
+// ---------------------------------------------------------------------------
+
+/// Mutable per-peer row model: rows regenerate randomly; emit() feeds
+/// them to a snapshot builder identically for full builds and patches.
+class PatchModel {
+ public:
+  PatchModel(std::size_t n, std::uint64_t seed) : n_(n), rng_(seed), rows_(n) {
+    for (std::uint32_t p = 0; p < n; ++p) regen(p);
+  }
+
+  /// Regenerates `count` random rows; returns the deduplicated dirty set.
+  std::vector<PeerId> mutate(std::size_t count) {
+    std::vector<PeerId> dirty;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto p = static_cast<std::uint32_t>(rng_.index(n_));
+      regen(p);
+      if (std::find(dirty.begin(), dirty.end(), PeerId{p}) == dirty.end())
+        dirty.push_back(PeerId{p});
+    }
+    return dirty;
+  }
+
+  void build_full(GraphSnapshot& snap) const {
+    snap.begin(n_);
+    for (std::uint32_t p = 0; p < n_; ++p) {
+      emit(snap, p);
+      snap.next_peer();
+    }
+    snap.finish();
+  }
+
+  void patch(GraphSnapshot& snap, const std::vector<PeerId>& dirty) const {
+    snap.begin_patch();
+    for (const PeerId p : dirty) {
+      snap.patch_peer(p);
+      emit(snap, p.value);
+      snap.seal_peer();
+    }
+    snap.finish_patch();
+  }
+
+ private:
+  struct Row {
+    std::vector<GraphEdge> edges;      // distinct requesters
+    std::vector<WantEdge> wants;       // emitted verbatim
+    std::vector<CloseEdge> closures;   // seal groups by provider
+  };
+
+  void regen(std::uint32_t p) {
+    Row& r = rows_[p];
+    r.edges.clear();
+    r.wants.clear();
+    r.closures.clear();
+    const std::size_t deg = rng_.index(6);
+    for (std::size_t i = 0; i < deg; ++i) {
+      const PeerId req{static_cast<std::uint32_t>(rng_.index(n_))};
+      const auto dup =
+          std::find_if(r.edges.begin(), r.edges.end(),
+                       [req](const GraphEdge& e) { return e.requester == req; });
+      if (dup != r.edges.end()) continue;
+      r.edges.push_back(
+          GraphEdge{req, ObjectId{static_cast<std::uint32_t>(rng_.index(50))}});
+    }
+    const std::size_t closers = rng_.index(4);
+    for (std::size_t i = 0; i < closers; ++i) {
+      const PeerId prov{static_cast<std::uint32_t>(rng_.index(n_))};
+      const ObjectId o{static_cast<std::uint32_t>(rng_.index(50))};
+      r.wants.push_back(WantEdge{o, prov});
+      r.closures.push_back(CloseEdge{prov, o});
+    }
+  }
+
+  void emit(GraphSnapshot& snap, std::uint32_t p) const {
+    const Row& r = rows_[p];
+    for (const GraphEdge& e : r.edges) snap.add_edge(e.requester, e.object);
+    for (const WantEdge& w : r.wants) snap.add_want(w.object, w.provider);
+    for (const CloseEdge& c : r.closures)
+      snap.add_closure(c.provider, c.object);
+  }
+
+  std::size_t n_;
+  Rng rng_;
+  std::vector<Row> rows_;
+};
+
+TEST(GraphSnapshotPatch, RewritesOnlyDirtyRows) {
+  GraphSnapshot g;
+  g.begin(3);
+  g.add_edge(PeerId{1}, ObjectId{5});
+  g.add_closure(PeerId{2}, ObjectId{7});
+  g.add_want(ObjectId{7}, PeerId{2});
+  g.next_peer();
+  g.add_edge(PeerId{0}, ObjectId{6});
+  g.next_peer();
+  g.next_peer();
+  g.finish();
+
+  // Rewrite peer 0: shrink the edge row, grow the closure row.
+  g.begin_patch();
+  g.patch_peer(PeerId{0});
+  g.add_closure(PeerId{2}, ObjectId{9});
+  g.add_closure(PeerId{1}, ObjectId{8});
+  g.seal_peer();
+  g.finish_patch();
+
+  EXPECT_TRUE(g.requesters_of(PeerId{0}).empty());
+  EXPECT_TRUE(g.want_providers(PeerId{0}).empty());
+  const auto c = g.closures_of(PeerId{0});
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0].provider, PeerId{1});  // seal still groups by provider
+  EXPECT_EQ(c[1].provider, PeerId{2});
+  // The stable row is untouched.
+  ASSERT_EQ(g.requesters_of(PeerId{1}).size(), 1u);
+  EXPECT_EQ(g.request_between(PeerId{1}, PeerId{0}), ObjectId{6});
+  // Live counts exclude the replaced row's slack.
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.num_closures(), 2u);
+  EXPECT_EQ(g.num_wants(), 0u);
+  EXPECT_EQ(g.edge_slack(), 1u);
+}
+
+TEST(GraphSnapshotPatch, EmptyPatchIsANoOp) {
+  PatchModel model(20, 7);
+  GraphSnapshot a, b;
+  model.build_full(a);
+  model.build_full(b);
+  a.begin_patch();
+  a.finish_patch();
+  EXPECT_TRUE(a.rows_equal(b));
+}
+
+TEST(GraphSnapshotPatch, CompactionBoundsSlack) {
+  PatchModel model(50, 11);
+  GraphSnapshot snap;
+  model.build_full(snap);
+  // Hundreds of row rewrites: slack must stay within one live size (+
+  // slop) of the arena, or compaction is not running.
+  for (int round = 0; round < 300; ++round) {
+    model.patch(snap, model.mutate(5));
+    EXPECT_LE(snap.edge_slack(),
+              snap.num_edges() + GraphSnapshot::kCompactSlop);
+    EXPECT_LE(snap.closure_slack(),
+              snap.num_closures() + GraphSnapshot::kCompactSlop);
+    EXPECT_LE(snap.want_slack(),
+              snap.num_wants() + GraphSnapshot::kCompactSlop);
+  }
+  GraphSnapshot fresh;
+  model.build_full(fresh);
+  EXPECT_TRUE(snap.rows_equal(fresh));
+}
+
+class PatchFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PatchFuzz, PatchedSnapshotMatchesFromScratchRebuild) {
+  PatchModel model(60, GetParam());
+  GraphSnapshot live, fresh;
+  model.build_full(live);
+  ExchangeFinder live_finder(ExchangePolicy::kShortestFirst, 5,
+                             TreeMode::kFullTree);
+  ExchangeFinder fresh_finder(ExchangePolicy::kShortestFirst, 5,
+                              TreeMode::kFullTree);
+  Rng rounds(GetParam() ^ 0xABCDEF);
+  for (int round = 0; round < 40; ++round) {
+    model.patch(live, model.mutate(1 + rounds.index(8)));
+    model.build_full(fresh);
+    ASSERT_TRUE(live.rows_equal(fresh)) << "round " << round;
+    // Interleaved searches: proposals over the patched arenas must be
+    // byte-identical to the contiguous rebuild's.
+    for (int s = 0; s < 5; ++s) {
+      const PeerId root{static_cast<std::uint32_t>(rounds.index(60))};
+      expect_same_proposals(live_finder.find(live, root, 8),
+                            fresh_finder.find(fresh, root, 8),
+                            "round " + std::to_string(round));
+    }
+  }
+}
+
+TEST_P(PatchFuzz, RefreshedBloomSummariesMatchFullRebuild) {
+  PatchModel model(60, GetParam() ^ 0x5EED);
+  GraphSnapshot live, fresh;
+  model.build_full(live);
+  ExchangeFinder inc(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  ExchangeFinder scratch(ExchangePolicy::kShortestFirst, 5, TreeMode::kBloom);
+  inc.rebuild_summaries(live, 32, 0.05);
+  Rng rounds(GetParam() ^ 0xF00D);
+  for (int round = 0; round < 40; ++round) {
+    const std::vector<PeerId> dirty = model.mutate(1 + rounds.index(8));
+    model.patch(live, dirty);
+    model.build_full(fresh);
+    ASSERT_TRUE(live.rows_equal(fresh)) << "round " << round;
+    inc.refresh_summaries(live, dirty, 32, 0.05);
+    scratch.rebuild_summaries(fresh, 32, 0.05);
+    // Bit-for-bit: every peer's per-level filters (geometry, bits and
+    // insert counts) must match a from-scratch build.
+    ASSERT_EQ(inc.summaries(), scratch.summaries()) << "round " << round;
+    for (int s = 0; s < 5; ++s) {
+      const PeerId root{static_cast<std::uint32_t>(rounds.index(60))};
+      expect_same_proposals(inc.find(live, root, 8),
+                            scratch.find(fresh, root, 8),
+                            "bloom round " + std::to_string(round));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, PatchFuzz,
+                         ::testing::ValuesIn(test::kPatchFuzzSeeds),
+                         test::fuzz_seed_name);
+
+// ---------------------------------------------------------------------------
 // Live System audit: the lazily rebuilt snapshot must agree with the
 // naive accessors at any reachable state.
 // ---------------------------------------------------------------------------
@@ -386,20 +603,71 @@ TEST(SystemSnapshot, AgreesWithNaiveAccessorsAcrossTheRun) {
   }
 }
 
-TEST(SystemSnapshot, RebuildsAtMostOncePerMutationEpoch) {
+TEST(SystemSnapshot, AgreesWithNaiveAccessorsUnderChurn) {
+  // Population dynamics are the states the dirty-peer delta path must
+  // get right: offline providers drop out of other roots' closure rows,
+  // sharing flips move closer eligibility, rejoins bring rows back.
+  scenario::SpecBuilder b;
+  b.name("snapshot-churn-audit");
+  b.config() = test::Scenario::small(77).build();
+  b.churn(0.0, 4000.0, 250.0, 1e-3, 4e-3);
+  b.freeride_wave(800.0, 0.3, 1500.0);
+  b.flash_crowd(1500.0, CategoryId{0}, 0.5, 1000.0);
+  scenario::Driver driver(b.build());
+  for (const double t : {600.0, 1200.0, 2000.0, 3000.0, 4000.0}) {
+    driver.run_to(t);
+    audit_snapshot_against_naive(driver.system());
+  }
+  EXPECT_GT(driver.system().counters().peer_departures, 0u);
+  EXPECT_GT(driver.system().snapshot_patches(), 0u);
+}
+
+TEST(SystemSnapshot, MaintainsAtMostOncePerMutationEpoch) {
   System s(test::Scenario::view().build());
   s.run_to(2500.0);
-  // Caching: repeated reads with no mutation in between never rebuild.
+  // Caching: repeated reads with no mutation in between never rebuild
+  // or patch.
   (void)s.graph_snapshot();
   const std::uint64_t rebuilds = s.snapshot_rebuilds();
+  const std::uint64_t patches = s.snapshot_patches();
   (void)s.graph_snapshot();
   (void)s.graph_snapshot();
   EXPECT_EQ(s.snapshot_rebuilds(), rebuilds);
+  EXPECT_EQ(s.snapshot_patches(), patches);
   // Amortization: the run's searches shared snapshots — strictly fewer
-  // rebuilds than ring searches (the point of epoch-keyed laziness).
-  EXPECT_GT(rebuilds, 0u);
+  // maintenance passes than ring searches.
+  EXPECT_GT(rebuilds, 0u);  // at least the first-read full build
+  EXPECT_GT(patches, 0u);
   ASSERT_GT(s.finder_stats().searches, 0u);
-  EXPECT_LT(rebuilds, s.finder_stats().searches);
+  EXPECT_LT(rebuilds + patches, s.finder_stats().searches);
+  // Full rebuilds are the rare path now: deltas dominate.
+  EXPECT_GT(patches, rebuilds);
+}
+
+// Pinned maintenance trajectory of the Scenario::view() run (recorded
+// from a Release build; Debug matches — the counters are clock-free).
+constexpr std::uint64_t kPinSnapshotRebuilds = 20;
+constexpr std::uint64_t kPinSnapshotPatches = 273;
+constexpr std::uint64_t kPinDirtyRowsPatched = 1513;
+
+TEST(SystemSnapshot, MaintenanceCountersPinned) {
+  // Deterministic run → exact maintenance trajectory. Re-record like
+  // test_golden_paper.cpp if a mechanism change legitimately moves the
+  // numbers; dirty_rows_patched / snapshot_patches must stay small
+  // relative to rows-rebuilt-per-epoch under the old full-rebuild
+  // scheme (peers * patches).
+  System s(test::Scenario::view().build());
+  s.run();
+  const SystemCounters& c = s.counters();
+  EXPECT_EQ(c.snapshot_rebuilds, kPinSnapshotRebuilds);
+  EXPECT_EQ(c.snapshot_patches, kPinSnapshotPatches);
+  EXPECT_EQ(c.dirty_rows_patched, kPinDirtyRowsPatched);
+  // Mean dirty set well under the population (the point of the deltas).
+  EXPECT_LT(c.dirty_rows_patched,
+            c.snapshot_patches * s.num_peers() / 4);
+  // Build time is wall clock (not pinned), but it must have been
+  // accumulated by the maintenance passes.
+  EXPECT_GT(c.snapshot_build_ns, 0u);
 }
 
 }  // namespace

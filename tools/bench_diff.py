@@ -1,16 +1,29 @@
 #!/usr/bin/env python3
-"""Diff two Google Benchmark JSON outputs and fail on time regressions.
+"""Diff two Google Benchmark JSON outputs and fail on regressions.
 
 Usage:
     bench_diff.py BASELINE.json CURRENT.json [--threshold 0.15]
-                  [--metric real_time]
+                  [--metric real_time] [--alloc-threshold 0.15]
 
-Benchmarks are matched by name. The tool prints one row per benchmark
-(baseline, current, delta) and exits non-zero when any matched benchmark
-regressed by more than the threshold (default +15% time). Benchmarks
-present on only one side are reported but never fail the run, so adding
-or retiring benchmarks doesn't break CI; a missing baseline file is a
-clean pass (first run has nothing to compare against).
+Benchmarks are matched by name. Two metric families are compared:
+
+  * the time metric (--metric, default real_time), failing on a
+    fractional slowdown beyond --threshold (default +15%);
+  * every allocation counter (any per-benchmark counter whose name
+    starts with "allocs", e.g. allocs_per_search / allocs_per_epoch),
+    failing beyond --alloc-threshold (default +15%) — the regression
+    guard for the allocation-free hot paths. Sub-alloc jitter is noise,
+    so the absolute increase must exceed 0.5 allocs/op; a near-zero
+    baseline (< 1 alloc/op — an allocation-free path) fails on the
+    absolute increase alone, since any relative delta is meaningless
+    there and losing the allocation-free property is exactly what the
+    gate exists to catch.
+
+The tool prints one row per (benchmark, metric) pair and exits non-zero
+when anything regressed. Benchmarks — or counters — present on only one
+side are reported but never fail the run, so adding or retiring benches
+(or their counters) between runs doesn't break CI; a missing baseline
+file is a clean pass (first run has nothing to compare against).
 """
 
 import argparse
@@ -20,7 +33,8 @@ import sys
 
 
 def load_benchmarks(path, metric):
-    """Returns {name: metric_value} from a Google Benchmark JSON file."""
+    """Returns {name: {metric_name: value}} from a Google Benchmark JSON
+    file, keeping the requested time metric plus every alloc counter."""
     with open(path) as f:
         data = json.load(f)
     out = {}
@@ -30,9 +44,16 @@ def load_benchmarks(path, metric):
         if bench.get("run_type") == "aggregate":
             continue
         name = bench.get("name")
-        if name is None or metric not in bench:
+        if name is None:
             continue
-        out[name] = float(bench[metric])
+        metrics = {}
+        if metric in bench:
+            metrics[metric] = float(bench[metric])
+        for key, value in bench.items():
+            if key.startswith("allocs") and isinstance(value, (int, float)):
+                metrics[key] = float(value)
+        if metrics:
+            out[name] = metrics
     return out
 
 
@@ -51,6 +72,13 @@ def main():
         default="real_time",
         help="benchmark JSON field to compare (default real_time)",
     )
+    parser.add_argument(
+        "--alloc-threshold",
+        type=float,
+        default=0.15,
+        help="fractional allocs-per-op increase that fails the job "
+        "(default 0.15)",
+    )
     args = parser.parse_args()
 
     if not os.path.exists(args.baseline):
@@ -65,31 +93,50 @@ def main():
         return 1
 
     regressions = []
-    width = max((len(n) for n in (set(old) | set(new))), default=4)
-    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    rows = []  # (label, old_value, new_value, note)
     for name in sorted(set(old) | set(new)):
         if name not in old:
-            print(f"{name:<{width}}  {'—':>12}  {new[name]:>12.1f}  (new)")
+            rows.append((name, None, new[name].get(args.metric), "(new)"))
             continue
         if name not in new:
-            print(f"{name:<{width}}  {old[name]:>12.1f}  {'—':>12}  (gone)")
+            rows.append((name, old[name].get(args.metric), None, "(gone)"))
             continue
-        delta = (new[name] - old[name]) / old[name] if old[name] > 0 else 0.0
-        flag = ""
-        if delta > args.threshold:
-            flag = "  <-- REGRESSION"
-            regressions.append((name, delta))
-        print(f"{name:<{width}}  {old[name]:>12.1f}  {new[name]:>12.1f}  "
-              f"{delta:+7.1%}{flag}")
+        for key in sorted(set(old[name]) | set(new[name])):
+            label = name if key == args.metric else f"{name} [{key}]"
+            if key not in old[name] or key not in new[name]:
+                rows.append((label, old[name].get(key), new[name].get(key),
+                             "(one side)"))
+                continue
+            o, n = old[name][key], new[name][key]
+            delta = (n - o) / o if o > 0 else 0.0
+            if key == args.metric:
+                regressed = delta > args.threshold
+            elif o < 1.0:  # allocation-free baseline: absolute test only
+                regressed = n - o > 0.5
+            else:  # alloc counter: relative + absolute noise guards
+                regressed = n - o > 0.5 and delta > args.alloc_threshold
+            shown = f"{delta:+7.1%}" if o > 0 else f"(was {o:g})"
+            note = shown
+            if regressed:
+                note += "  <-- REGRESSION"
+                regressions.append((label, shown.strip()))
+            rows.append((label, o, n, note))
+
+    width = max((len(r[0]) for r in rows), default=9)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for label, o, n, note in rows:
+        fo = f"{o:.1f}" if o is not None else "—"
+        fn = f"{n:.1f}" if n is not None else "—"
+        print(f"{label:<{width}}  {fo:>12}  {fn:>12}  {note}")
 
     if regressions:
-        print(f"\nbench_diff: {len(regressions)} benchmark(s) regressed "
-              f"more than {args.threshold:.0%}:")
-        for name, delta in regressions:
-            print(f"  {name}: {delta:+.1%}")
+        print(f"\nbench_diff: {len(regressions)} metric(s) regressed beyond "
+              f"their threshold (time {args.threshold:.0%}, allocs "
+              f"{args.alloc_threshold:.0%}):")
+        for label, shown in regressions:
+            print(f"  {label}: {shown}")
         return 1
-    print(f"\nbench_diff: OK ({len(new)} benchmarks within "
-          f"{args.threshold:.0%})")
+    print(f"\nbench_diff: OK ({len(new)} benchmarks within thresholds)")
     return 0
 
 
