@@ -3,38 +3,70 @@
 //
 //   ./build/examples/scenario_runner examples/flash_crowd.scn
 //   ./build/examples/scenario_runner --print examples/flash_crowd.scn
+//   ./build/examples/scenario_runner --threads 8 examples/flash_crowd.scn
+//   ./build/examples/scenario_runner --stable examples/flash_crowd.scn
 //
 // --print dumps the parsed scenario back in canonical form (useful to
 // check what a hand-written file actually means) without running it.
+// --threads N overrides the scenario's worker-thread knob (execution
+// strategy only: results are bit-identical at any thread count).
+// --stable omits the wall-clock figures from the output, so two runs of
+// the same scenario — at any thread counts — must be byte-identical;
+// the CI replay-determinism job diffs exactly this output across
+// threads=1/2/8.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "p2pex/p2pex.h"
 
+namespace {
+int usage() {
+  std::fprintf(stderr,
+               "usage: scenario_runner [--print] [--stable] [--threads N] "
+               "<file.scn>\n");
+  return 2;
+}
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace p2pex;
 
   bool print_only = false;
+  bool stable = false;
+  std::size_t threads_override = 0;  // 0 = keep the scenario's knob
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--print") == 0) {
       print_only = true;
+    } else if (std::strcmp(argv[i], "--stable") == 0) {
+      stable = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || parsed < 1) return usage();
+      threads_override = parsed;
     } else if (path.empty()) {
       path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: scenario_runner [--print] <file.scn>\n");
-      return 2;
+      return usage();
     }
   }
-  if (path.empty()) {
-    std::fprintf(stderr, "usage: scenario_runner [--print] <file.scn>\n");
-    return 2;
-  }
+  if (path.empty()) return usage();
 
   scenario::Spec spec;
   try {
     spec = scenario::Spec::parse_file(path);
+    if (threads_override != 0) {
+      // An explicit flag must win outright: drop any ambient
+      // P2PEX_THREADS, which would otherwise override a --threads 1
+      // (indistinguishable from the config default).
+      unsetenv("P2PEX_THREADS");
+      spec.config.threads = threads_override;
+      spec.validate();
+    }
   } catch (const scenario::ScenarioError& e) {
     std::fprintf(stderr, "scenario error: %s\n", e.what());
     return 1;
@@ -69,13 +101,32 @@ int main(int argc, char** argv) {
   std::printf("rings:    %llu formed, %llu preemptions\n",
               static_cast<unsigned long long>(r.rings_formed),
               static_cast<unsigned long long>(r.preemptions));
-  std::printf(
-      "snapshot: %llu full rebuilds, %llu patches (%llu dirty rows), "
-      "%.1f ms maintaining the request graph\n\n",
-      static_cast<unsigned long long>(r.snapshot_rebuilds),
-      static_cast<unsigned long long>(r.snapshot_patches),
-      static_cast<unsigned long long>(r.dirty_rows_patched),
-      r.snapshot_build_seconds * 1e3);
-  std::printf("%s", format_report(system.metrics()).c_str());
+  if (stable) {
+    // Deterministic subset only: no wall-clock time, nothing that
+    // varies with the thread count or the machine.
+    std::printf("snapshot: %llu full rebuilds, %llu patches (%llu dirty rows)\n",
+                static_cast<unsigned long long>(r.snapshot_rebuilds),
+                static_cast<unsigned long long>(r.snapshot_patches),
+                static_cast<unsigned long long>(r.dirty_rows_patched));
+  } else {
+    std::printf(
+        "snapshot: %llu full rebuilds, %llu patches (%llu dirty rows), "
+        "%.1f ms maintaining the request graph\n",
+        static_cast<unsigned long long>(r.snapshot_rebuilds),
+        static_cast<unsigned long long>(r.snapshot_patches),
+        static_cast<unsigned long long>(r.dirty_rows_patched),
+        r.snapshot_build_seconds * 1e3);
+    const SpeculationStats& sp = system.speculation_stats();
+    std::printf(
+        "parallel: %zu threads, %llu speculation passes "
+        "(%llu searches: %llu consumed, %llu stale, %llu unused)\n",
+        system.threads(),
+        static_cast<unsigned long long>(sp.passes),
+        static_cast<unsigned long long>(sp.speculated),
+        static_cast<unsigned long long>(sp.consumed),
+        static_cast<unsigned long long>(sp.stale),
+        static_cast<unsigned long long>(sp.unused));
+  }
+  std::printf("\n%s", format_report(system.metrics()).c_str());
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/config.h"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace p2pex {
@@ -45,6 +46,26 @@ void SimConfig::validate() const {
   if (sim_duration <= 0.0) fail("sim_duration must be positive");
   if (warmup_fraction < 0.0 || warmup_fraction >= 1.0)
     fail("warmup_fraction must be in [0, 1)");
+  if (threads < 1 || threads > kMaxThreads)
+    fail("threads must be in [1, " + std::to_string(kMaxThreads) + "]");
+}
+
+std::size_t SimConfig::effective_threads() const {
+  std::size_t t = threads;
+  if (t == 1) {
+    if (const char* env = std::getenv("P2PEX_THREADS");
+        env != nullptr && *env != '\0' &&
+        // strtoul silently wraps negative input ("-1" -> ULONG_MAX);
+        // reject it up front so a typo can't spawn kMaxThreads workers.
+        std::string(env).find('-') == std::string::npos) {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != nullptr && *end == '\0' && parsed >= 1) t = parsed;
+    }
+  }
+  if (t < 1) t = 1;
+  if (t > kMaxThreads) t = kMaxThreads;
+  return t;
 }
 
 std::string SimConfig::describe() const {
@@ -82,7 +103,8 @@ std::string SimConfig::describe() const {
      << " retry=" << request_retry_interval << "s"
      << " duration=" << sim_duration << "s"
      << " warmup=" << warmup_fraction
-     << " seed=" << seed;
+     << " seed=" << seed
+     << " threads=" << threads;
   return os.str();
 }
 

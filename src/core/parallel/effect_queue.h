@@ -1,0 +1,85 @@
+// Per-shard ordered effect queues with a deterministic merge.
+//
+// A parallel phase must not mutate shared state from workers; instead
+// each shard appends its cross-shard effects (ring-search results, RNG
+// draws, counter increments — whatever the phase produces) to its own
+// queue, and the coordinator replays them in *shard-then-sequence*
+// order: shard 0's effects in append order, then shard 1's, and so on.
+// With shards cut as contiguous ranges of an ordered worklist
+// (ShardMap), that replay order equals the worklist order — so the
+// merged outcome is bit-identical for every shard count, including one.
+//
+// Effects are recycled, not destroyed, between passes: reset() only
+// rewinds per-shard watermarks, and emplace() hands back a slot whose
+// previous payload (and any buffers it owns) is still alive for the
+// caller to overwrite in place — steady-state passes reuse every
+// per-effect buffer's capacity instead of reallocating it.
+//
+// The queues themselves are single-writer per shard (the worker that
+// claimed the shard) and are only read by the coordinator after the
+// phase barrier; the WorkerPool's mutex provides the happens-before.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace p2pex::parallel {
+
+template <class Effect>
+class EffectQueues {
+ public:
+  /// Prepares `shards` logically empty queues by rewinding their
+  /// watermarks; slots (and their buffers) survive for reuse.
+  void reset(std::size_t shards) {
+    if (queues_.size() < shards) queues_.resize(shards);
+    if (used_.size() < shards) used_.resize(shards, 0);
+    active_ = shards;
+    for (std::size_t s = 0; s < active_; ++s) used_[s] = 0;
+  }
+
+  [[nodiscard]] std::size_t shards() const { return active_; }
+
+  /// Next slot of shard `s` (recycled when available). The caller must
+  /// overwrite every field it reads back later — the slot still holds
+  /// the previous pass's payload. Workers call this for exactly their
+  /// own shard.
+  [[nodiscard]] Effect& emplace(std::size_t s) {
+    P2PEX_ASSERT(s < active_);
+    std::vector<Effect>& q = queues_[s];
+    if (used_[s] == q.size()) q.emplace_back();
+    return q[used_[s]++];
+  }
+
+  [[nodiscard]] std::size_t size(std::size_t s) const {
+    P2PEX_ASSERT(s < active_);
+    return used_[s];
+  }
+
+  [[nodiscard]] std::size_t total() const {
+    std::size_t n = 0;
+    for (std::size_t s = 0; s < active_; ++s) n += used_[s];
+    return n;
+  }
+
+  /// Visits every live effect in shard-then-sequence order (the merge).
+  template <class Fn>
+  void merge(Fn&& fn) {
+    for (std::size_t s = 0; s < active_; ++s)
+      for (std::size_t i = 0; i < used_[s]; ++i) fn(queues_[s][i]);
+  }
+  template <class Fn>
+  void merge(Fn&& fn) const {
+    for (std::size_t s = 0; s < active_; ++s)
+      for (std::size_t i = 0; i < used_[s]; ++i) fn(queues_[s][i]);
+  }
+
+ private:
+  std::vector<std::vector<Effect>> queues_;
+  std::vector<std::size_t> used_;  ///< per-shard live-slot watermark
+  std::size_t active_ = 0;
+};
+
+}  // namespace p2pex::parallel

@@ -1,0 +1,28 @@
+#include "core/parallel/shard_rng.h"
+
+namespace p2pex::parallel {
+
+namespace {
+/// splitmix64 finalizer — the same mix Rng seeding uses, applied to the
+/// (seed, shard) pair so adjacent shard indices land on unrelated
+/// streams.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+std::uint64_t ShardRngs::stream_seed(std::uint64_t seed, std::size_t s) {
+  return mix64(mix64(seed) ^ (0xA0761D6478BD642FULL *
+                              (static_cast<std::uint64_t>(s) + 1)));
+}
+
+ShardRngs::ShardRngs(std::uint64_t seed, std::size_t shards) {
+  streams_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s)
+    streams_.emplace_back(stream_seed(seed, s));
+}
+
+}  // namespace p2pex::parallel

@@ -1,0 +1,46 @@
+// Deterministic per-shard random streams.
+//
+// The engine keeps every simulation-visible RNG draw on the coordinator
+// (see System: drains are draw-free, so the parallel search phase needs
+// no randomness). Phases that *do* need stochastic work on workers —
+// parallel workload generation in the benches today, a sharded eviction
+// sweep tomorrow — draw from ShardRngs instead of the System stream:
+// stream `s` is derived from (seed, s) alone, so it does not move when
+// other streams draw more or less, and a run's draws are fully
+// determined by the seed and the shard layout. Replaying per-stream
+// draws through an EffectQueues merge applies them in shard-then-
+// sequence order on the coordinator, keeping the *application* order
+// deterministic even though the draws happened concurrently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace p2pex::parallel {
+
+class ShardRngs {
+ public:
+  /// `shards` independent streams derived from `seed`. Stream `s` is a
+  /// pure function of (seed, s): growing or shrinking the pool leaves
+  /// the surviving streams' draw sequences untouched.
+  ShardRngs(std::uint64_t seed, std::size_t shards);
+
+  [[nodiscard]] std::size_t shards() const { return streams_.size(); }
+
+  [[nodiscard]] Rng& stream(std::size_t s) {
+    P2PEX_ASSERT(s < streams_.size());
+    return streams_[s];
+  }
+
+  /// The seed stream `s` was constructed from (tests pin the derivation).
+  [[nodiscard]] static std::uint64_t stream_seed(std::uint64_t seed,
+                                                 std::size_t s);
+
+ private:
+  std::vector<Rng> streams_;
+};
+
+}  // namespace p2pex::parallel

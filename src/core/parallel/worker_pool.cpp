@@ -1,0 +1,92 @@
+#include "core/parallel/worker_pool.h"
+
+#include "util/assert.h"
+
+namespace p2pex::parallel {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  if (threads <= 1) return;
+  helpers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i)
+    helpers_.emplace_back([this] { helper_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : helpers_) t.join();
+}
+
+void WorkerPool::run_impl(std::size_t shards, ShardFn fn, void* ctx) {
+  if (shards == 0) return;
+  if (helpers_.empty()) {
+    for (std::size_t s = 0; s < shards; ++s) fn(ctx, s);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    P2PEX_ASSERT_MSG(job_fn_ == nullptr, "WorkerPool::run is not reentrant");
+    job_fn_ = fn;
+    job_ctx_ = ctx;
+    job_shards_ = shards;
+    next_shard_ = 0;
+    pending_ = shards;
+    error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  work();  // the caller is a worker too
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return pending_ == 0; });
+  job_fn_ = nullptr;
+  job_ctx_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void WorkerPool::work() {
+  for (;;) {
+    ShardFn fn = nullptr;
+    void* ctx = nullptr;
+    std::size_t shard = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (job_fn_ == nullptr || next_shard_ >= job_shards_) return;
+      fn = job_fn_;
+      ctx = job_ctx_;
+      shard = next_shard_++;
+    }
+    try {
+      fn(ctx, shard);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::helper_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    work();
+  }
+}
+
+}  // namespace p2pex::parallel

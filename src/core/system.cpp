@@ -17,7 +17,8 @@ System::System(const SimConfig& config, const PopulationPlan& plan)
       catalog_(cfg_.catalog, rng_),
       finder_(cfg_.policy, cfg_.max_ring_size, cfg_.tree_mode,
               cfg_.bloom_hop_budget),
-      metrics_(cfg_.warmup()) {
+      metrics_(cfg_.warmup()),
+      threads_(cfg_.effective_threads()) {
   build_peers(plan);
   place_initial_objects();
 }
@@ -52,6 +53,8 @@ void System::build_peers(const PopulationPlan& plan) {
   bloom_dirty_stamp_.assign(n, 0);
   watchers_.assign(n, {});
   snap_seen_.assign(n, 0);
+  last_touch_seq_.assign(n, 0);
+  spec_slot_.assign(n, 0);
 
   if (plan.empty()) {
     // Homogeneous Table II population: exactly round(n * fraction)

@@ -242,6 +242,11 @@ void System::mark_dirty(PeerId p) { dirty_.insert(p); }
 void System::drain_dirty() {
   if (draining_) return;
   draining_ = true;
+  // Parallel phase first (threads > 1): speculate the drain's ring
+  // searches against the immutable snapshot on the worker pool. The
+  // serial loop below is the merge phase — it consumes still-valid
+  // speculations in place of live searches (see ring_candidates).
+  if (threads_ > 1 && !dirty_.empty()) speculate_searches();
   std::uint64_t guard = 0;
   while (!dirty_.empty()) {
     P2PEX_ASSERT_MSG(++guard < 5'000'000, "scheduling pass diverged");
@@ -249,6 +254,9 @@ void System::drain_dirty() {
     dirty_.erase(dirty_.begin());
     process_peer(p);
   }
+  // Speculations are drain-local: Bloom summaries may refresh between
+  // drains, which a read-set check cannot see.
+  clear_speculations();
   draining_ = false;
 }
 
@@ -264,17 +272,8 @@ void System::process_peer(PeerId pid) {
     // Ring formation rounds: each successful ring changes the graph, so
     // re-search until nothing more validates (bounded by upload slots).
     for (int round = 0; round < p.upload_slots + 1; ++round) {
-      bool can_serve = p.free_upload_slots() > 0;
-      if (!can_serve && cfg_.preemption) {
-        for (SessionId sid : p.uploads)
-          if (!sessions_[sid.value].ring.valid()) {
-            can_serve = true;
-            break;
-          }
-      }
-      if (!can_serve) break;
-      const auto candidates = finder_.find(graph_snapshot(), pid,
-                                           cfg_.max_ring_attempts_per_search);
+      if (!upload_capacity_available(p)) break;
+      const auto candidates = ring_candidates(pid);
       bool formed = false;
       for (const RingProposal& proposal : candidates) {
         ++counters_.ring_attempts;
@@ -417,6 +416,14 @@ bool System::try_form_ring(const RingProposal& proposal) {
   ++counters_.rings_formed;
   ++counters_.rings_by_size[std::min<std::size_t>(n, 8)];
   return true;
+}
+
+bool System::upload_capacity_available(const Peer& p) const {
+  if (p.free_upload_slots() > 0) return true;
+  if (!cfg_.preemption) return false;
+  for (const SessionId sid : p.uploads)
+    if (!sessions_[sid.value].ring.valid()) return true;
+  return false;
 }
 
 IrqEntry* System::pick_non_exchange(Peer& provider) {

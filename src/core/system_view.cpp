@@ -13,6 +13,10 @@
 namespace p2pex {
 
 void System::touch_graph(PeerId p) {
+  // Row-touch recency for speculation validity: unconditional (the
+  // dirty-list stamps below reset on every snapshot read; recency must
+  // survive them).
+  last_touch_seq_[p.value] = ++touch_seq_;
   if (!graph_all_dirty_ &&
       graph_dirty_stamp_[p.value] != graph_dirty_epoch_) {
     graph_dirty_stamp_[p.value] = graph_dirty_epoch_;

@@ -32,6 +32,8 @@ struct RingProposal {
 
   [[nodiscard]] std::size_t size() const { return links.size(); }
 
+  friend bool operator==(const RingProposal&, const RingProposal&) = default;
+
   /// Structural well-formedness (closure + distinct members). Does not
   /// check live state — that is the token walk's job.
   [[nodiscard]] bool well_formed() const;

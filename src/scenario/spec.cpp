@@ -308,6 +308,9 @@ const Knob kKnobs[] = {
     {"seed",
      [](SimConfig& c, const std::string& v) { c.seed = parse_u64(v); },
      [](const SimConfig& c) { return std::to_string(c.seed); }},
+    {"threads",
+     [](SimConfig& c, const std::string& v) { c.threads = parse_size(v); },
+     [](const SimConfig& c) { return std::to_string(c.threads); }},
 };
 
 }  // namespace

@@ -38,6 +38,13 @@ inline constexpr std::uint64_t kPatchFuzzSeeds[] = {51, 52, 53, 55, 58,
 inline constexpr std::uint64_t kScenarioFuzzSeeds[] = {41, 42, 43, 45, 48,
                                                        61, 83};
 
+/// Seeds for the shard-count invariance fuzzer (test_parallel_fuzz.cpp):
+/// the same (seed, config) run at K ∈ {1, 2, 3, 8} worker threads must
+/// produce identical snapshots, proposals, counters, finder stats and
+/// metrics — the parallel engine's effect-queue merge contract.
+inline constexpr std::uint64_t kParallelFuzzSeeds[] = {71, 72, 73, 75, 78,
+                                                       91, 107};
+
 /// Names a parameterized fuzz instance "seed<N>" so the CTest case list
 /// reads as the corpus itself.
 inline std::string fuzz_seed_name(

@@ -91,7 +91,7 @@ TEST(Config, DescribePinsEveryKnob) {
       "cats/peer=[1,8] fill=0.5 irq=1000 pending=6 lookup=0.5 providers=8 "
       "policy=2-5-way attempts=8 scheduler=fifo liars=0 preemption=on "
       "tree=full-tree bloom=[64,0.02,256] search=30s evict=60s retry=60s "
-      "duration=30000s warmup=0.2 seed=1");
+      "duration=30000s warmup=0.2 seed=1 threads=1");
 }
 
 // --- Policy labels ---

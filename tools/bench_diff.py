@@ -19,6 +19,13 @@ Benchmarks are matched by name. Two metric families are compared:
     there and losing the allocation-free property is exactly what the
     gate exists to catch.
 
+Benchmarks are compared strictly like-for-like: a thread-sweep variant
+(".../threads:8") is only ever diffed against the same thread count in
+the baseline. Matching is by full benchmark name, which encodes the
+thread count; if one side spells the argument positionally ("BM_X/8")
+and the other named ("BM_X/threads:8"), the names are canonicalized so
+the same thread count still pairs up (and never a different one).
+
 The tool prints one row per (benchmark, metric) pair and exits non-zero
 when anything regressed. Benchmarks — or counters — present on only one
 side are reported but never fail the run, so adding or retiring benches
@@ -29,15 +36,27 @@ file is a clean pass (first run has nothing to compare against).
 import argparse
 import json
 import os
+import re
 import sys
+
+
+def canonical_name(name):
+    """Canonical benchmark identity: strips Google Benchmark arg-name
+    prefixes ("threads:8" -> "8") so renaming a positional arg to a
+    named one between runs still pairs identical configurations — and
+    only identical ones, since the value itself stays in the key."""
+    parts = name.split("/")
+    return "/".join(re.sub(r"^[A-Za-z_][A-Za-z0-9_]*:", "", p) for p in parts)
 
 
 def load_benchmarks(path, metric):
     """Returns {name: {metric_name: value}} from a Google Benchmark JSON
-    file, keeping the requested time metric plus every alloc counter."""
+    file, keeping the requested time metric plus every alloc counter.
+    Names are canonicalized (see canonical_name) unless that would
+    collide two distinct benchmarks, in which case the raw names stay."""
     with open(path) as f:
         data = json.load(f)
-    out = {}
+    rows = []
     for bench in data.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev of repetitions); the
         # raw iterations are what successive CI runs compare.
@@ -53,7 +72,15 @@ def load_benchmarks(path, metric):
             if key.startswith("allocs") and isinstance(value, (int, float)):
                 metrics[key] = float(value)
         if metrics:
-            out[name] = metrics
+            rows.append((name, metrics))
+    counts = {}
+    for name, _ in rows:
+        key = canonical_name(name)
+        counts[key] = counts.get(key, 0) + 1
+    out = {}
+    for name, metrics in rows:
+        key = canonical_name(name)
+        out[key if counts[key] == 1 else name] = metrics
     return out
 
 
