@@ -1,0 +1,176 @@
+// BM_CapacitySweep: how far one simulation instance scales.
+//
+// Builds and runs a System at 100k / 500k / 1M peers (override the scale
+// list with argv: `capacity_sweep 100000 1000000`) on the capacity
+// configuration: calibrated defaults with the catalog scaled so
+// per-object replica counts — and therefore discovered-span lengths and
+// IRQ pressure per provider — stay constant across scales, making
+// bytes/peer comparable between the 100k and 1M rows.
+//
+// Two figures are tracked per scale:
+//
+//   bytes_per_peer              — System::memory_footprint().total() / N:
+//                                 the deterministic capacity-accounting
+//                                 estimate (container capacities), the
+//                                 number the >15% bench_diff gate pins.
+//   sim_seconds_per_wall_second — simulated seconds advanced per wall
+//                                 second over the measured window
+//                                 (initial request burst excluded).
+//
+// Peak RSS (getrusage) is reported alongside as ground truth for the
+// estimate but not gated — it includes allocator slack and is noisier
+// across platforms.
+//
+// Results are written to BENCH_capacity.json in Google Benchmark's JSON
+// shape so tools/bench_diff.py can diff successive CI runs: the `bytes_*`
+// counter family fails the job beyond --bytes-threshold (default +15%).
+// REPRO_SCALE scales the measured sim window as in every other bench.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/system.h"
+
+namespace p2pex::bench {
+namespace {
+
+/// The capacity operating point at `n` peers. One category per ~100
+/// peers keeps per-object replica counts — and so lookup-result span
+/// lengths — scale-invariant, and the request graph is kept sparse
+/// (few pending downloads, few providers per request, shallow rings):
+/// memory capacity is what this bench stresses, and a dense graph
+/// would bury the measurement under per-request ring-search time.
+SimConfig capacity_config(std::size_t n) {
+  SimConfig c = SimConfig::calibrated_defaults();
+  c.seed = 97;
+  c.num_peers = n;
+  c.catalog.num_categories = std::max<std::size_t>(300, n / 100);
+  c.catalog.object_size = megabytes(1);
+  // Back to the paper's flat popularity (the calibrated 0.8 skew piles
+  // replicas — and so discovered-span rows — onto the top objects in
+  // proportion to the population, which would make bytes/peer grow
+  // with n for reasons unrelated to the data layout).
+  c.catalog.category_popularity_f = 0.2;
+  c.catalog.object_popularity_f = 0.2;
+  c.lookup_fraction = 0.5;
+  c.max_pending = 2;
+  c.max_providers_per_request = 4;
+  c.max_ring_size = 3;
+  c.max_ring_attempts_per_search = 2;
+  c.sim_duration = 40.0 * repro_scale();
+  c.warmup_fraction = 0.0;
+  return c;
+}
+
+struct CapacityRow {
+  std::size_t peers = 0;
+  double build_seconds = 0.0;
+  double run_seconds = 0.0;
+  double sim_window = 0.0;
+  double bytes_per_peer = 0.0;
+  double rss_bytes_per_peer = 0.0;
+  double sim_per_wall = 0.0;
+  std::uint64_t requests = 0;
+  std::size_t download_rows = 0;
+  std::size_t arena_rows = 0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::size_t peak_rss_bytes() {
+  rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::size_t>(u.ru_maxrss) * 1024;
+}
+
+CapacityRow run_scale(std::size_t n) {
+  CapacityRow row;
+  row.peers = n;
+  const SimConfig cfg = capacity_config(n);
+  row.sim_window = cfg.sim_duration;
+
+  const auto t_build = std::chrono::steady_clock::now();
+  System system(cfg);
+  row.build_seconds = seconds_since(t_build);
+
+  const auto t_run = std::chrono::steady_clock::now();
+  system.run();
+  row.run_seconds = seconds_since(t_run);
+
+  const MemoryFootprint f = system.memory_footprint();
+  row.bytes_per_peer =
+      static_cast<double>(f.total()) / static_cast<double>(n);
+  row.rss_bytes_per_peer =
+      static_cast<double>(peak_rss_bytes()) / static_cast<double>(n);
+  row.sim_per_wall =
+      row.run_seconds > 0.0 ? cfg.sim_duration / row.run_seconds : 0.0;
+  row.requests = system.counters().requests_issued;
+  row.download_rows = system.download_table_rows();
+  row.arena_rows = system.provider_arena().table_rows();
+  return row;
+}
+
+void write_json(const std::vector<CapacityRow>& rows, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "capacity_sweep: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"context\": {\"executable\": \"capacity_sweep\"},\n");
+  std::fprintf(out, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CapacityRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"BM_CapacitySweep/%zu\", "
+                 "\"run_type\": \"iteration\", \"iterations\": 1,\n"
+                 "     \"real_time\": %.3f, \"cpu_time\": %.3f, "
+                 "\"time_unit\": \"ms\",\n"
+                 "     \"bytes_per_peer\": %.1f, "
+                 "\"rss_bytes_per_peer\": %.1f,\n"
+                 "     \"sim_seconds_per_wall_second\": %.3f, "
+                 "\"build_seconds\": %.3f}%s\n",
+                 r.peers, r.run_seconds * 1000.0, r.run_seconds * 1000.0,
+                 r.bytes_per_peer, r.rss_bytes_per_peer, r.sim_per_wall,
+                 r.build_seconds, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace p2pex::bench
+
+int main(int argc, char** argv) {
+  using p2pex::bench::CapacityRow;
+  std::vector<std::size_t> scales;
+  for (int i = 1; i < argc; ++i)
+    scales.push_back(static_cast<std::size_t>(std::strtoull(argv[i], nullptr, 10)));
+  if (scales.empty()) scales = {100000, 500000, 1000000};
+
+  std::printf("BM_CapacitySweep — SoA arenas at scale (bytes/peer, sim rate)\n");
+  std::printf("%10s %9s %9s %11s %13s %10s %12s %12s\n", "peers", "build_s",
+              "run_s", "bytes/peer", "rss_b/peer", "sim/wall", "dl_rows",
+              "arena_rows");
+  std::vector<CapacityRow> rows;
+  for (const std::size_t n : scales) {
+    const CapacityRow r = p2pex::bench::run_scale(n);
+    std::printf("%10zu %9.2f %9.2f %11.1f %13.1f %10.2f %12zu %12zu\n",
+                r.peers, r.build_seconds, r.run_seconds, r.bytes_per_peer,
+                r.rss_bytes_per_peer, r.sim_per_wall, r.download_rows,
+                r.arena_rows);
+    rows.push_back(r);
+  }
+  p2pex::bench::write_json(rows, "BENCH_capacity.json");
+  return 0;
+}

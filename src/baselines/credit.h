@@ -42,6 +42,13 @@ class CreditLedger {
 
   [[nodiscard]] std::size_t tracked_peers() const { return ledger_.size(); }
 
+  /// Estimated heap bytes held (hash nodes + bucket array).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return ledger_.size() *
+               (sizeof(PeerId) + sizeof(Volumes) + 2 * sizeof(void*)) +
+           ledger_.bucket_count() * sizeof(void*);
+  }
+
  private:
   struct Volumes {
     Bytes uploaded_to_me = 0;

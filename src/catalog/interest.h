@@ -44,6 +44,12 @@ class InterestProfile {
 
   [[nodiscard]] bool interested_in(CategoryId c) const;
 
+  /// Heap bytes held (vector capacities).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return categories_.capacity() * sizeof(CategoryId) +
+           cum_weights_.capacity() * sizeof(double);
+  }
+
  private:
   std::vector<CategoryId> categories_;
   std::vector<double> cum_weights_;  // normalized cumulative weights

@@ -1,5 +1,7 @@
 #include "catalog/storage.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 
 namespace p2pex {
@@ -9,46 +11,57 @@ Storage::Storage(std::size_t capacity) : capacity_(capacity) {
 }
 
 bool Storage::add(ObjectId o) {
-  if (index_.count(o) != 0) return false;
-  index_[o] = objects_.size();
+  if (contains(o)) return false;
   objects_.push_back(o);
   return true;
 }
 
 void Storage::swap_remove(std::size_t slot) {
-  const ObjectId victim = objects_[slot];
-  const ObjectId last = objects_.back();
-  objects_[slot] = last;
-  index_[last] = slot;
+  objects_[slot] = objects_.back();
   objects_.pop_back();
-  index_.erase(victim);
 }
 
 bool Storage::remove(ObjectId o) {
-  const auto it = index_.find(o);
-  if (it == index_.end()) return false;
+  const auto it = std::find(objects_.begin(), objects_.end(), o);
+  if (it == objects_.end()) return false;
   P2PEX_ASSERT_MSG(!pinned(o), "removing a pinned object");
-  swap_remove(it->second);
+  swap_remove(static_cast<std::size_t>(it - objects_.begin()));
   return true;
 }
 
-bool Storage::contains(ObjectId o) const { return index_.count(o) != 0; }
+bool Storage::contains(ObjectId o) const {
+  return std::find(objects_.begin(), objects_.end(), o) != objects_.end();
+}
 
 void Storage::pin(ObjectId o) {
   P2PEX_ASSERT_MSG(contains(o), "pinning an absent object");
-  ++pins_[o];
+  for (auto& [obj, count] : pins_) {
+    if (obj == o) {
+      ++count;
+      return;
+    }
+  }
+  pins_.emplace_back(o, 1);
 }
 
 void Storage::unpin(ObjectId o) {
-  const auto it = pins_.find(o);
-  P2PEX_ASSERT_MSG(it != pins_.end() && it->second > 0,
-                   "unpin without matching pin");
-  if (--it->second == 0) pins_.erase(it);
+  for (std::size_t i = 0; i < pins_.size(); ++i) {
+    if (pins_[i].first == o) {
+      P2PEX_ASSERT_MSG(pins_[i].second > 0, "unpin without matching pin");
+      if (--pins_[i].second == 0) {
+        pins_[i] = pins_.back();
+        pins_.pop_back();
+      }
+      return;
+    }
+  }
+  P2PEX_ASSERT_MSG(false, "unpin without matching pin");
 }
 
 bool Storage::pinned(ObjectId o) const {
-  const auto it = pins_.find(o);
-  return it != pins_.end() && it->second > 0;
+  for (const auto& [obj, count] : pins_)
+    if (obj == o) return count > 0;
+  return false;
 }
 
 std::vector<ObjectId> Storage::evict_over_capacity(Rng& rng) {

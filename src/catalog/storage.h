@@ -4,10 +4,16 @@
 // (paper: capacity uniform(5, 40)). At regular intervals the peer evicts
 // *random* objects while over capacity, but postpones removing an object
 // that is pinned (in use by an ongoing exchange or upload).
+//
+// Layout: two flat vectors (objects + active pins), no hash maps. The
+// store is bounded by the per-peer capacity draw — tens of entries — so
+// linear membership scans beat a side index, and at million-peer scale
+// the two unordered_maps this replaced (~112 header bytes plus a node
+// per entry, each) dominated per-peer heap.
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/rng.h"
@@ -16,8 +22,7 @@
 namespace p2pex {
 
 /// Set of complete objects held by one peer, with pin-aware random
-/// eviction. Supports O(1) contains/add/remove and deterministic random
-/// selection.
+/// eviction and deterministic random selection.
 class Storage {
  public:
   explicit Storage(std::size_t capacity);
@@ -32,7 +37,9 @@ class Storage {
 
   [[nodiscard]] std::size_t size() const { return objects_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] bool over_capacity() const { return objects_.size() > capacity_; }
+  [[nodiscard]] bool over_capacity() const {
+    return objects_.size() > capacity_;
+  }
 
   /// Pins an object (refcounted): it will not be evicted while pinned.
   /// Pinning an absent object is an error.
@@ -45,13 +52,21 @@ class Storage {
   std::vector<ObjectId> evict_over_capacity(Rng& rng);
 
   /// Stable snapshot of held objects (unordered).
-  [[nodiscard]] const std::vector<ObjectId>& objects() const { return objects_; }
+  [[nodiscard]] const std::vector<ObjectId>& objects() const {
+    return objects_;
+  }
+
+  /// Heap bytes held (vector capacities).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return objects_.capacity() * sizeof(ObjectId) +
+           pins_.capacity() * sizeof(std::pair<ObjectId, int>);
+  }
 
  private:
   std::size_t capacity_;
-  std::vector<ObjectId> objects_;                    // dense, for random pick
-  std::unordered_map<ObjectId, std::size_t> index_;  // object -> slot
-  std::unordered_map<ObjectId, int> pins_;
+  std::vector<ObjectId> objects_;  // dense, for random pick
+  /// Active pins only (count > 0); unordered, swap-and-pop removal.
+  std::vector<std::pair<ObjectId, int>> pins_;
 
   void swap_remove(std::size_t slot);
 };

@@ -1,12 +1,22 @@
 // Core runtime entities: sessions, downloads, rings, peers.
 //
-// All entities live in dense id-indexed tables owned by the System; ids
-// are never reused within a run, so a stale id is detectable (the entity's
-// `active` flag is false).
+// All entities live in dense id-indexed tables owned by the System.
+// Finished rows are recycled through per-table freelists, so a table's
+// size tracks the *live* entity high-water mark instead of the
+// cumulative allocation count (a long churn run used to leak one row per
+// departed download/session/ring forever). A stale id is still
+// detectable while its row is unreused (the `active` flag is false), and
+// the System removes every reference to an entity before freeing its row
+// — events included (completion events are hard-cancelled), so no live
+// path can observe a recycled row through an old id.
+//
+// Per-download provider state (the old discovered/registered
+// unordered_sets) lives out-of-line in the System's ProviderArena,
+// addressed by the {disc_start, disc_len} span below; see
+// provider_arena.h for the layout rationale.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
+#include <cstdint>
 #include <vector>
 
 #include "baselines/credit.h"
@@ -34,6 +44,11 @@ struct Session {
   DownloadId download;
   RingId ring;       ///< invalid for non-exchange sessions
   SessionType type;  ///< ring size, or 0 for non-exchange
+  /// Monotonic creation sequence. Ids are recycled, so index order no
+  /// longer equals start order; finalization ends censored sessions in
+  /// `seq` order to keep the record stream (and its floating-point
+  /// aggregation order) bit-identical to an id-per-row run.
+  std::uint64_t seq = 0;
   SimTime request_time = 0.0;  ///< when the object was first requested
   SimTime start_time = 0.0;
   SimTime last_update = 0.0;
@@ -47,6 +62,15 @@ struct Session {
 /// One in-progress object download at a peer. Partial transfers are
 /// supported: multiple concurrent sessions (from different providers)
 /// feed the same download, each contributing distinct parts.
+///
+/// The owners discovered at lookup time — and, per owner, whether a
+/// request is registered there and which watcher-list slot the download
+/// occupies — live in the System's ProviderArena as the span
+/// [disc_start, disc_start + disc_len). Ring closure may use any
+/// discovered owner (paper: "it can use the original provider list to
+/// compute a cycle containing a peer P_j even if it did not originally
+/// transmit a request to P_j"); registration is a flag column over the
+/// same span because a request only ever targets discovered owners.
 struct Download {
   DownloadId id;
   PeerId peer;
@@ -55,21 +79,12 @@ struct Download {
   double received = 0.0;       ///< accrued up to last_update (fractional)
   SimTime last_update = 0.0;
   SimTime issue_time = 0.0;
-  /// Owners discovered at lookup time. Ring closure may use any of these
-  /// (paper: "it can use the original provider list to compute a cycle
-  /// containing a peer P_j even if it did not originally transmit a
-  /// request to P_j").
-  std::unordered_set<PeerId> discovered;
-  /// Providers where a request is actually registered (IRQ entry exists).
-  std::unordered_set<PeerId> registered;
-  /// This download's slot in each discovered provider's watcher list
-  /// (System::watchers_), parallel to `discovered` iteration order —
-  /// `discovered` is immutable after creation, so the order is stable.
-  /// Lets un-watching swap-and-pop in O(1) instead of scanning watcher
-  /// lists that grow with crowd size. Empty once un-watched.
-  std::vector<std::uint32_t> watch_slots;
+  std::uint32_t disc_start = 0;  ///< ProviderArena span of discovered owners
+  std::uint32_t disc_len = 0;
+  std::uint32_t reg_count = 0;   ///< set registered flags within the span
   std::vector<SessionId> sessions;  ///< currently active sessions
   EventHandle completion;           ///< pending completion event
+  bool watched = false;  ///< span enrolled in the watcher reverse index
   bool active = true;
 
   [[nodiscard]] double remaining() const {
@@ -105,9 +120,10 @@ struct Peer {
   InterestProfile interests;
   IncomingRequestQueue irq;
 
-  /// Active downloads by object (at most SimConfig::max_pending).
-  std::unordered_map<ObjectId, DownloadId> pending;
-  /// Same downloads in issue order (deterministic iteration).
+  /// Active downloads in issue order (at most SimConfig::max_pending).
+  /// Object lookup is a linear scan via System::find_pending — the list
+  /// is tiny and bounded, so the old by-object hash map was pure
+  /// overhead (56+ heap bytes per peer at million-peer scale).
   std::vector<DownloadId> pending_list;
   /// Upload sessions this peer is currently serving, in start order
   /// (used to pick preemption victims: newest non-exchange first).

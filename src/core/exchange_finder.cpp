@@ -2,10 +2,34 @@
 
 #include <algorithm>
 
+#include "core/parallel/shard_map.h"
+#include "core/parallel/worker_pool.h"
 #include "util/assert.h"
 #include "util/sort.h"
 
 namespace p2pex {
+
+namespace {
+/// Runs body(i) for i in [0, count), sharded over `pool` when one is
+/// given. Only sound for bodies whose writes are i-indexed (disjoint
+/// slots) — the summary maintenance loops below qualify — so the result
+/// cannot depend on scheduling and stays bit-identical to the serial
+/// loop. Over-sharding (4x threads) smooths skew from uneven row sizes.
+template <class Body>
+void parallel_for(parallel::WorkerPool* pool, std::size_t count,
+                  const Body& body) {
+  if (pool == nullptr || count < 2) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  const std::size_t shards = std::min(count, pool->threads() * 4);
+  const parallel::ShardMap map(count, shards);
+  pool->run(shards, [&](std::size_t s) {
+    const parallel::ShardRange r = map.range(s);
+    for (std::size_t i = r.begin; i < r.end; ++i) body(i);
+  });
+}
+}  // namespace
 
 ExchangeFinder::ExchangeFinder(ExchangePolicy policy,
                                std::size_t max_ring_size, TreeMode mode,
@@ -168,7 +192,8 @@ std::vector<RingProposal> ExchangeFinder::find_full(
 
 void ExchangeFinder::rebuild_summaries(const GraphSnapshot& view,
                                        std::size_t expected_per_level,
-                                       double fpp) {
+                                       double fpp,
+                                       parallel::WorkerPool* pool) {
   const std::size_t n = view.num_peers();
   const std::size_t levels = max_ring_ >= 2 ? max_ring_ - 1 : 1;
   summaries_.clear();
@@ -190,36 +215,40 @@ void ExchangeFinder::rebuild_summaries(const GraphSnapshot& view,
     sum_parents_[i].clear();
   }
 
-  // Level 1: each peer's direct requesters.
-  for (std::size_t i = 0; i < n; ++i) {
+  // Level 1: each peer's direct requesters. Captured rows and filter
+  // inserts write only peer i's slots, so the loop shards; the reverse
+  // index scatters across peers and stays serial.
+  parallel_for(pool, n, [&](std::size_t i) {
     const std::span<const PeerId> row =
         view.requesters_of(PeerId{static_cast<std::uint32_t>(i)});
     sum_children_[i].assign(row.begin(), row.end());
-    for (const PeerId r : row) {
-      summaries_[i].insert(1, r);
+    for (const PeerId r : row) summaries_[i].insert(1, r);
+  });
+  for (std::size_t i = 0; i < n; ++i)
+    for (const PeerId r : sum_children_[i])
       if (r.value < n)
         sum_parents_[r.value].push_back(PeerId{static_cast<std::uint32_t>(i)});
-    }
-  }
 
   // Level k = union of the children's level k-1 filters — exactly the
   // protocol's merge of forwarded summaries, so false positives compound
   // with depth as they would on the wire. Writing level k only reads
-  // level k-1, so in-place iteration is sound.
+  // level k-1 (distinct storage even on the same summary), so in-place
+  // iteration is sound — serial and sharded alike.
   for (std::size_t k = 2; k <= levels; ++k) {
-    for (std::size_t i = 0; i < n; ++i) {
+    parallel_for(pool, n, [&](std::size_t i) {
       for (const PeerId r : sum_children_[i]) {
         if (r.value >= n) continue;
         summaries_[i].merge_into_level(k, summaries_[r.value].level(k - 1));
       }
-    }
+    });
   }
 }
 
 void ExchangeFinder::refresh_summaries(const GraphSnapshot& view,
                                        std::span<const PeerId> dirty_rows,
                                        std::size_t expected_per_level,
-                                       double fpp) {
+                                       double fpp,
+                                       parallel::WorkerPool* pool) {
   const std::size_t n = view.num_peers();
   const std::size_t levels = max_ring_ >= 2 ? max_ring_ - 1 : 1;
   // A geometry change (population, level count, filter sizing) or a
@@ -227,7 +256,7 @@ void ExchangeFinder::refresh_summaries(const GraphSnapshot& view,
   if (summaries_.size() != n || sum_levels_ != levels ||
       sum_expected_ != expected_per_level || sum_fpp_ != fpp ||
       dirty_rows.size() * 2 >= n) {
-    rebuild_summaries(view, expected_per_level, fpp);
+    rebuild_summaries(view, expected_per_level, fpp, pool);
     return;
   }
 
@@ -251,12 +280,15 @@ void ExchangeFinder::refresh_summaries(const GraphSnapshot& view,
       if (c.value < n) sum_parents_[c.value].push_back(p);
   }
 
-  // Level 1: only the dirty rows' own requester sets moved.
-  for (const PeerId p : dirty_rows) {
+  // Level 1: only the dirty rows' own requester sets moved. Each
+  // iteration writes only its own peer's summary (dirty rows are
+  // distinct), so the loop shards like the rebuild's.
+  parallel_for(pool, dirty_rows.size(), [&](std::size_t i) {
+    const PeerId p = dirty_rows[i];
     BloomTreeSummary& s = summaries_[p.value];
     s.clear_level(1);
     for (const PeerId c : sum_children_[p.value]) s.insert(1, c);
-  }
+  });
 
   // Level k: a peer's level k moved iff its own row changed or some
   // child's level k-1 moved — the reverse index walks exactly that
@@ -279,14 +311,18 @@ void ExchangeFinder::refresh_summaries(const GraphSnapshot& view,
         next_affected_.push_back(q);
       }
     }
-    for (const PeerId q : next_affected_) {
+    // The frontier walk above is serial (scattered stamp writes); the
+    // recompute below writes only q's level k and reads level k-1, so
+    // it shards (next_affected_ entries are stamp-deduped distinct).
+    parallel_for(pool, next_affected_.size(), [&](std::size_t i) {
+      const PeerId q = next_affected_[i];
       BloomTreeSummary& s = summaries_[q.value];
       s.clear_level(k);
       for (const PeerId c : sum_children_[q.value]) {
         if (c.value >= n) continue;
         s.merge_into_level(k, summaries_[c.value].level(k - 1));
       }
-    }
+    });
     affected_.swap(next_affected_);
   }
 }

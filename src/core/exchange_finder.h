@@ -37,6 +37,10 @@
 
 namespace p2pex {
 
+namespace parallel {
+class WorkerPool;
+}
+
 /// Search statistics (Bloom-mode ablation reporting).
 ///
 /// Glossary:
@@ -124,8 +128,14 @@ class ExchangeFinder {
   /// incremental summary propagation latency). Also captures the child
   /// rows and their reverse (parent) index so later refreshes can
   /// propagate dirtiness level by level.
+  ///
+  /// A non-null `pool` shards the per-peer filter work (inserts and
+  /// level merges — disjoint i-indexed writes reading only the previous
+  /// level) across its workers; the reverse-index build stays serial.
+  /// The result is bit-identical with any pool shape, nullptr included.
   void rebuild_summaries(const GraphSnapshot& view,
-                         std::size_t expected_per_level, double fpp);
+                         std::size_t expected_per_level, double fpp,
+                         parallel::WorkerPool* pool = nullptr);
 
   /// Incremental form of rebuild_summaries: `dirty_rows` names the
   /// peers whose requester rows may have changed since the last
@@ -135,9 +145,12 @@ class ExchangeFinder {
   /// producing summaries bit-identical to a full rebuild. Falls back to
   /// rebuild_summaries when the geometry changed or the dirty set
   /// covers most of the population.
+  /// `pool` parallelizes the per-level recompute exactly as in
+  /// rebuild_summaries (the frontier walk itself stays serial).
   void refresh_summaries(const GraphSnapshot& view,
                          std::span<const PeerId> dirty_rows,
-                         std::size_t expected_per_level, double fpp);
+                         std::size_t expected_per_level, double fpp,
+                         parallel::WorkerPool* pool = nullptr);
 
   /// Test/audit access to the per-peer summaries (kBloom mode).
   [[nodiscard]] const std::vector<BloomTreeSummary>& summaries() const {

@@ -1,6 +1,7 @@
 #include "core/graph_snapshot.h"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "util/assert.h"
 #include "util/sort.h"
@@ -135,17 +136,32 @@ void GraphSnapshot::finish_patch() {
   maybe_compact();
 }
 
+namespace {
+/// Releases a retired compaction buffer: after the arena/scratch swap the
+/// old arena — sized to the pre-compaction watermark, which the
+/// compaction trigger guarantees is > 2x live — would otherwise pin that
+/// watermark forever as scratch. Compactions are amortized-rare, so
+/// re-growing the scratch at the next one costs one allocation.
+template <class T>
+void release_scratch(std::vector<T>& v) {
+  v.clear();
+  v.shrink_to_fit();
+}
+}  // namespace
+
 void GraphSnapshot::maybe_compact() {
   // Per-table amortized compaction: a table is repacked (peer order)
   // when its slack exceeds its live size, so total arena size stays
   // within 2x live + slop and the repack cost amortizes over the
-  // patches that created the slack. The scratch/arena swap ping-pongs
-  // capacity, keeping steady-state compaction allocation-free.
+  // patches that created the slack. Scratch is sized to the *live* row
+  // count, never the retired arena's capacity: reserving to capacity
+  // would duplicate the peak watermark and pin it in both buffers for
+  // the rest of the run.
   if (edge_requesters_.size() > 2 * edge_live_ + kCompactSlop) {
     scratch_requesters_.clear();
     scratch_objects_.clear();
-    scratch_requesters_.reserve(edge_requesters_.capacity());
-    scratch_objects_.reserve(edge_objects_.capacity());
+    scratch_requesters_.reserve(edge_live_);
+    scratch_objects_.reserve(edge_live_);
     for (std::size_t i = 0; i < num_peers_; ++i) {
       const std::uint32_t lo = edge_start_[i];
       const std::uint32_t hi = lo + edge_len_[i];
@@ -159,10 +175,12 @@ void GraphSnapshot::maybe_compact() {
     }
     edge_requesters_.swap(scratch_requesters_);
     edge_objects_.swap(scratch_objects_);
+    release_scratch(scratch_requesters_);
+    release_scratch(scratch_objects_);
   }
   if (closures_.size() > 2 * closure_live_ + kCompactSlop) {
     scratch_closures_.clear();
-    scratch_closures_.reserve(closures_.capacity());
+    scratch_closures_.reserve(closure_live_);
     for (std::size_t i = 0; i < num_peers_; ++i) {
       const std::uint32_t lo = closure_start_[i];
       const std::uint32_t hi = lo + closure_len_[i];
@@ -171,10 +189,11 @@ void GraphSnapshot::maybe_compact() {
                                closures_.begin() + lo, closures_.begin() + hi);
     }
     closures_.swap(scratch_closures_);
+    release_scratch(scratch_closures_);
   }
   if (wants_.size() > 2 * want_live_ + kCompactSlop) {
     scratch_wants_.clear();
-    scratch_wants_.reserve(wants_.capacity());
+    scratch_wants_.reserve(want_live_);
     for (std::size_t i = 0; i < num_peers_; ++i) {
       const std::uint32_t lo = want_start_[i];
       const std::uint32_t hi = lo + want_len_[i];
@@ -183,7 +202,21 @@ void GraphSnapshot::maybe_compact() {
                             wants_.begin() + hi);
     }
     wants_.swap(scratch_wants_);
+    release_scratch(scratch_wants_);
   }
+}
+
+std::size_t GraphSnapshot::memory_bytes() const {
+  const auto vec_bytes = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  return vec_bytes(edge_start_) + vec_bytes(edge_len_) +
+         vec_bytes(closure_start_) + vec_bytes(closure_len_) +
+         vec_bytes(want_start_) + vec_bytes(want_len_) +
+         vec_bytes(edge_requesters_) + vec_bytes(edge_objects_) +
+         vec_bytes(closures_) + vec_bytes(wants_) +
+         vec_bytes(scratch_requesters_) + vec_bytes(scratch_objects_) +
+         vec_bytes(scratch_closures_) + vec_bytes(scratch_wants_);
 }
 
 ObjectId GraphSnapshot::request_between(PeerId provider,

@@ -171,6 +171,13 @@ class GraphSnapshot {
     return wants_.size() - want_live_;
   }
 
+  /// Heap bytes held by every descriptor table, arena and compaction
+  /// scratch buffer (capacity, not size — what the process actually
+  /// pays). The capacity-budget tests pin this against live rows so a
+  /// reintroduced watermark-pinning bug fails instead of showing up as
+  /// RSS creep on long churn runs.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
   /// Logical row-wise equality (every peer's three rows and edge
   /// labels), independent of arena layout. Used by the
   /// P2PEX_SNAPSHOT_AUDIT cross-check and the patch fuzz suites.

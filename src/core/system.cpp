@@ -43,6 +43,87 @@ Session& System::session(SessionId s) {
   return sessions_[s.value];
 }
 
+DownloadId System::find_pending(const Peer& p, ObjectId o) const {
+  for (const DownloadId did : p.pending_list)
+    if (downloads_[did.value].object == o) return did;
+  return DownloadId{};
+}
+
+bool System::is_registered(const Download& d, PeerId p) const {
+  const std::uint32_t i = disc_arena_.find(d.disc_start, d.disc_len, p);
+  return i != d.disc_len && disc_arena_.registered(d.disc_start + i);
+}
+
+void System::set_registered(Download& d, PeerId p) {
+  const std::uint32_t i = disc_arena_.find(d.disc_start, d.disc_len, p);
+  P2PEX_ASSERT_MSG(i != d.disc_len, "registering an undiscovered provider");
+  if (!disc_arena_.registered(d.disc_start + i)) {
+    disc_arena_.set_registered(d.disc_start + i, true);
+    ++d.reg_count;
+  }
+}
+
+void System::clear_registered(Download& d, PeerId p) {
+  const std::uint32_t i = disc_arena_.find(d.disc_start, d.disc_len, p);
+  P2PEX_ASSERT_MSG(i != d.disc_len, "unregistering an undiscovered provider");
+  if (disc_arena_.registered(d.disc_start + i)) {
+    disc_arena_.set_registered(d.disc_start + i, false);
+    P2PEX_ASSERT(d.reg_count > 0);
+    --d.reg_count;
+  }
+}
+
+std::vector<PeerId> System::registered_sorted(const Download& d) const {
+  std::vector<PeerId> out;
+  out.reserve(d.reg_count);
+  for (std::uint32_t i = 0; i < d.disc_len; ++i)
+    if (disc_arena_.registered(d.disc_start + i))
+      out.push_back(disc_arena_.providers(d.disc_start, d.disc_len)[i]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Download& System::alloc_download() {
+  if (!free_downloads_.empty()) {
+    const DownloadId did = free_downloads_.back();
+    free_downloads_.pop_back();
+    ++counters_.download_rows_reused;
+    Download& d = downloads_[did.value];
+    P2PEX_ASSERT_MSG(!d.active, "free download row still active");
+    d.id = did;
+    d.size = 0;
+    d.received = 0.0;
+    d.disc_start = d.disc_len = d.reg_count = 0;
+    d.sessions.clear();  // keeps the row's vector capacity
+    d.completion = EventHandle{};
+    d.watched = false;
+    d.active = true;
+    return d;
+  }
+  const DownloadId did = DownloadId::from_index(downloads_.size());
+  downloads_.push_back(Download{});
+  downloads_.back().id = did;
+  return downloads_.back();
+}
+
+void System::release_download(Download& d) {
+  P2PEX_ASSERT_MSG(!d.active && !d.watched && d.sessions.empty(),
+                   "releasing a download that is still referenced");
+  disc_arena_.release(d.disc_start, d.disc_len);
+  d.disc_start = d.disc_len = d.reg_count = 0;
+  free_downloads_.push_back(d.id);
+}
+
+void System::release_session(SessionId sid) {
+  P2PEX_ASSERT(!sessions_[sid.value].active);
+  free_sessions_.push_back(sid);
+}
+
+void System::release_ring(RingId rid) {
+  P2PEX_ASSERT(!rings_[rid.value].active);
+  free_rings_.push_back(rid);
+}
+
 void System::build_peers(const PopulationPlan& plan) {
   const std::size_t n = cfg_.num_peers;
   peers_.reserve(n);
@@ -212,7 +293,7 @@ bool System::issue_one_request(PeerId p) {
                              ? spike_category_
                              : peer.interests.sample_category(rng_);
     const ObjectId o = catalog_.sample_object_in(c, rng_);
-    if (peer.storage.contains(o) || peer.pending.count(o) != 0)
+    if (peer.storage.contains(o) || find_pending(peer, o).valid())
       continue;  // cache hit — ignored per the paper
 
     const std::vector<PeerId> discovered =
@@ -222,19 +303,20 @@ bool System::issue_one_request(PeerId p) {
       continue;
     }
 
-    const DownloadId did{static_cast<std::uint32_t>(downloads_.size())};
-    downloads_.push_back(Download{});
-    Download& d = downloads_.back();
-    d.id = did;
+    Download& d = alloc_download();
+    const DownloadId did = d.id;
     d.peer = p;
     d.object = o;
     d.size = catalog_.object_size(o);
     d.last_update = sim_.now();
     d.issue_time = sim_.now();
-    d.discovered.insert(discovered.begin(), discovered.end());
+    d.disc_start = disc_arena_.alloc(discovered);
+    d.disc_len = static_cast<std::uint32_t>(discovered.size());
 
     // Register at a random subset of the discovered owners; the rest stay
-    // usable for ring closure only.
+    // usable for ring closure only. (The sample draws from the
+    // lookup-return vector, same as before the arena: the RNG stream is
+    // untouched by the layout change.)
     const std::vector<PeerId> targets =
         rng_.sample(discovered, cfg_.max_providers_per_request);
     for (PeerId provider : targets) {
@@ -245,17 +327,23 @@ bool System::issue_one_request(PeerId p) {
       entry.enqueue_time = sim_.now();
       entry.request_time = sim_.now();
       if (peers_[provider.value].irq.add(entry)) {
-        d.registered.insert(provider);
+        set_registered(d, provider);
         touch_graph(provider);  // provider gained a request edge
         mark_dirty(provider);   // "on receipt of each request ..."
       }
     }
-    if (d.registered.empty()) {
-      downloads_.pop_back();  // nothing references it yet
+    if (d.reg_count == 0) {
+      // Nothing references the row yet: undo both allocations exactly.
+      disc_arena_.rollback_alloc(d.disc_start, d.disc_len);
+      d.active = false;
+      d.disc_start = d.disc_len = 0;
+      if (d.id.value + 1 == downloads_.size())
+        downloads_.pop_back();
+      else
+        free_downloads_.push_back(d.id);
       continue;
     }
     watch_providers(d);  // closure eligibility now tracks the discovered set
-    peer.pending[o] = did;
     peer.pending_list.push_back(did);
     ++counters_.requests_issued;
     touch_graph(p);  // the root gained a pending download (closures/wants)
@@ -273,29 +361,38 @@ void System::cancel_download(DownloadId did, bool starved) {
   accrue_download(d);
   for (SessionId sid : std::vector<SessionId>(d.sessions))
     if (session(sid).active) end_session(sid, SessionEnd::kRequesterCancelled);
-  std::vector<PeerId> providers(d.registered.begin(), d.registered.end());
-  std::sort(providers.begin(), providers.end());
-  for (PeerId provider : providers) {
+  for (PeerId provider : registered_sorted(d)) {
     peers_[provider.value].irq.remove(RequestKey{d.peer, d.object});
     touch_graph(provider);  // its request edge from d.peer goes away
   }
   sim_.cancel(d.completion);
   d.active = false;
-  Peer& peer = peers_[d.peer.value];
-  peer.pending.erase(d.object);
+  const PeerId owner = d.peer;
+  Peer& peer = peers_[owner.value];
   peer.pending_list.erase(
       std::find(peer.pending_list.begin(), peer.pending_list.end(), did));
+  // Recycle the row before re-issuing: the replacement request can land
+  // in the slot this download just vacated.
+  release_download(d);
   if (starved) {
     ++counters_.downloads_starved;
-    issue_requests(d.peer);  // closed loop: replace the lost request
+    issue_requests(owner);  // closed loop: replace the lost request
   } else {
     ++counters_.downloads_withdrawn;
   }
 }
 
 void System::eviction_sweep() {
-  for (Peer& p : peers_) {
-    if (!p.online) continue;
+  // The over-capacity test is a pure read, so it shards across the worker
+  // pool; the evictions themselves (RNG draws, lookup updates, request
+  // cancellations) stay serial on the coordinator in ascending peer order
+  // — the order the old full loop visited. Peers at or under capacity
+  // consume no RNG in evict_over_capacity, so skipping them here leaves
+  // the random stream bit-identical.
+  for (const PeerId pid : scan_peers(+[](const Peer& p) {
+         return p.online && p.storage.over_capacity();
+       })) {
+    Peer& p = peers_[pid.value];
     const std::vector<ObjectId> evicted = p.storage.evict_over_capacity(rng_);
     if (evicted.empty()) continue;
     touch_graph(p.id);     // doomed IRQ entries drop from its edge row
@@ -318,8 +415,8 @@ void System::eviction_sweep() {
     for (const auto& [key, did] : doomed) {
       p.irq.remove(key);
       Download& d = download(did);
-      d.registered.erase(p.id);
-      if (d.active && d.registered.empty() && d.sessions.empty())
+      clear_registered(d, p.id);
+      if (d.active && d.reg_count == 0 && d.sessions.empty())
         starved.push_back(did);
     }
     for (DownloadId did : starved) cancel_download(did);
@@ -332,8 +429,10 @@ void System::search_sweep() {
   // slot churn and to retry non-exchange service that was previously
   // blocked on requester download capacity.
   if (cfg_.tree_mode == TreeMode::kBloom) refresh_bloom_summaries();
-  for (const Peer& p : peers_)
-    if (p.online && p.shares && !p.irq.empty()) mark_dirty(p.id);
+  for (const PeerId p : scan_peers(+[](const Peer& p) {
+         return p.online && p.shares && !p.irq.empty();
+       }))
+    mark_dirty(p);
   drain_dirty();
 }
 
@@ -342,11 +441,18 @@ void System::finalize() {
   // Censored records: sessions still running when the run ends carry
   // their partial volume (SessionEnd::kSimulationEnd); in-flight
   // downloads are not recorded (the paper measures completed downloads).
-  for (std::size_t i = 0; i < sessions_.size(); ++i) {
-    if (sessions_[i].active)
-      end_session(SessionId{static_cast<std::uint32_t>(i)},
-                  SessionEnd::kSimulationEnd);
-  }
+  // Rows are recycled, so index order no longer equals start order; the
+  // seq sort reproduces the old creation-order record stream exactly
+  // (the metrics aggregators are order-sensitive in floating point).
+  std::vector<SessionId> open;
+  for (const Session& s : sessions_)
+    if (s.active) open.push_back(s.id);
+  std::sort(open.begin(), open.end(), [this](SessionId a, SessionId b) {
+    return sessions_[a.value].seq < sessions_[b.value].seq;
+  });
+  for (SessionId sid : open)
+    if (sessions_[sid.value].active)
+      end_session(sid, SessionEnd::kSimulationEnd);
   for (Ring& r : rings_) r.active = false;
 }
 

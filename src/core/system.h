@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -23,6 +24,7 @@
 #include "core/parallel/effect_queue.h"
 #include "core/parallel/worker_pool.h"
 #include "core/population.h"
+#include "core/provider_arena.h"
 #include "metrics/collector.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -51,6 +53,27 @@ struct SystemCounters {
   std::uint64_t snapshot_patches = 0;    ///< dirty-row delta builds
   std::uint64_t dirty_rows_patched = 0;  ///< rows rewritten across patches
   std::uint64_t snapshot_build_ns = 0;   ///< cumulative build+patch wall time
+  // --- entity-table row recycling (capacity accounting; deterministic
+  // and thread-invariant like every other counter here) ---
+  std::uint64_t download_rows_reused = 0;
+  std::uint64_t session_rows_reused = 0;
+  std::uint64_t ring_rows_reused = 0;
+};
+
+/// Capacity-relevant heap accounting, by subsystem (estimated from
+/// container capacities — deterministic, so tests can pin budgets; the
+/// capacity bench pairs it with real RSS for ground truth).
+struct MemoryFootprint {
+  std::size_t peer_bytes = 0;      ///< Peer structs + their heap state
+  std::size_t download_bytes = 0;  ///< download table + provider arena
+  std::size_t session_bytes = 0;
+  std::size_t ring_bytes = 0;
+  std::size_t graph_bytes = 0;     ///< snapshots, watcher index, stamps
+
+  [[nodiscard]] std::size_t total() const {
+    return peer_bytes + download_bytes + session_bytes + ring_bytes +
+           graph_bytes;
+  }
 };
 
 /// Parallel-engine telemetry. Deliberately *not* part of SystemCounters:
@@ -106,6 +129,27 @@ class System final {
   [[nodiscard]] std::size_t num_peers() const { return peers_.size(); }
   [[nodiscard]] const Peer& peer(PeerId p) const;
   [[nodiscard]] std::size_t num_sharing() const { return num_sharing_; }
+  /// Whether `p` has an active download for `o` outstanding.
+  [[nodiscard]] bool has_pending(PeerId p, ObjectId o) const {
+    return find_pending(peer(p), o).valid();
+  }
+
+  // --- capacity accounting (entity tables recycle rows; see
+  // entities.h) ---
+  /// Physical table rows (live + free) — the pinned-capacity tests
+  /// assert these track the live high-water mark, not cumulative churn.
+  [[nodiscard]] std::size_t download_table_rows() const {
+    return downloads_.size();
+  }
+  [[nodiscard]] std::size_t session_table_rows() const {
+    return sessions_.size();
+  }
+  [[nodiscard]] std::size_t ring_table_rows() const { return rings_.size(); }
+  [[nodiscard]] const ProviderArena& provider_arena() const {
+    return disc_arena_;
+  }
+  /// Estimated heap footprint by subsystem (see MemoryFootprint).
+  [[nodiscard]] MemoryFootprint memory_footprint() const;
 
   /// Invariant audit used by property tests: slot accounting matches live
   /// sessions, rings are consistent, IRQ states match sessions, download
@@ -198,6 +242,38 @@ class System final {
   /// requester re-issues) from requester-side withdrawal (churn).
   void cancel_download(DownloadId d, bool starved = true);
 
+  /// `p`'s active download for `o` (linear scan of the bounded pending
+  /// list — see Peer::pending_list); invalid id if none.
+  [[nodiscard]] DownloadId find_pending(const Peer& p, ObjectId o) const;
+
+  // --- download provider spans (ProviderArena; see entities.h) ---
+  [[nodiscard]] std::span<const PeerId> discovered(const Download& d) const {
+    return disc_arena_.providers(d.disc_start, d.disc_len);
+  }
+  [[nodiscard]] bool discovered_contains(const Download& d, PeerId p) const {
+    return disc_arena_.find(d.disc_start, d.disc_len, p) != d.disc_len;
+  }
+  /// Flags `p` (which must be in `d`'s discovered span) as registered.
+  void set_registered(Download& d, PeerId p);
+  /// Clears `p`'s registered flag (no-op if not set); `p` must be in
+  /// `d`'s discovered span.
+  void clear_registered(Download& d, PeerId p);
+  [[nodiscard]] bool is_registered(const Download& d, PeerId p) const;
+  /// Registered providers in ascending id order — the deterministic
+  /// iteration order cancel/complete use for IRQ removal.
+  [[nodiscard]] std::vector<PeerId> registered_sorted(const Download& d) const;
+
+  // --- entity-table allocation (freelist row recycling) ---
+  /// Returns a blank active download row (recycled when one is free) with
+  /// its id set; every other field is reset.
+  Download& alloc_download();
+  /// Returns `d`'s row (and provider span) to the freelists. Every
+  /// external reference — pending list, IRQ entries, watcher index,
+  /// sessions, the completion event — must already be gone.
+  void release_download(Download& d);
+  void release_session(SessionId sid);
+  void release_ring(RingId rid);
+
   // --- population dynamics ---
   /// Ends every upload `p` is serving and drops every request queued at
   /// it, starving-out affected downloads. Requires the caller to have
@@ -269,6 +345,28 @@ class System final {
   void search_sweep();
   void finalize();
 
+  // --- parallel sweeps (system_parallel.cpp) ---
+  //
+  // The periodic sweeps are O(population) scans whose *predicates* are
+  // pure reads; only the handful of matching peers have side effects.
+  // scan_peers shards the read-only scan over the worker pool and
+  // concatenates per-shard matches in shard order — shards are
+  // contiguous id ranges, so the result is the ascending-id list a
+  // serial scan produces, and the caller applies effects (including
+  // every RNG draw) serially in that order: bit-identical at any
+  // thread count.
+  using PeerPred = bool (*)(const Peer&);
+  /// Ids of online peers matching `pred`, ascending. Runs on the pool
+  /// when the population is large enough to amortize a wake; the
+  /// returned reference is scratch, valid until the next scan.
+  const std::vector<PeerId>& scan_peers(PeerPred pred);
+  /// The worker pool when parallel sweeps should run (threads > 1 and
+  /// population >= kParallelSweepMinPeers); nullptr means stay serial.
+  [[nodiscard]] parallel::WorkerPool* sweep_pool();
+  /// Population floor below which sweep parallelism cannot pay for the
+  /// pool wake.
+  static constexpr std::size_t kParallelSweepMinPeers = 1024;
+
   // --- graph-snapshot cache ---
   /// Records that `p`'s snapshot rows (its request edges as provider,
   /// its closures/wants as root) may have changed. Every mutation site
@@ -289,11 +387,11 @@ class System final {
   /// and storage content changes.
   void touch_watchers(PeerId provider);
   /// Registers/unregisters `d.peer` as a watcher of every provider in
-  /// `d.discovered`, keeping the touch_watchers() reverse index in sync
-  /// with the download table. O(|discovered|): each entry carries a
-  /// back-reference into its download's watch_slots so removal is a
-  /// swap-and-pop, not a scan of watcher lists (which grow with crowd
-  /// size at popular providers).
+  /// `d`'s discovered span, keeping the touch_watchers() reverse index
+  /// in sync with the download table. O(|discovered|): each entry
+  /// carries a back-reference into the span's watch-slot column so
+  /// removal is a swap-and-pop, not a scan of watcher lists (which grow
+  /// with crowd size at popular providers).
   void watch_providers(Download& d);
   void unwatch_providers(Download& d);
   /// Rebuilds (full) or refreshes (dirty Bloom levels only) the
@@ -320,6 +418,14 @@ class System final {
   std::vector<Download> downloads_;
   std::vector<Session> sessions_;
   std::vector<Ring> rings_;
+  /// Discovered-provider spans of every download (see provider_arena.h).
+  ProviderArena disc_arena_;
+  // Recycled table rows (LIFO: the hottest row is reused first).
+  std::vector<DownloadId> free_downloads_;
+  std::vector<SessionId> free_sessions_;
+  std::vector<RingId> free_rings_;
+  /// Session creation sequence (see Session::seq).
+  std::uint64_t next_session_seq_ = 0;
 
   // Lazily maintained request-graph snapshot (mutable: building is
   // caching, not observable state; the simulation is single-threaded).
@@ -347,9 +453,9 @@ class System final {
   std::uint64_t bloom_dirty_epoch_ = 1;
   bool bloom_all_dirty_ = true;
   /// One watcher-list entry: `root`'s download `download` discovered
-  /// this provider; `ordinal` is the entry's index into the download's
-  /// watch_slots (so a swap-and-pop removal can fix the moved entry's
-  /// back-reference in O(1)).
+  /// this provider; `ordinal` is the entry's offset within the
+  /// download's discovered span (so a swap-and-pop removal can fix the
+  /// moved entry's back-reference in O(1)).
   struct WatchEntry {
     PeerId root;
     DownloadId download;
@@ -388,6 +494,9 @@ class System final {
   std::uint64_t spec_seq_ = 0;  ///< touch_seq_ at the speculation snapshot
   std::vector<std::uint64_t> last_touch_seq_;
   SpeculationStats spec_stats_;
+  /// scan_peers scratch: per-shard match lists + the concatenated result.
+  std::vector<std::vector<PeerId>> scan_shards_;
+  std::vector<PeerId> scan_out_;
   // Flash-crowd demand override (set_demand_spike); weight 0 = inactive.
   CategoryId spike_category_;
   double spike_weight_ = 0.0;

@@ -32,8 +32,8 @@ void System::retract_service(Peer& p) {
   for (const auto& [key, did] : dropped) {
     p.irq.remove(key);
     Download& d = download(did);
-    d.registered.erase(p.id);
-    if (d.active && d.registered.empty() && d.sessions.empty())
+    clear_registered(d, p.id);
+    if (d.active && d.reg_count == 0 && d.sessions.empty())
       starved.push_back(did);
   }
   for (DownloadId did : starved) cancel_download(did);
@@ -122,15 +122,19 @@ void System::set_policy(ExchangePolicy policy, std::size_t max_ring_size) {
     bloom_all_dirty_ = true;
     refresh_bloom_summaries();
   }
-  for (const Peer& p : peers_)
-    if (p.online && p.shares && !p.irq.empty()) mark_dirty(p.id);
+  for (const PeerId p : scan_peers(+[](const Peer& p) {
+         return p.online && p.shares && !p.irq.empty();
+       }))
+    mark_dirty(p);
   drain_dirty();
 }
 
 void System::set_scheduler(SchedulerKind scheduler) {
   cfg_.scheduler = scheduler;
-  for (const Peer& p : peers_)
-    if (p.online && p.shares && !p.irq.empty()) mark_dirty(p.id);
+  for (const PeerId p : scan_peers(+[](const Peer& p) {
+         return p.online && p.shares && !p.irq.empty();
+       }))
+    mark_dirty(p);
   drain_dirty();
 }
 

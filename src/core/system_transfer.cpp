@@ -56,7 +56,17 @@ SessionId System::start_session(PeerId provider, IrqEntry& entry,
   P2PEX_ASSERT_MSG(d.active, "session for a finished download");
   accrue_download(d);
 
-  const SessionId sid{static_cast<std::uint32_t>(sessions_.size())};
+  SessionId sid;
+  if (!free_sessions_.empty()) {
+    sid = free_sessions_.back();
+    free_sessions_.pop_back();
+    P2PEX_ASSERT_MSG(!sessions_[sid.value].active,
+                     "free session row still active");
+    ++counters_.session_rows_reused;
+  } else {
+    sid = SessionId::from_index(sessions_.size());
+    sessions_.emplace_back();
+  }
   Session s;
   s.id = sid;
   s.provider = provider;
@@ -65,11 +75,12 @@ SessionId System::start_session(PeerId provider, IrqEntry& entry,
   s.download = entry.download;
   s.ring = ring;
   s.type = SessionType{ring_size};
+  s.seq = next_session_seq_++;
   s.request_time = entry.request_time;
   s.start_time = sim_.now();
   s.last_update = sim_.now();
   s.rate = cfg_.slot_rate();
-  sessions_.push_back(s);
+  sessions_[sid.value] = s;
 
   ++prov.upload_in_use;
   prov.uploads.push_back(sid);
@@ -164,6 +175,10 @@ void System::end_session(SessionId sid, SessionEnd reason) {
     mark_dirty(s.provider);   // upload slot freed
     mark_dirty(s.requester);  // download slot freed
   }
+  // Last: nothing above (or in any caller loop) starts a session before
+  // this frame returns, so the row cannot be reused out from under a
+  // stale id that is still being compared against `active`.
+  release_session(sid);
 }
 
 void System::collapse_ring(RingId rid, SessionId cause) {
@@ -174,6 +189,9 @@ void System::collapse_ring(RingId rid, SessionId cause) {
     if (sid != cause && sessions_[sid.value].active)
       end_session(sid, SessionEnd::kRingCollapsed);
   }
+  // All member sessions are down, so nothing references the ring row:
+  // only active sessions carry a live RingId.
+  release_ring(rid);
 }
 
 void System::complete_download(DownloadId did) {
@@ -193,9 +211,7 @@ void System::complete_download(DownloadId did) {
     if (sessions_[sid.value].active)
       end_session(sid, SessionEnd::kDownloadComplete);
 
-  std::vector<PeerId> providers(d.registered.begin(), d.registered.end());
-  std::sort(providers.begin(), providers.end());
-  for (PeerId provider : providers) {
+  for (PeerId provider : registered_sorted(d)) {
     peers_[provider.value].irq.remove(RequestKey{d.peer, d.object});
     touch_graph(provider);  // its request edge from d.peer goes away
   }
@@ -203,7 +219,6 @@ void System::complete_download(DownloadId did) {
   sim_.cancel(d.completion);
   d.active = false;
   Peer& peer = peers_[d.peer.value];
-  peer.pending.erase(d.object);
   const auto it =
       std::find(peer.pending_list.begin(), peer.pending_list.end(), did);
   P2PEX_ASSERT(it != peer.pending_list.end());
@@ -230,6 +245,9 @@ void System::complete_download(DownloadId did) {
     touch_watchers(owner);
   }
 
+  // Recycle the row before re-issuing: the replacement request can land
+  // in the slot this download just vacated.
+  release_download(d);
   issue_requests(owner);  // closed loop: replace the completed request
 }
 
@@ -317,16 +335,16 @@ bool System::try_form_ring(const RingProposal& proposal) {
     Peer& y = peers_[link.requester.value];
     if (!x.online || !y.online || !x.shares) return false;
     if (!x.storage.contains(link.object)) return false;
-    const auto want = y.pending.find(link.object);
-    if (want == y.pending.end()) return false;
-    if (!downloads_[want->second.value].active) return false;
+    const DownloadId want = find_pending(y, link.object);
+    if (!want.valid()) return false;
+    if (!downloads_[want.value].active) return false;
 
     IrqEntry* e = x.irq.find(RequestKey{link.requester, link.object});
     plan[i].create_entry = (e == nullptr);
     plan[i].victim = SessionId{};
     if (e != nullptr) {
       if (e->state == RequestState::kActiveExchange) return false;
-      if (e->download != want->second) return false;
+      if (e->download != want) return false;
     } else {
       // Only the ring-closing link may lack a registered request (the
       // paper: the initiator may use any peer on its original provider
@@ -374,8 +392,20 @@ bool System::try_form_ring(const RingProposal& proposal) {
   }
 
   // --- Execute atomically (control plane is instantaneous). ---
-  const RingId rid{static_cast<std::uint32_t>(rings_.size())};
-  rings_.push_back(Ring{rid, {}, true});
+  RingId rid;
+  if (!free_rings_.empty()) {
+    rid = free_rings_.back();
+    free_rings_.pop_back();
+    ++counters_.ring_rows_reused;
+    Ring& r = rings_[rid.value];
+    P2PEX_ASSERT_MSG(!r.active, "free ring row still active");
+    r.id = rid;
+    r.sessions.clear();  // keeps the row's vector capacity
+    r.active = true;
+  } else {
+    rid = RingId::from_index(rings_.size());
+    rings_.push_back(Ring{rid, {}, true});
+  }
 
   for (std::size_t i = 0; i < n; ++i) {
     if (plan[i].victim.valid() && sessions_[plan[i].victim.value].active) {
@@ -394,8 +424,9 @@ bool System::try_form_ring(const RingProposal& proposal) {
     if (e == nullptr) {
       P2PEX_ASSERT(plan[i].create_entry);
       const Peer& y = peers_[link.requester.value];
-      const Download& d =
-          downloads_[y.pending.at(link.object).value];
+      const DownloadId want = find_pending(y, link.object);
+      P2PEX_ASSERT(want.valid());
+      Download& d = downloads_[want.value];
       IrqEntry fresh;
       fresh.requester = link.requester;
       fresh.object = link.object;
@@ -405,7 +436,10 @@ bool System::try_form_ring(const RingProposal& proposal) {
       const bool added = x.irq.add(fresh);
       P2PEX_ASSERT_MSG(added, "IRQ filled during token walk");
       e = x.irq.find(RequestKey{link.requester, link.object});
-      downloads_[d.id.value].registered.insert(link.provider);
+      // The closing provider came off the download's discovered list
+      // (that is what makes the link closable), so the flag column can
+      // always represent it.
+      set_registered(d, link.provider);
       touch_graph(link.provider);  // ring-closing entry created
     }
     const SessionId sid =

@@ -34,31 +34,34 @@ void System::touch_watchers(PeerId provider) {
 }
 
 void System::watch_providers(Download& d) {
-  d.watch_slots.clear();
-  d.watch_slots.reserve(d.discovered.size());
-  std::uint32_t ordinal = 0;
-  for (PeerId prov : d.discovered) {
-    std::vector<WatchEntry>& w = watchers_[prov.value];
-    d.watch_slots.push_back(static_cast<std::uint32_t>(w.size()));
-    w.push_back(WatchEntry{d.peer, d.id, ordinal++});
+  P2PEX_ASSERT_MSG(!d.watched, "watch without a matching unwatch");
+  const std::span<const PeerId> provs = discovered(d);
+  for (std::uint32_t ordinal = 0; ordinal < d.disc_len; ++ordinal) {
+    std::vector<WatchEntry>& w = watchers_[provs[ordinal].value];
+    disc_arena_.set_watch_slot(d.disc_start + ordinal,
+                               static_cast<std::uint32_t>(w.size()));
+    w.push_back(WatchEntry{d.peer, d.id, ordinal});
   }
+  d.watched = true;
 }
 
 void System::unwatch_providers(Download& d) {
-  P2PEX_ASSERT_MSG(d.watch_slots.size() == d.discovered.size(),
-                   "unwatch without a matching watch");
-  std::uint32_t ordinal = 0;
-  for (PeerId prov : d.discovered) {
-    std::vector<WatchEntry>& w = watchers_[prov.value];
-    const std::uint32_t slot = d.watch_slots[ordinal++];
+  P2PEX_ASSERT_MSG(d.watched, "unwatch without a matching watch");
+  const std::span<const PeerId> provs = discovered(d);
+  for (std::uint32_t ordinal = 0; ordinal < d.disc_len; ++ordinal) {
+    std::vector<WatchEntry>& w = watchers_[provs[ordinal].value];
+    const std::uint32_t slot = disc_arena_.watch_slot(d.disc_start + ordinal);
     P2PEX_ASSERT_MSG(slot < w.size() && w[slot].download == d.id,
                      "watcher back-reference broken");
     w[slot] = w.back();  // order-free multiset: swap-and-pop
     w.pop_back();
-    if (slot < w.size())  // fix the moved entry's back-reference
-      downloads_[w[slot].download.value].watch_slots[w[slot].ordinal] = slot;
+    if (slot < w.size()) {  // fix the moved entry's back-reference
+      const WatchEntry& moved = w[slot];
+      disc_arena_.set_watch_slot(
+          downloads_[moved.download.value].disc_start + moved.ordinal, slot);
+    }
   }
-  d.watch_slots.clear();
+  d.watched = false;
 }
 
 const GraphSnapshot& System::graph_snapshot() const {
@@ -139,14 +142,15 @@ void System::build_peer_rows(const Peer& p, GraphSnapshot& snap) const {
   }
 
   // Closure facts and Bloom closer candidates of the peer as search
-  // root, in issue order; d.discovered is unordered, so eligible
-  // providers are sorted per download (matching want_providers'
-  // sorted output, which the Bloom hit order depends on).
+  // root, in issue order; the discovered span is in lookup-return
+  // order, so eligible providers are sorted per download (matching
+  // want_providers' sorted output, which the Bloom hit order depends
+  // on).
   for (DownloadId did : p.pending_list) {
     const Download& d = downloads_[did.value];
     if (!d.active) continue;
     snap_providers_.clear();
-    for (PeerId prov : d.discovered) {
+    for (PeerId prov : discovered(d)) {
       const Peer& pr = peers_[prov.value];
       if (pr.online && pr.shares && pr.storage.contains(d.object))
         snap_providers_.push_back(prov);
@@ -167,12 +171,17 @@ void System::build_peer_rows(const Peer& p, GraphSnapshot& snap) const {
 
 void System::refresh_bloom_summaries() {
   const GraphSnapshot& snap = graph_snapshot();
+  // Filter maintenance shards over the pool (nullptr = serial) — the
+  // summaries come out bit-identical either way, so thread count stays
+  // invisible to replays.
+  parallel::WorkerPool* pool = sweep_pool();
   if (bloom_all_dirty_) {
     finder_.rebuild_summaries(snap, cfg_.bloom_expected_per_level,
-                              cfg_.bloom_fpp);
+                              cfg_.bloom_fpp, pool);
   } else if (!bloom_dirty_.empty()) {
     finder_.refresh_summaries(snap, bloom_dirty_,
-                              cfg_.bloom_expected_per_level, cfg_.bloom_fpp);
+                              cfg_.bloom_expected_per_level, cfg_.bloom_fpp,
+                              pool);
   } else {
     // Nothing moved since the last refresh: the summaries are already
     // exactly what a rebuild would produce.
@@ -216,7 +225,7 @@ std::vector<ObjectId> System::close_objects(PeerId root,
   for (DownloadId did : r.pending_list) {
     const Download& d = downloads_[did.value];
     if (!d.active) continue;
-    if (d.discovered.count(provider) == 0) continue;
+    if (!discovered_contains(d, provider)) continue;
     if (!prov.storage.contains(d.object)) continue;
     // Skip wants this provider is already serving us in a ring.
     if (const IrqEntry* e = prov.irq.find(RequestKey{root, d.object});
@@ -235,8 +244,8 @@ std::vector<std::pair<ObjectId, std::vector<PeerId>>> System::want_providers(
     const Download& d = downloads_[did.value];
     if (!d.active) continue;
     std::vector<PeerId> providers;
-    providers.reserve(d.discovered.size());
-    for (PeerId p : d.discovered) {
+    providers.reserve(d.disc_len);
+    for (PeerId p : discovered(d)) {
       const Peer& prov = peers_[p.value];
       if (prov.online && prov.shares && prov.storage.contains(d.object))
         providers.push_back(p);
@@ -280,6 +289,50 @@ double System::mean_bloom_summary_bytes() const {
   return counted == 0 ? 0.0 : total / static_cast<double>(counted);
 }
 
+MemoryFootprint System::memory_footprint() const {
+  // Container-capacity accounting: every term derives from sizes and
+  // capacities (never addresses), so the figure is deterministic and the
+  // capacity tests can pin per-peer budgets on it. Hash-based members
+  // (IRQ indexes, credit ledgers) are principled estimates, not
+  // allocator ground truth — the capacity bench pairs this with RSS.
+  MemoryFootprint f;
+  f.peer_bytes = peers_.capacity() * sizeof(Peer);
+  for (const Peer& p : peers_) {
+    f.peer_bytes += p.storage.memory_bytes() + p.interests.memory_bytes() +
+                    p.irq.memory_bytes() + p.credit.memory_bytes() +
+                    p.pending_list.capacity() * sizeof(DownloadId) +
+                    p.uploads.capacity() * sizeof(SessionId);
+  }
+
+  f.download_bytes = downloads_.capacity() * sizeof(Download) +
+                     free_downloads_.capacity() * sizeof(DownloadId) +
+                     disc_arena_.memory_bytes();
+  for (const Download& d : downloads_)
+    f.download_bytes += d.sessions.capacity() * sizeof(SessionId);
+
+  f.session_bytes = sessions_.capacity() * sizeof(Session) +
+                    free_sessions_.capacity() * sizeof(SessionId);
+
+  f.ring_bytes = rings_.capacity() * sizeof(Ring) +
+                 free_rings_.capacity() * sizeof(RingId);
+  for (const Ring& r : rings_)
+    f.ring_bytes += r.sessions.capacity() * sizeof(SessionId);
+
+  f.graph_bytes = snapshot_.memory_bytes() + audit_snapshot_.memory_bytes() +
+                  watchers_.capacity() * sizeof(std::vector<WatchEntry>);
+  for (const auto& w : watchers_)
+    f.graph_bytes += w.capacity() * sizeof(WatchEntry);
+  f.graph_bytes +=
+      (graph_dirty_stamp_.capacity() + bloom_dirty_stamp_.capacity() +
+       snap_seen_.capacity() + last_touch_seq_.capacity()) *
+      sizeof(std::uint64_t);
+  f.graph_bytes += (graph_dirty_.capacity() + bloom_dirty_.capacity() +
+                    snap_providers_.capacity()) *
+                   sizeof(PeerId);
+  f.graph_bytes += spec_slot_.capacity() * sizeof(std::uint32_t);
+  return f;
+}
+
 void System::check_invariants() const {
   std::vector<int> up(peers_.size(), 0);
   std::vector<int> down(peers_.size(), 0);
@@ -319,10 +372,17 @@ void System::check_invariants() const {
     P2PEX_ASSERT_MSG(p.uploads.size() ==
                          static_cast<std::size_t>(p.upload_in_use),
                      "uploads list out of sync");
-    P2PEX_ASSERT_MSG(p.pending.size() == p.pending_list.size(),
-                     "pending map/list out of sync");
     P2PEX_ASSERT_MSG(p.pending_list.size() <= cfg_.max_pending,
                      "pending cap exceeded");
+    for (const DownloadId did : p.pending_list) {
+      const Download& d = downloads_[did.value];
+      P2PEX_ASSERT_MSG(d.active && d.peer == p.id,
+                       "pending list entry inconsistent");
+      // find_pending returns the first match, so a duplicate object in
+      // the list makes its second entry fail this.
+      P2PEX_ASSERT_MSG(find_pending(p, d.object) == did,
+                       "duplicate pending object");
+    }
     for (const IrqEntry& e : p.irq.entries()) {
       P2PEX_ASSERT_MSG(p.storage.contains(e.object),
                        "IRQ entry for an unstored object");
@@ -343,16 +403,22 @@ void System::check_invariants() const {
     }
   }
 
+  std::size_t live_disc_rows = 0;
   for (const Download& d : downloads_) {
     if (!d.active) continue;
+    live_disc_rows += d.disc_len;
     P2PEX_ASSERT_MSG(d.received <= static_cast<double>(d.size) + 1.0,
                      "download overshot its size");
-    for (PeerId provider : d.registered) {
+    const std::vector<PeerId> regs = registered_sorted(d);
+    P2PEX_ASSERT_MSG(regs.size() == d.reg_count, "registered count drift");
+    for (PeerId provider : regs) {
       const IrqEntry* e =
           peers_[provider.value].irq.find(RequestKey{d.peer, d.object});
       P2PEX_ASSERT_MSG(e != nullptr, "registered provider lost the entry");
     }
   }
+  P2PEX_ASSERT_MSG(live_disc_rows == disc_arena_.live_rows(),
+                   "provider arena live-row accounting drift");
 
   P2PEX_ASSERT_MSG(metrics_.uploaded() == metrics_.downloaded(),
                    "byte conservation violated");

@@ -67,6 +67,24 @@ class IncomingRequestQueue {
   /// Entries registered by one requester (any state), FIFO order.
   [[nodiscard]] std::vector<IrqEntry*> entries_from(PeerId requester);
 
+  /// Estimated heap bytes held: list nodes plus both index maps (hash
+  /// node overhead approximated at two pointers per entry plus the
+  /// bucket arrays). Deterministic inputs only — capacity/size, never
+  /// addresses — so tests can pin budgets on it.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
+    std::size_t by_req = 0;
+    for (const auto& [req, its] : by_requester_)
+      by_req += sizeof(PeerId) + kNodeOverhead +
+                its.capacity() * sizeof(List::iterator);
+    return entries_.size() * (sizeof(IrqEntry) + kNodeOverhead) +
+           by_key_.size() *
+               (sizeof(RequestKey) + sizeof(List::iterator) + kNodeOverhead) +
+           (by_key_.bucket_count() + by_requester_.bucket_count()) *
+               sizeof(void*) +
+           by_req;
+  }
+
  private:
   using List = std::list<IrqEntry>;
 

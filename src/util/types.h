@@ -7,9 +7,11 @@
 #pragma once
 
 #include <compare>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <stdexcept>
 
 namespace p2pex {
 
@@ -42,6 +44,19 @@ struct StrongId {
 
   constexpr StrongId() = default;
   constexpr explicit StrongId(std::uint32_t v) : value(v) {}
+
+  /// Checked construction from a table index. Ids are 32-bit with the
+  /// all-ones pattern reserved as the invalid sentinel; a table that
+  /// reaches 2^32-1 rows would mint an id that compares equal to
+  /// kInvalid and silently aliases every default-constructed handle.
+  /// Fail loudly (always on, release builds included) instead.
+  [[nodiscard]] static StrongId from_index(std::size_t index) {
+    if (index >= static_cast<std::size_t>(kInvalidValue))
+      throw std::overflow_error(
+          "StrongId overflow: table index collides with the invalid-id "
+          "sentinel (2^32-1 ids exhausted)");
+    return StrongId{static_cast<std::uint32_t>(index)};
+  }
 
   [[nodiscard]] constexpr bool valid() const { return value != kInvalidValue; }
 

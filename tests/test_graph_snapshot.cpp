@@ -489,6 +489,31 @@ TEST(GraphSnapshotPatch, CompactionBoundsSlack) {
   EXPECT_TRUE(snap.rows_equal(fresh));
 }
 
+TEST(GraphSnapshotPatch, ChurnedFootprintStaysAtTheLiveWatermark) {
+  PatchModel model(50, 13);
+  GraphSnapshot snap;
+  model.build_full(snap);
+  // Warm up: let arenas, compaction and the patch scratch reach their
+  // steady-state capacities.
+  for (int round = 0; round < 25; ++round)
+    model.patch(snap, model.mutate(5));
+  const std::size_t watermark = snap.memory_bytes();
+  ASSERT_GT(watermark, 0u);
+  // Hundreds more churn cycles over a stationary live size must not move
+  // the footprint past the warm watermark (plus modest headroom for
+  // capacity rounding). The old scratch-reserve-to-capacity bug fails
+  // this: every compaction re-reserved scratch to the arena's *capacity*
+  // instead of its live size, ratcheting the footprint up with churn.
+  for (int round = 0; round < 300; ++round) {
+    model.patch(snap, model.mutate(5));
+    ASSERT_LE(snap.memory_bytes(), watermark + watermark / 2)
+        << "round " << round;
+  }
+  GraphSnapshot fresh;
+  model.build_full(fresh);
+  EXPECT_TRUE(snap.rows_equal(fresh));
+}
+
 class PatchFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(PatchFuzz, PatchedSnapshotMatchesFromScratchRebuild) {

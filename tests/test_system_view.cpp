@@ -68,11 +68,11 @@ TEST_F(SystemViewTest, CloseObjectsAreGenuinelyClosable) {
       if (root == prov) continue;
       for (ObjectId o :
            system_->close_objects(PeerId{root}, PeerId{prov})) {
-        const Peer& r = system_->peer(PeerId{root});
         const Peer& p = system_->peer(PeerId{prov});
         EXPECT_TRUE(p.shares && p.online);
         EXPECT_TRUE(p.storage.contains(o));
-        EXPECT_TRUE(r.pending.count(o)) << "root does not want " << o.value;
+        EXPECT_TRUE(system_->has_pending(PeerId{root}, o))
+            << "root does not want " << o.value;
       }
     }
   }
@@ -83,7 +83,7 @@ TEST_F(SystemViewTest, WantProvidersSortedAndOwning) {
     for (const auto& [object, providers] :
          system_->want_providers(PeerId{root})) {
       EXPECT_TRUE(std::is_sorted(providers.begin(), providers.end()));
-      EXPECT_TRUE(system_->peer(PeerId{root}).pending.count(object));
+      EXPECT_TRUE(system_->has_pending(PeerId{root}, object));
       for (PeerId p : providers)
         EXPECT_TRUE(system_->peer(p).storage.contains(object));
     }

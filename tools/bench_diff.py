@@ -4,8 +4,9 @@
 Usage:
     bench_diff.py BASELINE.json CURRENT.json [--threshold 0.15]
                   [--metric real_time] [--alloc-threshold 0.15]
+                  [--bytes-threshold 0.15]
 
-Benchmarks are matched by name. Two metric families are compared:
+Benchmarks are matched by name. Three metric families are compared:
 
   * the time metric (--metric, default real_time), failing on a
     fractional slowdown beyond --threshold (default +15%);
@@ -17,7 +18,14 @@ Benchmarks are matched by name. Two metric families are compared:
     baseline (< 1 alloc/op — an allocation-free path) fails on the
     absolute increase alone, since any relative delta is meaningless
     there and losing the allocation-free property is exactly what the
-    gate exists to catch.
+    gate exists to catch;
+  * every memory counter (name starting with "bytes", e.g.
+    bytes_per_peer from the capacity sweep), failing beyond
+    --bytes-threshold (default +15%) — the regression guard for
+    per-peer memory capacity. These counters are deterministic
+    (container-capacity accounting, not RSS), so the relative gate is
+    exact; counters like rss_bytes_per_peer that start with "rss" are
+    reported but never gated.
 
 Benchmarks are compared strictly like-for-like: a thread-sweep variant
 (".../threads:8") is only ever diffed against the same thread count in
@@ -51,9 +59,10 @@ def canonical_name(name):
 
 def load_benchmarks(path, metric):
     """Returns {name: {metric_name: value}} from a Google Benchmark JSON
-    file, keeping the requested time metric plus every alloc counter.
-    Names are canonicalized (see canonical_name) unless that would
-    collide two distinct benchmarks, in which case the raw names stay."""
+    file, keeping the requested time metric plus every alloc/bytes
+    counter (and ungated rss counters, for the report). Names are
+    canonicalized (see canonical_name) unless that would collide two
+    distinct benchmarks, in which case the raw names stay."""
     with open(path) as f:
         data = json.load(f)
     rows = []
@@ -69,7 +78,8 @@ def load_benchmarks(path, metric):
         if metric in bench:
             metrics[metric] = float(bench[metric])
         for key, value in bench.items():
-            if key.startswith("allocs") and isinstance(value, (int, float)):
+            if key.startswith(("allocs", "bytes", "rss")) and isinstance(
+                    value, (int, float)):
                 metrics[key] = float(value)
         if metrics:
             rows.append((name, metrics))
@@ -106,6 +116,13 @@ def main():
         help="fractional allocs-per-op increase that fails the job "
         "(default 0.15)",
     )
+    parser.add_argument(
+        "--bytes-threshold",
+        type=float,
+        default=0.15,
+        help="fractional bytes-counter increase that fails the job "
+        "(default 0.15)",
+    )
     args = parser.parse_args()
 
     if not os.path.exists(args.baseline):
@@ -138,10 +155,16 @@ def main():
             delta = (n - o) / o if o > 0 else 0.0
             if key == args.metric:
                 regressed = delta > args.threshold
-            elif o < 1.0:  # allocation-free baseline: absolute test only
-                regressed = n - o > 0.5
-            else:  # alloc counter: relative + absolute noise guards
-                regressed = n - o > 0.5 and delta > args.alloc_threshold
+            elif key.startswith("bytes"):
+                # Deterministic capacity accounting: exact relative gate.
+                regressed = o > 0 and delta > args.bytes_threshold
+            elif key.startswith("allocs"):
+                if o < 1.0:  # allocation-free baseline: absolute test only
+                    regressed = n - o > 0.5
+                else:  # alloc counter: relative + absolute noise guards
+                    regressed = n - o > 0.5 and delta > args.alloc_threshold
+            else:  # informational counters (rss_*): reported, never gated
+                regressed = False
             shown = f"{delta:+7.1%}" if o > 0 else f"(was {o:g})"
             note = shown
             if regressed:
@@ -159,7 +182,8 @@ def main():
     if regressions:
         print(f"\nbench_diff: {len(regressions)} metric(s) regressed beyond "
               f"their threshold (time {args.threshold:.0%}, allocs "
-              f"{args.alloc_threshold:.0%}):")
+              f"{args.alloc_threshold:.0%}, bytes "
+              f"{args.bytes_threshold:.0%}):")
         for label, shown in regressions:
             print(f"  {label}: {shown}")
         return 1
