@@ -1,6 +1,7 @@
 #include "catalog/catalog.h"
 
 #include "util/assert.h"
+#include "util/contracts.h"
 
 namespace p2pex {
 
@@ -25,8 +26,8 @@ Catalog::Catalog(const CatalogConfig& config, Rng& rng)
         static_cast<std::int64_t>(config.max_objects_per_category)));
     object_samplers_.emplace_back(count, config.object_popularity_f);
     for (std::size_t i = 0; i < count; ++i)
-      category_of_.push_back(static_cast<std::uint32_t>(c));
-    next += static_cast<std::uint32_t>(count);
+      category_of_.push_back(narrow_u32(c));
+    next += narrow_u32(count);
   }
   first_object_.push_back(next);
 }
@@ -44,11 +45,11 @@ CategoryId Catalog::category_of(ObjectId o) const {
 ObjectId Catalog::object_at(CategoryId c, std::size_t rank) const {
   P2PEX_ASSERT(c.value < num_categories());
   P2PEX_ASSERT(rank < category_size(c));
-  return ObjectId{first_object_[c.value] + static_cast<std::uint32_t>(rank)};
+  return ObjectId{first_object_[c.value] + narrow_u32(rank)};
 }
 
 CategoryId Catalog::sample_category(Rng& rng) const {
-  return CategoryId{static_cast<std::uint32_t>(category_sampler_.sample(rng))};
+  return CategoryId{narrow_u32(category_sampler_.sample(rng))};
 }
 
 ObjectId Catalog::sample_object_in(CategoryId c, Rng& rng) const {

@@ -5,6 +5,7 @@
 #include "core/parallel/shard_map.h"
 #include "core/parallel/worker_pool.h"
 #include "util/assert.h"
+#include "util/contracts.h"
 #include "util/sort.h"
 
 namespace p2pex {
@@ -120,8 +121,8 @@ std::vector<RingProposal> ExchangeFinder::find_full(
     if (closures[i].provider.value < n) {
       CloserSlot& c = closers_[closures[i].provider.value];
       c.stamp = stamp;
-      c.lo = static_cast<std::uint32_t>(i);
-      c.hi = static_cast<std::uint32_t>(j);
+      c.lo = narrow_u32(i);
+      c.hi = narrow_u32(j);
     }
     i = j;
   }
@@ -220,14 +221,14 @@ void ExchangeFinder::rebuild_summaries(const GraphSnapshot& view,
   // index scatters across peers and stays serial.
   parallel_for(pool, n, [&](std::size_t i) {
     const std::span<const PeerId> row =
-        view.requesters_of(PeerId{static_cast<std::uint32_t>(i)});
+        view.requesters_of(PeerId{narrow_u32(i)});
     sum_children_[i].assign(row.begin(), row.end());
     for (const PeerId r : row) summaries_[i].insert(1, r);
   });
   for (std::size_t i = 0; i < n; ++i)
     for (const PeerId r : sum_children_[i])
       if (r.value < n)
-        sum_parents_[r.value].push_back(PeerId{static_cast<std::uint32_t>(i)});
+        sum_parents_[r.value].push_back(PeerId{narrow_u32(i)});
 
   // Level k = union of the children's level k-1 filters — exactly the
   // protocol's merge of forwarded summaries, so false positives compound
@@ -265,12 +266,12 @@ void ExchangeFinder::refresh_summaries(const GraphSnapshot& view,
   // unchanged, so the stale index stays exact for them; dirty peers are
   // recomputed at every level regardless.
   for (const PeerId p : dirty_rows) {
-    P2PEX_ASSERT_MSG(p.value < n, "dirty row beyond the population");
+    P2PEX_INVARIANT_MSG(p.value < n, "dirty row beyond the population");
     for (const PeerId c : sum_children_[p.value]) {
       if (c.value >= n) continue;
       std::vector<PeerId>& parents = sum_parents_[c.value];
       const auto it = std::find(parents.begin(), parents.end(), p);
-      P2PEX_ASSERT_MSG(it != parents.end(), "summary reverse index broken");
+      P2PEX_INVARIANT_MSG(it != parents.end(), "summary reverse index broken");
       *it = parents.back();  // order-free: merges are commutative unions
       parents.pop_back();
     }

@@ -1,9 +1,11 @@
 #include "core/graph_snapshot.h"
 
 #include <algorithm>
+#include <numeric>
 #include <type_traits>
 
 #include "util/assert.h"
+#include "util/contracts.h"
 #include "util/sort.h"
 
 namespace p2pex {
@@ -34,20 +36,20 @@ void GraphSnapshot::begin(std::size_t num_peers) {
 }
 
 void GraphSnapshot::add_edge(PeerId requester, ObjectId object) {
-  P2PEX_ASSERT_MSG(cursor_ < num_peers_ || peer_open_,
+  P2PEX_INVARIANT_MSG(cursor_ < num_peers_ || peer_open_,
                    "add_edge outside an open peer");
   edge_requesters_.push_back(requester);
   edge_objects_.push_back(object);
 }
 
 void GraphSnapshot::add_closure(PeerId provider, ObjectId object) {
-  P2PEX_ASSERT_MSG(cursor_ < num_peers_ || peer_open_,
+  P2PEX_INVARIANT_MSG(cursor_ < num_peers_ || peer_open_,
                    "add_closure outside an open peer");
   closures_.push_back(CloseEdge{provider, object});
 }
 
 void GraphSnapshot::add_want(ObjectId object, PeerId provider) {
-  P2PEX_ASSERT_MSG(cursor_ < num_peers_ || peer_open_,
+  P2PEX_INVARIANT_MSG(cursor_ < num_peers_ || peer_open_,
                    "add_want outside an open peer");
   wants_.push_back(WantEdge{object, provider});
 }
@@ -62,9 +64,9 @@ void GraphSnapshot::seal_rows(std::uint32_t peer) {
       closures_.end(), [](const CloseEdge& a, const CloseEdge& b) {
         return a.provider < b.provider;
       });
-  const auto edge_end = static_cast<std::uint32_t>(edge_requesters_.size());
-  const auto closure_end = static_cast<std::uint32_t>(closures_.size());
-  const auto want_end = static_cast<std::uint32_t>(wants_.size());
+  const auto edge_end = narrow_u32(edge_requesters_.size());
+  const auto closure_end = narrow_u32(closures_.size());
+  const auto want_end = narrow_u32(wants_.size());
   if (patching_) {
     // Add the new length before subtracting the old so the arithmetic
     // stays non-negative (size_t) even when a row shrinks.
@@ -95,9 +97,9 @@ void GraphSnapshot::seal_rows(std::uint32_t peer) {
 }
 
 void GraphSnapshot::next_peer() {
-  P2PEX_ASSERT_MSG(!patching_, "next_peer during a patch");
-  P2PEX_ASSERT_MSG(cursor_ < num_peers_, "next_peer past the last peer");
-  seal_rows(static_cast<std::uint32_t>(cursor_));
+  P2PEX_INVARIANT_MSG(!patching_, "next_peer during a patch");
+  P2PEX_INVARIANT_MSG(cursor_ < num_peers_, "next_peer past the last peer");
+  seal_rows(narrow_u32(cursor_));
   ++cursor_;
 }
 
@@ -114,17 +116,17 @@ void GraphSnapshot::begin_patch() {
 }
 
 void GraphSnapshot::patch_peer(PeerId p) {
-  P2PEX_ASSERT_MSG(patching_ && !peer_open_, "patch_peer outside a patch");
-  P2PEX_ASSERT_MSG(p.value < num_peers_, "patch_peer beyond the population");
+  P2PEX_INVARIANT_MSG(patching_ && !peer_open_, "patch_peer outside a patch");
+  P2PEX_INVARIANT_MSG(p.value < num_peers_, "patch_peer beyond the population");
   patch_peer_ = p;
   peer_open_ = true;
-  edge_mark_ = static_cast<std::uint32_t>(edge_requesters_.size());
-  closure_mark_ = static_cast<std::uint32_t>(closures_.size());
-  want_mark_ = static_cast<std::uint32_t>(wants_.size());
+  edge_mark_ = narrow_u32(edge_requesters_.size());
+  closure_mark_ = narrow_u32(closures_.size());
+  want_mark_ = narrow_u32(wants_.size());
 }
 
 void GraphSnapshot::seal_peer() {
-  P2PEX_ASSERT_MSG(patching_ && peer_open_, "seal_peer without patch_peer");
+  P2PEX_INVARIANT_MSG(patching_ && peer_open_, "seal_peer without patch_peer");
   seal_rows(patch_peer_.value);
   peer_open_ = false;
 }
@@ -132,6 +134,18 @@ void GraphSnapshot::seal_peer() {
 void GraphSnapshot::finish_patch() {
   P2PEX_ASSERT_MSG(patching_ && !peer_open_,
                    "finish_patch with an open peer");
+  // O(num_peers) bookkeeping cross-check, audit builds only: the live
+  // counters the compaction heuristic steers by must equal the sum of
+  // the per-peer row lengths the patch just rewrote.
+  P2PEX_EXPENSIVE_INVARIANT_MSG(
+      edge_live_ == std::accumulate(edge_len_.begin(), edge_len_.end(),
+                                    std::size_t{0}) &&
+          closure_live_ == std::accumulate(closure_len_.begin(),
+                                           closure_len_.end(),
+                                           std::size_t{0}) &&
+          want_live_ == std::accumulate(want_len_.begin(), want_len_.end(),
+                                        std::size_t{0}),
+      "patched live counters diverge from per-peer row lengths");
   patching_ = false;
   maybe_compact();
 }
@@ -165,7 +179,7 @@ void GraphSnapshot::maybe_compact() {
     for (std::size_t i = 0; i < num_peers_; ++i) {
       const std::uint32_t lo = edge_start_[i];
       const std::uint32_t hi = lo + edge_len_[i];
-      edge_start_[i] = static_cast<std::uint32_t>(scratch_requesters_.size());
+      edge_start_[i] = narrow_u32(scratch_requesters_.size());
       scratch_requesters_.insert(scratch_requesters_.end(),
                                  edge_requesters_.begin() + lo,
                                  edge_requesters_.begin() + hi);
@@ -184,7 +198,7 @@ void GraphSnapshot::maybe_compact() {
     for (std::size_t i = 0; i < num_peers_; ++i) {
       const std::uint32_t lo = closure_start_[i];
       const std::uint32_t hi = lo + closure_len_[i];
-      closure_start_[i] = static_cast<std::uint32_t>(scratch_closures_.size());
+      closure_start_[i] = narrow_u32(scratch_closures_.size());
       scratch_closures_.insert(scratch_closures_.end(),
                                closures_.begin() + lo, closures_.begin() + hi);
     }
@@ -197,7 +211,7 @@ void GraphSnapshot::maybe_compact() {
     for (std::size_t i = 0; i < num_peers_; ++i) {
       const std::uint32_t lo = want_start_[i];
       const std::uint32_t hi = lo + want_len_[i];
-      want_start_[i] = static_cast<std::uint32_t>(scratch_wants_.size());
+      want_start_[i] = narrow_u32(scratch_wants_.size());
       scratch_wants_.insert(scratch_wants_.end(), wants_.begin() + lo,
                             wants_.begin() + hi);
     }

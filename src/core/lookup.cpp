@@ -16,6 +16,8 @@ void LookupService::remove_owner(ObjectId object, PeerId peer) {
 }
 
 void LookupService::remove_peer(PeerId peer) {
+  // p2pex-lint: order-insensitive (erases `peer` from every value; the
+  // final index state is the same whatever order buckets are visited)
   for (auto it = owners_.begin(); it != owners_.end();) {
     it->second.erase(peer);
     if (it->second.empty())
@@ -31,6 +33,7 @@ std::vector<PeerId> LookupService::owners(ObjectId object,
   const auto it = owners_.find(object);
   if (it == owners_.end()) return out;
   out.reserve(it->second.size());
+  // p2pex-lint: order-insensitive (collected set is sorted before return)
   for (PeerId p : it->second)
     if (p != except) out.push_back(p);
   std::sort(out.begin(), out.end());

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "util/assert.h"
+#include "util/contracts.h"
 
 namespace p2pex::parallel {
 
@@ -47,14 +48,14 @@ class EffectQueues {
   /// the previous pass's payload. Workers call this for exactly their
   /// own shard.
   [[nodiscard]] Effect& emplace(std::size_t s) {
-    P2PEX_ASSERT(s < active_);
+    P2PEX_INVARIANT(s < active_);
     std::vector<Effect>& q = queues_[s];
     if (used_[s] == q.size()) q.emplace_back();
     return q[used_[s]++];
   }
 
   [[nodiscard]] std::size_t size(std::size_t s) const {
-    P2PEX_ASSERT(s < active_);
+    P2PEX_INVARIANT(s < active_);
     return used_[s];
   }
 

@@ -12,6 +12,7 @@
 #include <cstddef>
 
 #include "util/assert.h"
+#include "util/contracts.h"
 
 namespace p2pex::parallel {
 
@@ -41,7 +42,7 @@ class ShardMap {
   /// The slice shard `s` owns. Ranges tile [0, items) in shard order;
   /// trailing shards may be empty when shards > items.
   [[nodiscard]] ShardRange range(std::size_t s) const {
-    P2PEX_ASSERT(s < shards_);
+    P2PEX_INVARIANT(s < shards_);
     const std::size_t base = items_ / shards_;
     const std::size_t extra = items_ % shards_;
     const std::size_t begin = s * base + (s < extra ? s : extra);
@@ -50,7 +51,7 @@ class ShardMap {
 
   /// The shard owning worklist slot `i` (inverse of range()).
   [[nodiscard]] std::size_t shard_of(std::size_t i) const {
-    P2PEX_ASSERT(i < items_);
+    P2PEX_INVARIANT(i < items_);
     const std::size_t base = items_ / shards_;
     const std::size_t extra = items_ % shards_;
     const std::size_t pivot = extra * (base + 1);

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/contracts.h"
 #include "util/rng.h"
 
 namespace p2pex::parallel {
@@ -31,7 +32,7 @@ class ShardRngs {
   [[nodiscard]] std::size_t shards() const { return streams_.size(); }
 
   [[nodiscard]] Rng& stream(std::size_t s) {
-    P2PEX_ASSERT(s < streams_.size());
+    P2PEX_INVARIANT(s < streams_.size());
     return streams_[s];
   }
 

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "util/assert.h"
+#include "util/contracts.h"
 #include "util/types.h"
 
 namespace p2pex {
@@ -46,7 +47,7 @@ class ProviderArena {
   /// freed span of the same length when one exists. Registered flags
   /// and watch slots of the returned span are zeroed.
   std::uint32_t alloc(std::span<const PeerId> providers) {
-    const auto len = static_cast<std::uint32_t>(providers.size());
+    const auto len = narrow_u32(providers.size());
     std::uint32_t start;
     last_alloc_from_free_ = false;
     if (auto it = free_.find(len); it != free_.end() && !it->second.empty()) {
@@ -58,6 +59,7 @@ class ProviderArena {
       if (providers_.size() + len >=
           static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max()))
         throw std::overflow_error("ProviderArena overflow: 2^32 rows");
+      // p2pex-lint: checked-narrowing (overflow throw above)
       start = static_cast<std::uint32_t>(providers_.size());
       providers_.resize(providers_.size() + len);
       registered_.resize(registered_.size() + len);
@@ -77,8 +79,8 @@ class ProviderArena {
   /// Returns a span to the freelist. The exact-length bucket means a
   /// future alloc of the same size reuses it verbatim.
   void release(std::uint32_t start, std::uint32_t len) {
-    P2PEX_ASSERT(static_cast<std::size_t>(start) + len <= providers_.size());
-    P2PEX_ASSERT(live_rows_ >= len);
+    P2PEX_INVARIANT(static_cast<std::size_t>(start) + len <= providers_.size());
+    P2PEX_INVARIANT(live_rows_ >= len);
     live_rows_ -= len;
     if (len != 0) free_[len].push_back(start);
   }
@@ -142,6 +144,7 @@ class ProviderArena {
   /// Heap bytes held (capacities, incl. freelist buckets).
   [[nodiscard]] std::size_t memory_bytes() const {
     std::size_t free_bytes = 0;
+    // p2pex-lint: order-insensitive (commutative sum over bucket sizes)
     for (const auto& [len, bucket] : free_)
       free_bytes += bucket.capacity() * sizeof(std::uint32_t) +
                     sizeof(void*) * 4;  // node + bucket overhead estimate

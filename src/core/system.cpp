@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "util/assert.h"
+#include "util/contracts.h"
 
 namespace p2pex {
 
@@ -24,22 +25,22 @@ System::System(const SimConfig& config, const PopulationPlan& plan)
 }
 
 Peer& System::peer_mut(PeerId p) {
-  P2PEX_ASSERT(p.value < peers_.size());
+  P2PEX_INVARIANT(p.value < peers_.size());
   return peers_[p.value];
 }
 
 const Peer& System::peer(PeerId p) const {
-  P2PEX_ASSERT(p.value < peers_.size());
+  P2PEX_INVARIANT(p.value < peers_.size());
   return peers_[p.value];
 }
 
 Download& System::download(DownloadId d) {
-  P2PEX_ASSERT(d.value < downloads_.size());
+  P2PEX_INVARIANT(d.value < downloads_.size());
   return downloads_[d.value];
 }
 
 Session& System::session(SessionId s) {
-  P2PEX_ASSERT(s.value < sessions_.size());
+  P2PEX_INVARIANT(s.value < sessions_.size());
   return sessions_[s.value];
 }
 
@@ -56,7 +57,7 @@ bool System::is_registered(const Download& d, PeerId p) const {
 
 void System::set_registered(Download& d, PeerId p) {
   const std::uint32_t i = disc_arena_.find(d.disc_start, d.disc_len, p);
-  P2PEX_ASSERT_MSG(i != d.disc_len, "registering an undiscovered provider");
+  P2PEX_INVARIANT_MSG(i != d.disc_len, "registering an undiscovered provider");
   if (!disc_arena_.registered(d.disc_start + i)) {
     disc_arena_.set_registered(d.disc_start + i, true);
     ++d.reg_count;
@@ -65,10 +66,10 @@ void System::set_registered(Download& d, PeerId p) {
 
 void System::clear_registered(Download& d, PeerId p) {
   const std::uint32_t i = disc_arena_.find(d.disc_start, d.disc_len, p);
-  P2PEX_ASSERT_MSG(i != d.disc_len, "unregistering an undiscovered provider");
+  P2PEX_INVARIANT_MSG(i != d.disc_len, "unregistering an undiscovered provider");
   if (disc_arena_.registered(d.disc_start + i)) {
     disc_arena_.set_registered(d.disc_start + i, false);
-    P2PEX_ASSERT(d.reg_count > 0);
+    P2PEX_INVARIANT(d.reg_count > 0);
     --d.reg_count;
   }
 }
@@ -89,7 +90,7 @@ Download& System::alloc_download() {
     free_downloads_.pop_back();
     ++counters_.download_rows_reused;
     Download& d = downloads_[did.value];
-    P2PEX_ASSERT_MSG(!d.active, "free download row still active");
+    P2PEX_INVARIANT_MSG(!d.active, "free download row still active");
     d.id = did;
     d.size = 0;
     d.received = 0.0;
@@ -107,7 +108,7 @@ Download& System::alloc_download() {
 }
 
 void System::release_download(Download& d) {
-  P2PEX_ASSERT_MSG(!d.active && !d.watched && d.sessions.empty(),
+  P2PEX_INVARIANT_MSG(!d.active && !d.watched && d.sessions.empty(),
                    "releasing a download that is still referenced");
   disc_arena_.release(d.disc_start, d.disc_len);
   d.disc_start = d.disc_len = d.reg_count = 0;
@@ -115,15 +116,17 @@ void System::release_download(Download& d) {
 }
 
 void System::release_session(SessionId sid) {
-  P2PEX_ASSERT(!sessions_[sid.value].active);
+  P2PEX_INVARIANT(!sessions_[sid.value].active);
   free_sessions_.push_back(sid);
 }
 
 void System::release_ring(RingId rid) {
-  P2PEX_ASSERT(!rings_[rid.value].active);
+  P2PEX_INVARIANT(!rings_[rid.value].active);
   free_rings_.push_back(rid);
 }
 
+// p2pex-lint: no-graph-effect (construction: runs before the first
+// snapshot build, which reads the finished peer table wholesale)
 void System::build_peers(const PopulationPlan& plan) {
   const std::size_t n = cfg_.num_peers;
   peers_.reserve(n);
@@ -155,7 +158,7 @@ void System::build_peers(const PopulationPlan& plan) {
           static_cast<std::int64_t>(cfg_.min_categories_per_peer),
           static_cast<std::int64_t>(cfg_.max_categories_per_peer)));
       const bool lies = nonsharing[i] != 0 && rng_.chance(cfg_.liar_fraction);
-      peers_.emplace_back(PeerId{static_cast<std::uint32_t>(i)}, Storage(cap),
+      peers_.emplace_back(PeerId::from_index(i), Storage(cap),
                           InterestProfile(catalog_, cats, rng_),
                           cfg_.irq_capacity, lies);
       Peer& p = peers_.back();
@@ -200,7 +203,7 @@ void System::build_peers(const PopulationPlan& plan) {
                            static_cast<std::int64_t>(max_cats)));
       const bool lies = !cls.shares && rng_.chance(cls.liar_fraction);
       peers_.emplace_back(
-          PeerId{static_cast<std::uint32_t>(peers_.size())}, Storage(cap),
+          PeerId::from_index(peers_.size()), Storage(cap),
           InterestProfile(catalog_, cats, interest_cap, rng_),
           cfg_.irq_capacity, lies);
       Peer& p = peers_.back();
@@ -213,6 +216,8 @@ void System::build_peers(const PopulationPlan& plan) {
   }
 }
 
+// p2pex-lint: no-graph-effect (construction: runs before the first
+// snapshot build, which reads the finished peer table wholesale)
 void System::place_initial_objects() {
   // Fill each peer's storage with objects drawn from its own interest
   // profile (paper: "we initially place objects on each peer based on the
@@ -256,7 +261,7 @@ void System::run_to(SimTime t) {
     // (paper: "requests are generated fast enough so that each peer
     // reaches this maximum early enough in the simulation").
     for (std::size_t i = 0; i < peers_.size(); ++i)
-      issue_requests(PeerId{static_cast<std::uint32_t>(i)});
+      issue_requests(PeerId::from_index(i));
     drain_dirty();
   }
   sim_.run_until(t);
@@ -311,7 +316,7 @@ bool System::issue_one_request(PeerId p) {
     d.last_update = sim_.now();
     d.issue_time = sim_.now();
     d.disc_start = disc_arena_.alloc(discovered);
-    d.disc_len = static_cast<std::uint32_t>(discovered.size());
+    d.disc_len = narrow_u32(discovered.size());
 
     // Register at a random subset of the discovered owners; the rest stay
     // usable for ring closure only. (The sample draws from the

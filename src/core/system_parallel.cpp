@@ -32,6 +32,7 @@
 #include "core/parallel/shard_map.h"
 #include "core/system.h"
 #include "util/assert.h"
+#include "util/contracts.h"
 
 namespace p2pex {
 
@@ -109,7 +110,7 @@ void System::speculate_searches() {
   spec_index_.clear();
   shard_effects_.merge([&](SearchSpeculation& e) {
     spec_index_.push_back(&e);
-    spec_slot_[e.root.value] = static_cast<std::uint32_t>(spec_index_.size());
+    spec_slot_[e.root.value] = narrow_u32(spec_index_.size());
   });
   ++spec_stats_.passes;
   spec_stats_.speculated += spec_index_.size();

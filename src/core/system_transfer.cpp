@@ -5,6 +5,7 @@
 
 #include "core/system.h"
 #include "util/assert.h"
+#include "util/contracts.h"
 
 namespace p2pex {
 
@@ -47,20 +48,20 @@ SessionId System::start_session(PeerId provider, IrqEntry& entry,
                                 RingId ring, std::uint8_t ring_size) {
   Peer& prov = peers_[provider.value];
   Peer& req = peers_[entry.requester.value];
-  P2PEX_ASSERT_MSG(prov.free_upload_slots() > 0, "no upload slot free");
-  P2PEX_ASSERT_MSG(req.free_download_slots() > 0, "no download slot free");
-  P2PEX_ASSERT_MSG(prov.storage.contains(entry.object),
+  P2PEX_INVARIANT_MSG(prov.free_upload_slots() > 0, "no upload slot free");
+  P2PEX_INVARIANT_MSG(req.free_download_slots() > 0, "no download slot free");
+  P2PEX_INVARIANT_MSG(prov.storage.contains(entry.object),
                    "serving an object not stored");
 
   Download& d = download(entry.download);
-  P2PEX_ASSERT_MSG(d.active, "session for a finished download");
+  P2PEX_INVARIANT_MSG(d.active, "session for a finished download");
   accrue_download(d);
 
   SessionId sid;
   if (!free_sessions_.empty()) {
     sid = free_sessions_.back();
     free_sessions_.pop_back();
-    P2PEX_ASSERT_MSG(!sessions_[sid.value].active,
+    P2PEX_INVARIANT_MSG(!sessions_[sid.value].active,
                      "free session row still active");
     ++counters_.session_rows_reused;
   } else {
@@ -132,7 +133,7 @@ void System::end_session(SessionId sid, SessionEnd reason) {
   --req.download_in_use;
 
   const auto it = std::find(d.sessions.begin(), d.sessions.end(), sid);
-  P2PEX_ASSERT(it != d.sessions.end());
+  P2PEX_INVARIANT(it != d.sessions.end());
   d.sessions.erase(it);
   reschedule_completion(d);
 
@@ -221,7 +222,7 @@ void System::complete_download(DownloadId did) {
   Peer& peer = peers_[d.peer.value];
   const auto it =
       std::find(peer.pending_list.begin(), peer.pending_list.end(), did);
-  P2PEX_ASSERT(it != peer.pending_list.end());
+  P2PEX_INVARIANT(it != peer.pending_list.end());
   peer.pending_list.erase(it);
 
   DownloadRecord rec;
@@ -318,7 +319,7 @@ struct PlanItem {
 }  // namespace
 
 bool System::try_form_ring(const RingProposal& proposal) {
-  P2PEX_ASSERT_MSG(proposal.well_formed(), "malformed ring proposal");
+  P2PEX_INVARIANT_MSG(proposal.well_formed(), "malformed ring proposal");
   const std::size_t n = proposal.size();
   if (n < 2 || n > cfg_.max_ring_size) return false;
 
@@ -398,7 +399,7 @@ bool System::try_form_ring(const RingProposal& proposal) {
     free_rings_.pop_back();
     ++counters_.ring_rows_reused;
     Ring& r = rings_[rid.value];
-    P2PEX_ASSERT_MSG(!r.active, "free ring row still active");
+    P2PEX_INVARIANT_MSG(!r.active, "free ring row still active");
     r.id = rid;
     r.sessions.clear();  // keeps the row's vector capacity
     r.active = true;
@@ -422,10 +423,10 @@ bool System::try_form_ring(const RingProposal& proposal) {
     Peer& x = peers_[link.provider.value];
     IrqEntry* e = x.irq.find(RequestKey{link.requester, link.object});
     if (e == nullptr) {
-      P2PEX_ASSERT(plan[i].create_entry);
+      P2PEX_INVARIANT(plan[i].create_entry);
       const Peer& y = peers_[link.requester.value];
       const DownloadId want = find_pending(y, link.object);
-      P2PEX_ASSERT(want.valid());
+      P2PEX_INVARIANT(want.valid());
       Download& d = downloads_[want.value];
       IrqEntry fresh;
       fresh.requester = link.requester;
@@ -434,7 +435,7 @@ bool System::try_form_ring(const RingProposal& proposal) {
       fresh.enqueue_time = sim_.now();
       fresh.request_time = d.issue_time;
       const bool added = x.irq.add(fresh);
-      P2PEX_ASSERT_MSG(added, "IRQ filled during token walk");
+      P2PEX_INVARIANT_MSG(added, "IRQ filled during token walk");
       e = x.irq.find(RequestKey{link.requester, link.object});
       // The closing provider came off the download's discovered list
       // (that is what makes the link closable), so the flag column can
@@ -467,7 +468,7 @@ IrqEntry* System::pick_non_exchange(Peer& provider) {
     if (e.state != RequestState::kQueued) continue;
     const Peer& req = peers_[e.requester.value];
     if (!req.online || req.free_download_slots() < 1) continue;
-    P2PEX_ASSERT_MSG(provider.storage.contains(e.object),
+    P2PEX_INVARIANT_MSG(provider.storage.contains(e.object),
                      "IRQ entry for an object not stored");
     switch (cfg_.scheduler) {
       case SchedulerKind::kFifo:

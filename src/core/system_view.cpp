@@ -9,6 +9,7 @@
 #include "core/system.h"
 #include "proto/request_tree.h"
 #include "util/assert.h"
+#include "util/contracts.h"
 
 namespace p2pex {
 
@@ -34,24 +35,24 @@ void System::touch_watchers(PeerId provider) {
 }
 
 void System::watch_providers(Download& d) {
-  P2PEX_ASSERT_MSG(!d.watched, "watch without a matching unwatch");
+  P2PEX_INVARIANT_MSG(!d.watched, "watch without a matching unwatch");
   const std::span<const PeerId> provs = discovered(d);
   for (std::uint32_t ordinal = 0; ordinal < d.disc_len; ++ordinal) {
     std::vector<WatchEntry>& w = watchers_[provs[ordinal].value];
     disc_arena_.set_watch_slot(d.disc_start + ordinal,
-                               static_cast<std::uint32_t>(w.size()));
+                               narrow_u32(w.size()));
     w.push_back(WatchEntry{d.peer, d.id, ordinal});
   }
   d.watched = true;
 }
 
 void System::unwatch_providers(Download& d) {
-  P2PEX_ASSERT_MSG(d.watched, "unwatch without a matching watch");
+  P2PEX_INVARIANT_MSG(d.watched, "unwatch without a matching watch");
   const std::span<const PeerId> provs = discovered(d);
   for (std::uint32_t ordinal = 0; ordinal < d.disc_len; ++ordinal) {
     std::vector<WatchEntry>& w = watchers_[provs[ordinal].value];
     const std::uint32_t slot = disc_arena_.watch_slot(d.disc_start + ordinal);
-    P2PEX_ASSERT_MSG(slot < w.size() && w[slot].download == d.id,
+    P2PEX_INVARIANT_MSG(slot < w.size() && w[slot].download == d.id,
                      "watcher back-reference broken");
     w[slot] = w.back();  // order-free multiset: swap-and-pop
     w.pop_back();
@@ -67,6 +68,8 @@ void System::unwatch_providers(Download& d) {
 const GraphSnapshot& System::graph_snapshot() const {
   if (snapshot_built_ && !graph_all_dirty_ && graph_dirty_.empty())
     return snapshot_;
+  // p2pex-lint: wall-clock-ok (snapshot_build_ns telemetry only; the
+  // counter is excluded from --stable reports and golden pins)
   const auto t0 = std::chrono::steady_clock::now();
   // Patch only when the dirty set is a clear minority of the rows —
   // rewriting most of the graph row by row (plus its patch slack) costs
@@ -92,7 +95,7 @@ const GraphSnapshot& System::graph_snapshot() const {
   // O(graph) rebuild must not masquerade as maintenance cost.
   counters_.snapshot_build_ns += static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - t0)
+          std::chrono::steady_clock::now() - t0)  // p2pex-lint: wall-clock-ok
           .count());
 #ifdef P2PEX_SNAPSHOT_AUDIT
   // Debug cross-check: every patched snapshot must be row-identical

@@ -74,6 +74,7 @@ class IncomingRequestQueue {
   [[nodiscard]] std::size_t memory_bytes() const {
     constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
     std::size_t by_req = 0;
+    // p2pex-lint: order-insensitive (commutative sum over bucket sizes)
     for (const auto& [req, its] : by_requester_)
       by_req += sizeof(PeerId) + kNodeOverhead +
                 its.capacity() * sizeof(List::iterator);

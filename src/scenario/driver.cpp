@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/assert.h"
+#include "util/contracts.h"
 
 namespace p2pex::scenario {
 
@@ -83,10 +84,10 @@ void Driver::expand_timeline() {
 std::pair<std::uint32_t, std::uint32_t> Driver::cohort_range(
     const std::string& cohort) const {
   if (cohort.empty())
-    return {0, static_cast<std::uint32_t>(cfg_.num_peers)};
+    return {0, narrow_u32(cfg_.num_peers)};
   std::uint32_t first = 0;
   for (const Cohort& c : spec_.cohorts) {
-    const auto count = static_cast<std::uint32_t>(c.count);
+    const auto count = narrow_u32(c.count);
     if (c.name == cohort) return {first, first + count};
     first += count;
   }

@@ -141,6 +141,7 @@ Event parse_event(const std::vector<std::string>& tokens) {
       // beyond-the-catalog validation and target the wrong category.
       if (raw >= CategoryId::kInvalidValue)
         throw ScenarioError("category id " + value + " out of range");
+      // p2pex-lint: checked-narrowing (range check above)
       e.category = CategoryId{static_cast<std::uint32_t>(raw)};
       have_category = true;
     } else if (key == "weight" && e.kind == EventKind::kFlashCrowd) {

@@ -55,6 +55,7 @@ struct StrongId {
       throw std::overflow_error(
           "StrongId overflow: table index collides with the invalid-id "
           "sentinel (2^32-1 ids exhausted)");
+    // p2pex-lint: checked-narrowing (sentinel-collision throw above)
     return StrongId{static_cast<std::uint32_t>(index)};
   }
 

@@ -1,0 +1,101 @@
+// Tests for the tiered invariant contracts (util/contracts.h).
+//
+// The tier gates are compile-time, so each behavioural branch is
+// conditioned on the macro the build actually defined: the default test
+// build is Debug or Release with no audit options, the asan preset turns
+// every tier on. Both paths of every #if are exercised across the CI
+// matrix.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/contracts.h"
+
+namespace p2pex {
+namespace {
+
+TEST(Contracts, AssertTierIsAlwaysOn) {
+  EXPECT_NO_THROW(P2PEX_ASSERT(1 + 1 == 2));
+  EXPECT_THROW(P2PEX_ASSERT(1 + 1 == 3), AssertionError);
+  EXPECT_THROW(P2PEX_ASSERT_MSG(false, "boundary check"), AssertionError);
+}
+
+TEST(Contracts, InvariantTierMatchesBuildGate) {
+  EXPECT_NO_THROW(P2PEX_INVARIANT(true));
+#ifdef P2PEX_INVARIANTS_ENABLED
+  EXPECT_THROW(P2PEX_INVARIANT(false), AssertionError);
+  EXPECT_THROW(P2PEX_INVARIANT_MSG(false, "structural"), AssertionError);
+#else
+  EXPECT_NO_THROW(P2PEX_INVARIANT(false));
+  EXPECT_NO_THROW(P2PEX_INVARIANT_MSG(false, "structural"));
+#endif
+}
+
+TEST(Contracts, ExpensiveTierMatchesAuditGate) {
+  EXPECT_NO_THROW(P2PEX_EXPENSIVE_INVARIANT(true));
+#ifdef P2PEX_EXPENSIVE_INVARIANTS_ENABLED
+  EXPECT_THROW(P2PEX_EXPENSIVE_INVARIANT(false), AssertionError);
+  EXPECT_THROW(P2PEX_EXPENSIVE_INVARIANT_MSG(false, "rescan"),
+               AssertionError);
+#else
+  EXPECT_NO_THROW(P2PEX_EXPENSIVE_INVARIANT(false));
+  EXPECT_NO_THROW(P2PEX_EXPENSIVE_INVARIANT_MSG(false, "rescan"));
+#endif
+}
+
+TEST(Contracts, DisabledTiersNeverEvaluateTheCondition) {
+  // Zero-overhead means zero side effects: a disabled tier must not run
+  // the expression. Enabled tiers evaluate it exactly once.
+  int evaluations = 0;
+  const auto probe = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  P2PEX_INVARIANT(probe());
+#ifdef P2PEX_INVARIANTS_ENABLED
+  EXPECT_EQ(evaluations, 1);
+#else
+  EXPECT_EQ(evaluations, 0);
+#endif
+
+  evaluations = 0;
+  P2PEX_EXPENSIVE_INVARIANT(probe());
+#ifdef P2PEX_EXPENSIVE_INVARIANTS_ENABLED
+  EXPECT_EQ(evaluations, 1);
+#else
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST(Contracts, NarrowU32PassesInRangeValues) {
+  EXPECT_EQ(narrow_u32(std::size_t{0}), 0u);
+  EXPECT_EQ(narrow_u32(std::size_t{123456}), 123456u);
+  EXPECT_EQ(narrow_u32(std::numeric_limits<std::uint32_t>::max()),
+            std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(narrow_u32(std::int64_t{42}), 42u);
+}
+
+TEST(Contracts, NarrowU32GuardsOutOfRangeValues) {
+  const auto over =
+      static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max()) + 1;
+#ifdef P2PEX_INVARIANTS_ENABLED
+  EXPECT_THROW(static_cast<void>(narrow_u32(over)), AssertionError);
+  EXPECT_THROW(static_cast<void>(narrow_u32(std::int64_t{-1})),
+               AssertionError);
+#else
+  // Release semantics: identical codegen to the bare static_cast.
+  EXPECT_EQ(narrow_u32(over), 0u);
+  EXPECT_EQ(narrow_u32(std::int64_t{-1}),
+            std::numeric_limits<std::uint32_t>::max());
+#endif
+}
+
+TEST(Contracts, NarrowU32IsConstexprForConstants) {
+  constexpr std::uint32_t k = narrow_u32(std::size_t{7});
+  static_assert(k == 7u);
+  EXPECT_EQ(k, 7u);
+}
+
+}  // namespace
+}  // namespace p2pex

@@ -158,6 +158,52 @@ TEST(Lookup, UnknownObjectEmpty) {
   EXPECT_TRUE(l.query(ObjectId{42}, PeerId{0}, 1.0, rng).empty());
 }
 
+TEST(Lookup, ResultsIndependentOfInsertionOrder) {
+  // Determinism-rule regression (lint D1): the index is an unordered
+  // map of unordered sets, so nothing about its internal bucket order —
+  // which depends on insertion history and the standard library's hash —
+  // may leak into results. Build the same ownership facts through
+  // adversarial histories (ascending, descending, interleaved with
+  // removals and re-adds) and require identical owners()/query() output.
+  constexpr std::uint32_t kPeers = 64;
+  constexpr std::uint32_t kObjects = 8;
+
+  LookupService ascending;
+  for (std::uint32_t o = 0; o < kObjects; ++o)
+    for (std::uint32_t p = 0; p < kPeers; ++p)
+      ascending.add_owner(ObjectId{o}, PeerId{p});
+
+  LookupService descending;
+  for (std::uint32_t o = kObjects; o-- > 0;)
+    for (std::uint32_t p = kPeers; p-- > 0;)
+      descending.add_owner(ObjectId{o}, PeerId{p});
+
+  // Churned: insert everything twice as much, then strip the extras via
+  // both removal paths so the final facts match the other two.
+  LookupService churned;
+  for (std::uint32_t o = 0; o < kObjects; ++o)
+    for (std::uint32_t p = 0; p < 2 * kPeers; ++p)
+      churned.add_owner(ObjectId{o}, PeerId{(p * 37) % (2 * kPeers)});
+  for (std::uint32_t p = kPeers; p < 2 * kPeers; ++p)
+    churned.remove_peer(PeerId{p});
+  for (std::uint32_t o = 0; o < kObjects; ++o) {
+    churned.remove_owner(ObjectId{o}, PeerId{0});
+    churned.add_owner(ObjectId{o}, PeerId{0});
+  }
+
+  for (std::uint32_t o = 0; o < kObjects; ++o) {
+    const auto want = ascending.owners(ObjectId{o}, PeerId{kPeers});
+    EXPECT_EQ(descending.owners(ObjectId{o}, PeerId{kPeers}), want);
+    EXPECT_EQ(churned.owners(ObjectId{o}, PeerId{kPeers}), want);
+    // Sampled queries must agree too: identical seed, identical draw
+    // sequence, regardless of container history.
+    Rng ra(17), rd(17), rc(17);
+    const auto qa = ascending.query(ObjectId{o}, PeerId{3}, 0.5, ra);
+    EXPECT_EQ(descending.query(ObjectId{o}, PeerId{3}, 0.5, rd), qa);
+    EXPECT_EQ(churned.query(ObjectId{o}, PeerId{3}, 0.5, rc), qa);
+  }
+}
+
 // --- Non-ring mixed exchange (Table I / Fig. 3) ---
 
 TEST(NonRing, PaperScenarioFeasible) {

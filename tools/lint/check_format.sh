@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Diff-aware clang-format check: only lines touched relative to the merge
+# base are held to .clang-format, so legacy files never block a PR that
+# does not edit them.
+#
+# Usage: tools/lint/check_format.sh [<base-ref>]
+#   base-ref defaults to origin/main (falling back to HEAD~1 when the
+#   remote ref is absent, e.g. on a fresh clone of a single branch).
+#
+# Exits 0 when clang-format or git-clang-format is unavailable — the
+# container image does not ship clang tooling; CI installs it.
+set -u
+
+base_ref="${1:-origin/main}"
+
+format_bin=""
+for cand in clang-format clang-format-18 clang-format-17 clang-format-16 \
+            clang-format-15 clang-format-14; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    format_bin="$cand"
+    break
+  fi
+done
+if [ -z "$format_bin" ]; then
+  echo "check_format: clang-format not found; skipping (install it to enforce)"
+  exit 0
+fi
+
+if ! git rev-parse --verify --quiet "$base_ref" >/dev/null; then
+  base_ref="HEAD~1"
+  if ! git rev-parse --verify --quiet "$base_ref" >/dev/null; then
+    echo "check_format: no base ref to diff against; skipping"
+    exit 0
+  fi
+fi
+merge_base="$(git merge-base "$base_ref" HEAD)"
+
+gcf=""
+for cand in git-clang-format git-clang-format-18 git-clang-format-17 \
+            git-clang-format-16 git-clang-format-15 git-clang-format-14; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    gcf="$cand"
+    break
+  fi
+done
+
+if [ -n "$gcf" ]; then
+  # --diff prints the reformatting of touched lines only; empty => clean.
+  out="$("$gcf" --binary "$(command -v "$format_bin")" --diff "$merge_base" \
+        -- src tests bench examples 2>&1)"
+  status=$?
+  case "$out" in
+    ""|*"no modified files to format"*|*"did not modify any files"*)
+      echo "check_format: touched lines are clean ($format_bin vs $merge_base)"
+      exit 0
+      ;;
+  esac
+  if [ $status -ne 0 ] || [ -n "$out" ]; then
+    echo "$out"
+    echo "check_format: touched lines deviate from .clang-format"
+    echo "fix with: $gcf --binary $(command -v "$format_bin") $merge_base"
+    exit 1
+  fi
+  exit 0
+fi
+
+# Fallback without git-clang-format: whole-file check, but only on files
+# the branch touched.
+files="$(git diff --name-only "$merge_base" HEAD -- 'src/*.cpp' 'src/*.h' \
+         'tests/*.cpp' 'tests/*.h' 'bench/*.cpp' 'examples/*.cpp' |
+         while read -r f; do [ -f "$f" ] && echo "$f"; done)"
+if [ -z "$files" ]; then
+  echo "check_format: no C++ files touched vs $merge_base"
+  exit 0
+fi
+bad=0
+for f in $files; do
+  if ! "$format_bin" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "check_format: $f deviates from .clang-format"
+    bad=1
+  fi
+done
+[ $bad -eq 0 ] && echo "check_format: touched files are clean ($format_bin)"
+exit $bad

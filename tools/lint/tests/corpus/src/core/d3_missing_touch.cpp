@@ -1,0 +1,31 @@
+// Corpus: D3 must flag peer-visible mutations in src/core/ with no
+// touch_graph(...) call in the same function and no waiver.
+#include <cstdint>
+
+struct PeerId {
+  std::uint32_t v;
+};
+
+enum class RequestState { Idle, Active };
+
+struct Peer {
+  bool online = false;
+  std::uint32_t shares = 0;
+  RequestState state = RequestState::Idle;
+};
+
+struct SystemLike {
+  Peer peer_;
+
+  void go_online() {
+    peer_.online = true;  // expect-violation: D3
+  }
+
+  void bump_shares(std::uint32_t n) {
+    peer_.shares = n;  // expect-violation: D3
+  }
+
+  void activate() {
+    peer_.state = RequestState::Active;  // expect-violation: D3
+  }
+};

@@ -1,0 +1,32 @@
+// Corpus: D3 must accept mutations paired with touch_graph(...) in the
+// same function body.
+#include <cstdint>
+
+struct PeerId {
+  std::uint32_t v;
+};
+
+enum class RequestState { Idle, Active };
+
+struct Peer {
+  bool online = false;
+  std::uint32_t shares = 0;
+  RequestState state = RequestState::Idle;
+};
+
+struct SystemLike {
+  Peer peer_;
+
+  void touch_graph(PeerId p) { (void)p; }
+
+  void go_online(PeerId p) {
+    peer_.online = true;
+    touch_graph(p);
+  }
+
+  void bump_and_activate(PeerId p) {
+    peer_.shares = 7;
+    peer_.state = RequestState::Active;
+    touch_graph(p);
+  }
+};

@@ -1,0 +1,19 @@
+// Corpus: D3 must accept functions carrying a no-graph-effect waiver
+// anywhere in the body.
+#include <cstdint>
+
+struct Peer {
+  bool online = false;
+  std::uint32_t shares = 0;
+};
+
+struct SystemLike {
+  Peer peer_;
+
+  void build_initial_peer() {
+    // p2pex-lint: no-graph-effect (construction: runs before the first
+    // snapshot build, so there is no graph to invalidate yet)
+    peer_.online = true;
+    peer_.shares = 3;
+  }
+};

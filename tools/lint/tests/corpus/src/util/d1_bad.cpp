@@ -1,0 +1,28 @@
+// Corpus: D1 must flag every iteration form over an unordered container.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Index {
+  std::unordered_map<int, std::unordered_set<int>> owners_;
+  std::unordered_set<int> banned_;
+
+  int sum_all() const {
+    int total = 0;
+    for (const auto& [key, vals] : owners_) ++total;  // expect-violation: D1
+    return total;
+  }
+
+  void erase_everywhere(int peer) {
+    for (auto it = banned_.begin(); it != banned_.end(); ++it) {  // expect-violation: D1
+    }
+  }
+
+  std::vector<int> collect(int object) const {
+    std::vector<int> out;
+    const auto it = owners_.find(object);
+    if (it == owners_.end()) return out;
+    for (int p : it->second) out.push_back(p);  // expect-violation: D1
+    return out;
+  }
+};

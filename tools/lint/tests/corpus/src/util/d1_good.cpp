@@ -1,0 +1,20 @@
+// Corpus: D1 must accept deterministic-order iteration — sorted/flat
+// containers, and unordered containers used only for membership checks.
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+struct FlatIndex {
+  std::map<int, int> by_key_;          // ordered: iteration deterministic
+  std::vector<int> rows_;
+  std::unordered_set<int> seen_;       // membership only, never iterated
+
+  int walk() const {
+    int total = 0;
+    for (const auto& [key, val] : by_key_) total += val;
+    for (int r : rows_) total += r;
+    return total;
+  }
+
+  bool contains(int x) const { return seen_.count(x) != 0; }
+};

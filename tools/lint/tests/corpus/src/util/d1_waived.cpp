@@ -1,0 +1,19 @@
+// Corpus: D1 must accept annotated order-insensitive sites, both as a
+// trailing comment and as a standalone comment on the preceding line.
+#include <unordered_map>
+#include <vector>
+
+struct Accounting {
+  std::unordered_map<int, std::vector<int>> buckets_;
+
+  std::size_t memory_bytes() const {
+    std::size_t total = 0;
+    // p2pex-lint: order-insensitive (commutative sum over bucket sizes)
+    for (const auto& [len, bucket] : buckets_) total += bucket.capacity();
+    return total;
+  }
+
+  void clear_everywhere() {
+    for (auto& [len, bucket] : buckets_) bucket.clear();  // p2pex-lint: order-insensitive
+  }
+};

@@ -1,0 +1,30 @@
+// Corpus: D2 must flag every nondeterminism source: C randomness,
+// random_device, wall clocks, and pointer-keyed containers.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+
+struct Peer;
+
+struct Sampler {
+  std::map<Peer*, int> scores_;  // expect-violation: D2
+
+  int draw() {
+    return std::rand();  // expect-violation: D2
+  }
+
+  unsigned seed() {
+    std::random_device rd;  // expect-violation: D2
+    return rd();
+  }
+
+  long stamp() {
+    return time(nullptr);  // expect-violation: D2
+  }
+
+  long ticks() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();  // expect-violation: D2
+  }
+};

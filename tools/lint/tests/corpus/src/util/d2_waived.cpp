@@ -1,0 +1,23 @@
+// Corpus: D2 must accept annotated telemetry clocks, explicitly waived
+// seed sources, and pointer-keyed containers that are never iterated.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+
+struct Session;
+
+struct Telemetry {
+  std::map<Session*, int> refcounts_;  // p2pex-lint: pointer-key-ok (lookup only, never iterated)
+  unsigned long long build_ns_ = 0;
+
+  void measure() {
+    // p2pex-lint: wall-clock-ok (maintenance-cost telemetry only)
+    const auto t0 = std::chrono::steady_clock::now();
+    build_ns_ += static_cast<unsigned long long>(
+        (std::chrono::steady_clock::now() - t0).count());  // p2pex-lint: wall-clock-ok
+  }
+
+  void reseed_legacy() {
+    srand(42);  // p2pex-lint: seed-source-ok (fixed seed, quarantined legacy path)
+  }
+};

@@ -1,0 +1,16 @@
+// Corpus: D4 must flag unguarded size_t -> uint32_t narrowing casts.
+#include <cstdint>
+#include <vector>
+
+struct Arena {
+  std::vector<int> slots_;
+
+  std::uint32_t end_index() const {
+    return static_cast<std::uint32_t>(slots_.size());  // expect-violation: D4
+  }
+
+  std::uint32_t twice() const {
+    const std::size_t n = slots_.size() * 2;
+    return static_cast<uint32_t>(n);  // expect-violation: D4
+  }
+};

@@ -1,0 +1,17 @@
+// Corpus: D4 must accept narrow_u32 (self-checking) and explicitly
+// waived casts whose range check precedes them.
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+std::uint32_t narrow_u32_like(std::size_t v) {
+  if (v > 0xFFFFFFFFull) throw std::overflow_error("narrow");
+  // p2pex-lint: checked-narrowing (overflow throw above)
+  return static_cast<std::uint32_t>(v);
+}
+
+struct Arena {
+  std::vector<int> slots_;
+
+  std::uint32_t end_index() const { return narrow_u32_like(slots_.size()); }
+};
