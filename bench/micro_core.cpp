@@ -43,6 +43,7 @@
 #include "core/graph_snapshot.h"
 #include "core/parallel/shard_map.h"
 #include "core/parallel/worker_pool.h"
+#include "obs/trace.h"
 #include "proto/irq.h"
 #include "proto/request_tree.h"
 #include "sim/event_queue.h"
@@ -527,6 +528,22 @@ void BM_BloomSummaryRebuild(benchmark::State& state) {
   for (auto _ : state) f.rebuild_summaries(g, 64, 0.02);
 }
 BENCHMARK(BM_BloomSummaryRebuild)->Arg(1000);
+
+// Per-span cost of P2PEX_TRACE_SPAN. Arg(0): tracing compiled in but no
+// recorder installed — the path every engine phase pays on ordinary runs,
+// which must stay at one relaxed atomic load. Arg(1): recorder installed
+// — two clock reads plus a ring store, the price of running with --trace.
+void BM_TraceOverhead(benchmark::State& state) {
+  obs::TraceRecorder recorder;
+  if (state.range(0) != 0) recorder.install();
+  for (auto _ : state) {
+    P2PEX_TRACE_SPAN("bench.span", "bench");
+    benchmark::ClobberMemory();
+  }
+  recorder.uninstall();
+  state.counters["spans"] = static_cast<double>(recorder.events_recorded());
+}
+BENCHMARK(BM_TraceOverhead)->ArgName("installed")->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace p2pex

@@ -47,6 +47,7 @@ int main() {
               "peers that share\nfinish their downloads faster because "
               "exchange transfers get priority.\n");
 
-  std::printf("\nfull report:\n\n%s", format_report(m).c_str());
+  // The counters overload appends the snapshot-maintenance section.
+  std::printf("\nfull report:\n\n%s", format_report(m, c).c_str());
   return 0;
 }

@@ -5,6 +5,8 @@
 //   ./build/examples/scenario_runner --print examples/flash_crowd.scn
 //   ./build/examples/scenario_runner --threads 8 examples/flash_crowd.scn
 //   ./build/examples/scenario_runner --stable examples/flash_crowd.scn
+//   ./build/examples/scenario_runner --metrics-json out.json
+//       --trace out.trace.json examples/flash_crowd.scn
 //
 // --print dumps the parsed scenario back in canonical form (useful to
 // check what a hand-written file actually means) without running it.
@@ -14,6 +16,12 @@
 // the same scenario — at any thread counts — must be byte-identical;
 // the CI replay-determinism job diffs exactly this output across
 // threads=1/2/8.
+// --metrics-json writes the MetricsRegistry snapshot. Under --stable
+// the timing domain is omitted, so the file joins the byte-identical
+// replay contract; without --stable it carries the timing domain too.
+// --trace writes a Chrome trace-event JSON (Perfetto-loadable) of the
+// engine's phase spans. Requires the default P2PEX_TRACE=ON build; a
+// tracing-free build writes an empty-but-valid trace and warns.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,12 +30,25 @@
 #include "p2pex/p2pex.h"
 
 namespace {
+
 int usage() {
   std::fprintf(stderr,
                "usage: scenario_runner [--print] [--stable] [--threads N] "
-               "<file.scn>\n");
+               "[--metrics-json <path>] [--trace <path>] <file.scn>\n");
   return 2;
 }
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -37,6 +58,8 @@ int main(int argc, char** argv) {
   bool stable = false;
   std::size_t threads_override = 0;  // 0 = keep the scenario's knob
   std::string path;
+  std::string metrics_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--print") == 0) {
       print_only = true;
@@ -48,6 +71,12 @@ int main(int argc, char** argv) {
       const unsigned long parsed = std::strtoul(argv[++i], &end, 10);
       if (end == nullptr || *end != '\0' || parsed < 1) return usage();
       threads_override = parsed;
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      if (i + 1 >= argc) return usage();
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) return usage();
+      trace_path = argv[++i];
     } else if (path.empty()) {
       path = argv[i];
     } else {
@@ -76,6 +105,21 @@ int main(int argc, char** argv) {
     std::printf("%s", spec.to_text().c_str());
     return 0;
   }
+
+#ifdef P2PEX_TRACE
+  // Trace phases whenever the output could be seen: an explicit --trace,
+  // or the default (non---stable) report's phase table. --stable stays
+  // recorder-free unless asked, so its stdout is untouched by tracing.
+  obs::TraceRecorder recorder;
+  const bool tracing = !trace_path.empty() || !stable;
+  if (tracing) recorder.install();
+#else
+  const bool tracing = false;
+  if (!trace_path.empty())
+    std::fprintf(stderr,
+                 "warning: built without P2PEX_TRACE; writing an empty "
+                 "trace\n");
+#endif
 
   scenario::Driver driver(std::move(spec));
   const SimConfig& cfg = driver.system().config();
@@ -117,16 +161,61 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.dirty_rows_patched),
         r.snapshot_build_seconds * 1e3);
     const SpeculationStats& sp = system.speculation_stats();
+    const double consumed_pct =
+        sp.speculated == 0 ? 0.0
+                           : 100.0 * static_cast<double>(sp.consumed) /
+                                 static_cast<double>(sp.speculated);
     std::printf(
         "parallel: %zu threads, %llu speculation passes "
-        "(%llu searches: %llu consumed, %llu stale, %llu unused)\n",
+        "(%llu searches: %llu consumed = %.1f%%, %llu stale, %llu unused)\n",
         system.threads(),
         static_cast<unsigned long long>(sp.passes),
         static_cast<unsigned long long>(sp.speculated),
-        static_cast<unsigned long long>(sp.consumed),
+        static_cast<unsigned long long>(sp.consumed), consumed_pct,
         static_cast<unsigned long long>(sp.stale),
         static_cast<unsigned long long>(sp.unused));
   }
-  std::printf("\n%s", format_report(system.metrics()).c_str());
+  std::printf("\n%s", format_report(system.metrics(), c).c_str());
+
+#ifdef P2PEX_TRACE
+  if (tracing) {
+    recorder.uninstall();
+    if (!stable) {
+      // End-of-run per-phase timing table (wall clock: non---stable only).
+      TablePrinter t({"phase", "count", "total ms", "mean us"});
+      for (const obs::PhaseTotal& p : recorder.phase_totals()) {
+        const double total_ms = static_cast<double>(p.total_ns) / 1e6;
+        const double mean_us = static_cast<double>(p.total_ns) / 1e3 /
+                               static_cast<double>(p.count);
+        t.add_row({p.name, std::to_string(p.count),
+                   TablePrinter::num(total_ms, 2),
+                   TablePrinter::num(mean_us, 2)});
+      }
+      std::printf("-- phase timing --\n%s", t.to_string().c_str());
+      if (recorder.events_dropped() > 0)
+        std::printf("(ring overflow: %llu oldest spans dropped from the "
+                    "trace; aggregates above are complete)\n",
+                    static_cast<unsigned long long>(recorder.events_dropped()));
+      std::printf("\n");
+    }
+    if (!trace_path.empty() &&
+        !write_file(trace_path, recorder.to_chrome_json()))
+      return 1;
+  }
+#else
+  if (!trace_path.empty() &&
+      !write_file(trace_path,
+                  "{\"displayTimeUnit\": \"ms\", \"traceEvents\": []}\n"))
+    return 1;
+#endif
+  static_cast<void>(tracing);
+
+  if (!metrics_path.empty()) {
+    // --stable exports the deterministic domain only: the file is part
+    // of the cross-thread byte-identical replay contract.
+    const obs::MetricsRegistry& reg = system.metrics_registry();
+    if (!write_file(metrics_path, reg.to_json(/*include_timing=*/!stable)))
+      return 1;
+  }
   return 0;
 }

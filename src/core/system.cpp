@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/contracts.h"
 
@@ -20,6 +21,7 @@ System::System(const SimConfig& config, const PopulationPlan& plan)
               cfg_.bloom_hop_budget),
       metrics_(cfg_.warmup()),
       threads_(cfg_.effective_threads()) {
+  init_observability();
   build_peers(plan);
   place_initial_objects();
 }
@@ -317,6 +319,7 @@ bool System::issue_one_request(PeerId p) {
     d.issue_time = sim_.now();
     d.disc_start = disc_arena_.alloc(discovered);
     d.disc_len = narrow_u32(discovered.size());
+    hist_provider_span_->record(discovered.size());
 
     // Register at a random subset of the discovered owners; the rest stay
     // usable for ring closure only. (The sample draws from the
@@ -388,6 +391,7 @@ void System::cancel_download(DownloadId did, bool starved) {
 }
 
 void System::eviction_sweep() {
+  P2PEX_TRACE_SPAN("sweep.eviction", "sweep");
   // The over-capacity test is a pure read, so it shards across the worker
   // pool; the evictions themselves (RNG draws, lookup updates, request
   // cancellations) stay serial on the coordinator in ascending peer order
@@ -429,6 +433,7 @@ void System::eviction_sweep() {
 }
 
 void System::search_sweep() {
+  P2PEX_TRACE_SPAN("sweep.search", "sweep");
   // "Each peer regularly examines its incoming request queue": the sweep
   // revisits every peer, both to catch exchange opportunities created by
   // slot churn and to retry non-exchange service that was previously

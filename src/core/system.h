@@ -26,6 +26,7 @@
 #include "core/population.h"
 #include "core/provider_arena.h"
 #include "metrics/collector.h"
+#include "obs/metrics_registry.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -122,6 +123,14 @@ class System final {
   [[nodiscard]] const SpeculationStats& speculation_stats() const {
     return spec_stats_;
   }
+  /// The observability registry, with every scalar (SystemCounters,
+  /// FinderStats, SpeculationStats, run-level collector gauges)
+  /// re-published from its source-of-truth struct on each call.
+  /// Histograms are registry-owned and always current. Deterministic-
+  /// domain contents are bit-identical across thread counts; the
+  /// timing domain is not (see obs::Domain). Implemented in
+  /// system_obs.cpp.
+  [[nodiscard]] const obs::MetricsRegistry& metrics_registry() const;
   [[nodiscard]] SimTime now() const { return sim_.now(); }
   [[nodiscard]] const Catalog& catalog() const { return catalog_; }
   [[nodiscard]] const LookupService& lookup() const { return lookup_; }
@@ -503,6 +512,21 @@ class System final {
   // Mutable: the snapshot-maintenance stats are incremented by the
   // const, caching graph_snapshot() read.
   mutable SystemCounters counters_;
+
+  // --- observability (system_obs.cpp) ---
+  /// Scalar metrics are published into the registry lazily by
+  /// metrics_registry(); histograms are recorded live through the
+  /// handles below (registered once at construction — registry
+  /// references are stable). Mutable for the same reason as counters_:
+  /// const read paths (graph_snapshot) contribute observations.
+  mutable obs::MetricsRegistry registry_;
+  obs::Histogram* hist_search_hops_ = nullptr;   ///< nodes visited per search
+  obs::Histogram* hist_ring_size_ = nullptr;     ///< peers per formed ring
+  obs::Histogram* hist_dirty_rows_ = nullptr;    ///< rows per snapshot patch
+  obs::Histogram* hist_provider_span_ = nullptr; ///< providers per lookup
+  obs::Histogram* hist_wait_ms_ = nullptr;       ///< request->start wait (ms)
+  /// Registers the histograms above and any construction-time metrics.
+  void init_observability();
 };
 
 }  // namespace p2pex

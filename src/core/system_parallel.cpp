@@ -31,6 +31,7 @@
 
 #include "core/parallel/shard_map.h"
 #include "core/system.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/contracts.h"
 
@@ -77,6 +78,7 @@ void System::speculate_searches() {
     return;
   }
 
+  P2PEX_TRACE_SPAN("drain.speculate", "engine");
   const GraphSnapshot& snap = graph_snapshot();
   sync_worker_finders();
   spec_seq_ = touch_seq_;
@@ -88,6 +90,7 @@ void System::speculate_searches() {
   pool_->run(shards, [&](std::size_t s) {
     // Shard s is claimed by exactly one worker: finder s and queue s
     // are exclusive to it for the whole phase.
+    P2PEX_TRACE_SPAN("speculate.shard", "engine");
     ExchangeFinder& f = *worker_finders_[s];
     const parallel::ShardRange range = map.range(s);
     for (std::size_t i = range.begin; i < range.end; ++i) {
@@ -142,17 +145,27 @@ std::vector<RingProposal> System::ring_candidates(PeerId root) {
             "consumed speculation diverged from a live search "
             "(read set under-reported?)");
         ++spec_stats_.consumed;
+        hist_search_hops_->record(s.delta.nodes_visited);
         return live;
 #else
         finder_.add_stats(s.delta);
         ++spec_stats_.consumed;
+        // The consumed delta is bit-identical to what a live search
+        // would record (the validity check above), so the histogram
+        // stays thread-invariant.
+        hist_search_hops_->record(s.delta.nodes_visited);
         return std::move(s.proposals);
 #endif
       }
       ++spec_stats_.stale;
     }
   }
-  return finder_.find(view, root, cfg_.max_ring_attempts_per_search);
+  const FinderStats before_live = finder_.stats();
+  std::vector<RingProposal> live =
+      finder_.find(view, root, cfg_.max_ring_attempts_per_search);
+  hist_search_hops_->record(finder_.stats().nodes_visited -
+                            before_live.nodes_visited);
+  return live;
 }
 
 parallel::WorkerPool* System::sweep_pool() {

@@ -1,9 +1,11 @@
 // Transfer sessions (fluid model), download completion, exchange-ring
 // formation/collapse and the exchange-priority upload scheduler.
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "core/system.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/contracts.h"
 
@@ -160,6 +162,13 @@ void System::end_session(SessionId sid, SessionEnd reason) {
   metrics_.record_session(rec);
   metrics_.count_uploaded(bytes);
   metrics_.count_downloaded(bytes);
+  // Same warmup filter as the collector, so the histogram describes the
+  // records the report aggregates. SimTime is deterministic; llround of
+  // a deterministic double is too.
+  if (rec.start_time >= metrics_.warmup()) {
+    hist_wait_ms_->record(static_cast<std::uint64_t>(
+        std::llround((rec.start_time - rec.request_time) * 1000.0)));
+  }
 
   // Baseline ledgers (only consulted under their scheduler kinds, but
   // always maintained so ablations can read both sides of a run).
@@ -266,12 +275,15 @@ void System::drain_dirty() {
   // serial loop below is the merge phase — it consumes still-valid
   // speculations in place of live searches (see ring_candidates).
   if (threads_ > 1 && !dirty_.empty()) speculate_searches();
-  std::uint64_t guard = 0;
-  while (!dirty_.empty()) {
-    P2PEX_ASSERT_MSG(++guard < 5'000'000, "scheduling pass diverged");
-    const PeerId p = *dirty_.begin();
-    dirty_.erase(dirty_.begin());
-    process_peer(p);
+  if (!dirty_.empty()) {
+    P2PEX_TRACE_SPAN("drain.merge", "engine");
+    std::uint64_t guard = 0;
+    while (!dirty_.empty()) {
+      P2PEX_ASSERT_MSG(++guard < 5'000'000, "scheduling pass diverged");
+      const PeerId p = *dirty_.begin();
+      dirty_.erase(dirty_.begin());
+      process_peer(p);
+    }
   }
   // Speculations are drain-local: Bloom summaries may refresh between
   // drains, which a read-set check cannot see.
@@ -450,6 +462,7 @@ bool System::try_form_ring(const RingProposal& proposal) {
 
   ++counters_.rings_formed;
   ++counters_.rings_by_size[std::min<std::size_t>(n, 8)];
+  hist_ring_size_->record(n);
   return true;
 }
 

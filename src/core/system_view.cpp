@@ -7,6 +7,7 @@
 #include <chrono>
 
 #include "core/system.h"
+#include "obs/trace.h"
 #include "proto/request_tree.h"
 #include "util/assert.h"
 #include "util/contracts.h"
@@ -77,9 +78,11 @@ const GraphSnapshot& System::graph_snapshot() const {
   [[maybe_unused]] bool patched = false;
   if (!snapshot_built_ || graph_all_dirty_ ||
       graph_dirty_.size() * 2 >= peers_.size()) {
+    P2PEX_TRACE_SPAN("snapshot.rebuild", "snapshot");
     rebuild_snapshot_into(snapshot_);
     ++counters_.snapshot_rebuilds;
   } else {
+    P2PEX_TRACE_SPAN("snapshot.patch", "snapshot");
     snapshot_.begin_patch();
     for (const PeerId p : graph_dirty_) {
       snapshot_.patch_peer(p);
@@ -89,6 +92,7 @@ const GraphSnapshot& System::graph_snapshot() const {
     snapshot_.finish_patch();
     ++counters_.snapshot_patches;
     counters_.dirty_rows_patched += graph_dirty_.size();
+    hist_dirty_rows_->record(graph_dirty_.size());
     patched = true;
   }
   // Clock stops here: the audit below is debug scaffolding, and its
@@ -179,9 +183,11 @@ void System::refresh_bloom_summaries() {
   // invisible to replays.
   parallel::WorkerPool* pool = sweep_pool();
   if (bloom_all_dirty_) {
+    P2PEX_TRACE_SPAN("bloom.rebuild", "snapshot");
     finder_.rebuild_summaries(snap, cfg_.bloom_expected_per_level,
                               cfg_.bloom_fpp, pool);
   } else if (!bloom_dirty_.empty()) {
+    P2PEX_TRACE_SPAN("bloom.refresh", "snapshot");
     finder_.refresh_summaries(snap, bloom_dirty_,
                               cfg_.bloom_expected_per_level, cfg_.bloom_fpp,
                               pool);

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/system.h"
 #include "util/table.h"
 
 namespace p2pex {
@@ -96,6 +97,36 @@ std::string format_report(const MetricsCollector& m,
     }
   }
 
+  return os.str();
+}
+
+std::string format_report(const MetricsCollector& m,
+                          const SystemCounters& c,
+                          const ReportOptions& options) {
+  std::string out = format_report(m, options);
+  if (!options.snapshot_maintenance) return out;
+
+  const std::uint64_t builds = c.snapshot_rebuilds + c.snapshot_patches;
+  TablePrinter t({"snapshot maintenance", "count"});
+  t.add_row({"full rebuilds", std::to_string(c.snapshot_rebuilds)});
+  t.add_row({"incremental patches", std::to_string(c.snapshot_patches)});
+  t.add_row({"dirty rows patched", std::to_string(c.dirty_rows_patched)});
+  t.add_row({"mean rows/patch",
+             c.snapshot_patches == 0
+                 ? "-"
+                 : TablePrinter::num(
+                       static_cast<double>(c.dirty_rows_patched) /
+                           static_cast<double>(c.snapshot_patches),
+                       1)});
+  t.add_row({"patch share",
+             builds == 0 ? "-"
+                         : TablePrinter::num(
+                               100.0 * static_cast<double>(c.snapshot_patches) /
+                                   static_cast<double>(builds),
+                               1) + "%"});
+
+  std::ostringstream os;
+  os << out << "-- graph-snapshot maintenance --\n" << t.to_string() << '\n';
   return os.str();
 }
 

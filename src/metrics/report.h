@@ -17,11 +17,21 @@ struct ReportOptions {
   bool session_mix = true;
   bool per_type_volume = true;
   bool per_type_waiting = true;
+  /// Snapshot-maintenance section (rebuilds/patches/dirty rows); only
+  /// rendered by the counters overload below, which has the data.
+  bool snapshot_maintenance = true;
   std::size_t cdf_points = 0;  ///< 0 = no CDF tables, else points per type
 };
 
 /// Renders the standard report for one run.
 std::string format_report(const MetricsCollector& metrics,
+                          const ReportOptions& options = {});
+
+/// Standard report plus the counter-derived sections (currently
+/// snapshot maintenance). Deterministic: nothing here reads
+/// snapshot_build_ns or any other wall-clock field.
+std::string format_report(const MetricsCollector& metrics,
+                          const SystemCounters& counters,
                           const ReportOptions& options = {});
 
 /// One-line run summary ("sharing 112.9 min, non-sharing 237.2 min,

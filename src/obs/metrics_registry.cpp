@@ -1,0 +1,176 @@
+#include "obs/metrics_registry.h"
+
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace p2pex::obs {
+
+void Histogram::record(std::uint64_t v) {
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  ++buckets_[bucket_of(v)];
+}
+
+std::size_t Histogram::bucket_of(std::uint64_t v) {
+  return v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v));
+}
+
+std::uint64_t Histogram::bucket_lo(std::size_t i) {
+  P2PEX_ASSERT(i < kBuckets);
+  return i == 0 ? 0 : 1ULL << (i - 1);
+}
+
+std::uint64_t Histogram::bucket_hi(std::size_t i) {
+  P2PEX_ASSERT(i < kBuckets);
+  if (i == 0) return 0;
+  if (i == 64) return ~0ULL;
+  return (1ULL << i) - 1;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Domain domain) {
+  auto [it, inserted] = counters_.try_emplace(name, Counter(domain));
+  P2PEX_ASSERT_MSG(inserted || it->second.domain() == domain,
+                   "metric re-registered with a different domain");
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Domain domain) {
+  auto [it, inserted] = gauges_.try_emplace(name, Gauge(domain));
+  P2PEX_ASSERT_MSG(inserted || it->second.domain() == domain,
+                   "metric re-registered with a different domain");
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, Domain domain) {
+  auto [it, inserted] = histograms_.try_emplace(name, Histogram(domain));
+  P2PEX_ASSERT_MSG(inserted || it->second.domain() == domain,
+                   "metric re-registered with a different domain");
+  return it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Shortest round-trip decimal form (std::to_chars): deterministic for
+/// a given bit pattern, unlike locale- or precision-sensitive printf.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";  // NaN/inf are not valid JSON
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+/// Emits one domain's metrics as `{"counters": {...}, "gauges": {...},
+/// "histograms": {...}}`, each inner object sorted by name (std::map
+/// iteration order).
+void append_domain(std::ostringstream& os, Domain domain,
+                   const std::map<std::string, Counter>& counters,
+                   const std::map<std::string, Gauge>& gauges,
+                   const std::map<std::string, Histogram>& histograms,
+                   const char* indent) {
+  os << "{\n";
+  bool first_kind = true;
+  const auto kind_sep = [&] {
+    if (!first_kind) os << ",\n";
+    first_kind = false;
+  };
+
+  kind_sep();
+  os << indent << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters) {
+    if (c.domain() != domain) continue;
+    os << (first ? "\n" : ",\n") << indent << "    ";
+    first = false;
+    append_escaped(os, name);
+    os << ": " << c.value();
+  }
+  if (!first) os << "\n" << indent << "  ";
+  os << "}";
+
+  kind_sep();
+  os << indent << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges) {
+    if (g.domain() != domain) continue;
+    os << (first ? "\n" : ",\n") << indent << "    ";
+    first = false;
+    append_escaped(os, name);
+    os << ": " << json_number(g.value());
+  }
+  if (!first) os << "\n" << indent << "  ";
+  os << "}";
+
+  kind_sep();
+  os << indent << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (h.domain() != domain) continue;
+    os << (first ? "\n" : ",\n") << indent << "    ";
+    first = false;
+    append_escaped(os, name);
+    os << ": {\"count\": " << h.count() << ", \"sum\": " << h.sum()
+       << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+       << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.bucket_count(i) == 0) continue;
+      if (!first_bucket) os << ", ";
+      first_bucket = false;
+      os << "[" << Histogram::bucket_lo(i) << ", " << Histogram::bucket_hi(i)
+         << ", " << h.bucket_count(i) << "]";
+    }
+    os << "]}";
+  }
+  if (!first) os << "\n" << indent << "  ";
+  os << "}";
+
+  os << "\n" << indent << "}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json(bool include_timing) const {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"p2pex.metrics.v1\",\n  \"deterministic\": ";
+  append_domain(os, Domain::kDeterministic, counters_, gauges_, histograms_,
+                "  ");
+  if (include_timing) {
+    os << ",\n  \"timing\": ";
+    append_domain(os, Domain::kTiming, counters_, gauges_, histograms_, "  ");
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+}  // namespace p2pex::obs

@@ -1,0 +1,174 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace p2pex::obs {
+
+namespace {
+
+std::atomic<TraceRecorder*> g_active{nullptr};
+std::atomic<std::uint64_t> g_next_id{0};
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now()  // p2pex-lint: wall-clock-ok
+              .time_since_epoch())          // (trace timing domain only)
+          .count());
+}
+
+/// Shortest-round-trip microsecond figure for trace ts/dur fields.
+std::string us_number(std::uint64_t ns) {
+  char buf[64];
+  const auto res =
+      std::to_chars(buf, buf + sizeof(buf), static_cast<double>(ns) / 1000.0);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t ring_capacity)
+    : id_(g_next_id.fetch_add(1, std::memory_order_relaxed) + 1),
+      ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      epoch_ns_(steady_now_ns()) {}
+
+TraceRecorder::~TraceRecorder() { uninstall(); }
+
+void TraceRecorder::install() {
+  g_active.store(this, std::memory_order_release);
+}
+
+void TraceRecorder::uninstall() {
+  TraceRecorder* expected = this;
+  g_active.compare_exchange_strong(expected, nullptr,
+                                   std::memory_order_acq_rel);
+}
+
+TraceRecorder* TraceRecorder::active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return steady_now_ns() - epoch_ns_;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  struct Slot {
+    std::uint64_t owner = 0;
+    ThreadBuffer* buf = nullptr;
+  };
+  // Keyed by the recorder's process-unique id, so a stale pointer into
+  // a destroyed recorder can never be revived by address reuse.
+  thread_local Slot slot;
+  if (slot.owner != id_) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    ThreadBuffer* b = buffers_.back().get();
+    b->tid = narrow_u32(buffers_.size() - 1);
+    b->ring.reserve(std::min<std::size_t>(ring_capacity_, 1024));
+    slot = {id_, b};
+  }
+  return *slot.buf;
+}
+
+void TraceRecorder::record(const char* name, const char* cat,
+                           std::uint64_t start_ns, std::uint64_t end_ns) {
+  ThreadBuffer& b = local_buffer();
+  const std::uint64_t dur = end_ns >= start_ns ? end_ns - start_ns : 0;
+  const TraceEvent ev{name, cat, start_ns, dur, b.tid};
+  if (b.ring.size() < ring_capacity_) {
+    b.ring.push_back(ev);
+  } else {
+    b.ring[b.total % ring_capacity_] = ev;
+  }
+  ++b.total;
+
+  for (PhaseAgg& a : b.agg) {
+    if (a.name == name || std::strcmp(a.name, name) == 0) {
+      ++a.count;
+      a.total_ns += dur;
+      return;
+    }
+  }
+  b.agg.push_back(PhaseAgg{name, cat, 1, dur});
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::vector<TraceEvent> events;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& b : buffers_) {
+      events.insert(events.end(), b->ring.begin(), b->ring.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              if (x.start_ns != y.start_ns) return x.start_ns < y.start_ns;
+              if (x.dur_ns != y.dur_ns) return x.dur_ns > y.dur_ns;
+              if (x.tid != y.tid) return x.tid < y.tid;
+              return std::strcmp(x.name, y.name) < 0;
+            });
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << R"({"name": ")" << ev.name << R"(", "cat": ")" << ev.cat
+       << R"(", "ph": "X", "pid": 1, "tid": )" << ev.tid << ", \"ts\": "
+       << us_number(ev.start_ns) << ", \"dur\": " << us_number(ev.dur_ns)
+       << "}";
+  }
+  os << (first ? "" : "\n") << "]}\n";
+  return os.str();
+}
+
+std::vector<PhaseTotal> TraceRecorder::phase_totals() const {
+  std::vector<PhaseTotal> totals;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& b : buffers_) {
+      for (const PhaseAgg& a : b->agg) {
+        auto it = std::find_if(
+            totals.begin(), totals.end(),
+            [&](const PhaseTotal& t) { return t.name == a.name; });
+        if (it == totals.end()) {
+          totals.push_back(PhaseTotal{a.name, a.count, a.total_ns});
+        } else {
+          it->count += a.count;
+          it->total_ns += a.total_ns;
+        }
+      }
+    }
+  }
+  std::sort(totals.begin(), totals.end(),
+            [](const PhaseTotal& x, const PhaseTotal& y) {
+              return x.name < y.name;
+            });
+  return totals;
+}
+
+std::uint64_t TraceRecorder::events_recorded() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) n += b->total;
+  return n;
+}
+
+std::uint64_t TraceRecorder::events_dropped() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) {
+    if (b->total > ring_capacity_) n += b->total - ring_capacity_;
+  }
+  return n;
+}
+
+}  // namespace p2pex::obs

@@ -32,6 +32,8 @@
 #include "metrics/collector.h"
 #include "metrics/report.h"
 #include "metrics/records.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "proto/bloom_summary.h"
 #include "proto/irq.h"
 #include "proto/request.h"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/contracts.h"
 
@@ -95,7 +96,23 @@ std::pair<std::uint32_t, std::uint32_t> Driver::cohort_range(
   return {0, 0};
 }
 
+const char* Driver::op_span_name(Action::Op op) {
+  switch (op) {
+    case Action::Op::kDepart: return "scenario.depart";
+    case Action::Op::kArrive: return "scenario.arrive";
+    case Action::Op::kFlashStart: return "scenario.flash_start";
+    case Action::Op::kFlashEnd: return "scenario.flash_end";
+    case Action::Op::kFreerideStart: return "scenario.freeride_start";
+    case Action::Op::kFreerideEnd: return "scenario.freeride_end";
+    case Action::Op::kChurnTick: return "scenario.churn_tick";
+    case Action::Op::kPolicy: return "scenario.policy";
+    case Action::Op::kScheduler: return "scenario.scheduler";
+  }
+  return "scenario.unknown";
+}
+
 void Driver::apply(const Action& a) {
+  P2PEX_TRACE_SPAN(op_span_name(a.op), "scenario");
   const Event& e = spec_.timeline[a.event];
   const auto [first, last] = cohort_range(e.cohort);
   System& sys = *system_;

@@ -73,6 +73,9 @@ class Driver {
 
   void expand_timeline();
   void apply(const Action& a);
+  /// Trace-span label for a timeline action (string literal: the trace
+  /// layer stores names unowned).
+  [[nodiscard]] static const char* op_span_name(Action::Op op);
 
   Spec spec_;
   SimConfig cfg_;  ///< compiled config the System runs

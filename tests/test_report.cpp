@@ -1,6 +1,7 @@
 // Tests for the run-report formatter.
 #include <gtest/gtest.h>
 
+#include "core/system.h"
 #include "metrics/report.h"
 
 namespace p2pex {
@@ -73,6 +74,38 @@ TEST(Report, CdfSectionsWhenRequested) {
   opt.cdf_points = 5;
   const std::string report = format_report(sample_metrics(), opt);
   EXPECT_NE(report.find("-- volume CDF: pairwise --"), std::string::npos);
+}
+
+TEST(Report, CountersOverloadAppendsSnapshotMaintenance) {
+  SystemCounters c;
+  c.snapshot_rebuilds = 2;
+  c.snapshot_patches = 8;
+  c.dirty_rows_patched = 40;
+  const std::string report = format_report(sample_metrics(), c);
+  EXPECT_NE(report.find("-- graph-snapshot maintenance --"),
+            std::string::npos);
+  EXPECT_NE(report.find("full rebuilds"), std::string::npos);
+  EXPECT_NE(report.find("mean rows/patch"), std::string::npos);
+  // 40 rows / 8 patches and 8 of 10 builds patched.
+  EXPECT_NE(report.find("5.0"), std::string::npos);
+  EXPECT_NE(report.find("80.0%"), std::string::npos);
+  // The base sections are still there, ahead of the new one.
+  EXPECT_LT(report.find("-- download times --"),
+            report.find("-- graph-snapshot maintenance --"));
+}
+
+TEST(Report, SnapshotMaintenanceSuppressibleAndDashOnEmpty) {
+  SystemCounters c;
+  ReportOptions opt;
+  opt.snapshot_maintenance = false;
+  EXPECT_EQ(format_report(sample_metrics(), c, opt)
+                .find("-- graph-snapshot maintenance --"),
+            std::string::npos);
+  // Zero builds: ratio cells render "-" instead of dividing by zero.
+  const std::string report = format_report(sample_metrics(), c);
+  EXPECT_NE(report.find("-- graph-snapshot maintenance --"),
+            std::string::npos);
+  EXPECT_NE(report.find("-"), std::string::npos);
 }
 
 TEST(Report, EmptyMetricsRenderWithoutCrashing) {

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by scenario_runner.
+
+Checks that the file parses, that the top-level shape matches the
+trace-event format (object with a "traceEvents" array), and that every
+event carries the required keys with sane values. Optionally asserts
+that specific span names appear, so CI can catch an instrumentation
+point silently falling out of the engine:
+
+    python3 tools/trace_check.py out.trace.json \
+        --expect drain.merge --expect snapshot.patch
+
+Exits 0 when the trace is valid (and all --expect names are present),
+1 otherwise.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def fail(msg: str) -> None:
+    print(f"trace_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--expect",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require at least one event with this name (repeatable)",
+    )
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=0,
+        help="require at least this many events (default 0)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('missing or non-array "traceEvents"')
+
+    by_name: collections.Counter = collections.Counter()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event #{i} is not an object")
+        for key in REQUIRED_KEYS:
+            if key not in ev:
+                fail(f'event #{i} missing required key "{key}"')
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail(f"event #{i} has an empty or non-string name")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            fail(f"event #{i} has invalid ts {ev['ts']!r}")
+        if ev["ph"] == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f'event #{i} ("X") has invalid dur {dur!r}')
+        by_name[ev["name"]] += 1
+
+    if len(events) < args.min_events:
+        fail(f"only {len(events)} events, expected >= {args.min_events}")
+    missing = [name for name in args.expect if by_name[name] == 0]
+    if missing:
+        fail(
+            f"expected span name(s) absent: {', '.join(missing)} "
+            f"(present: {', '.join(sorted(by_name)) or 'none'})"
+        )
+
+    threads = {ev["tid"] for ev in events}
+    print(
+        f"trace_check: OK: {len(events)} events, "
+        f"{len(by_name)} distinct names, {len(threads)} thread(s)"
+    )
+    for name, count in sorted(by_name.items()):
+        print(f"  {name}: {count}")
+
+
+if __name__ == "__main__":
+    main()
