@@ -41,6 +41,7 @@
 
 #include "core/exchange_finder.h"
 #include "core/graph_snapshot.h"
+#include "core/system.h"
 #include "core/parallel/shard_map.h"
 #include "core/parallel/worker_pool.h"
 #include "obs/trace.h"
@@ -504,6 +505,61 @@ BENCHMARK(BM_ParallelChurned)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+// --- crash churn over the full System --------------------------------------
+//
+// Each epoch crashes a block of peers (lossy teardown: ring collapses
+// cascade through the stamped session-scratch buffers, lookup retraction
+// is deferred) and rejoins them, with the closed-loop workload running in
+// between. allocs_per_epoch is the regression guard for the
+// allocation-free collapse path: with the scratch pool and recycled
+// entity tables, steady state is event-scheduling noise, not a function
+// of collapse volume.
+void BM_SystemCrashChurn(benchmark::State& state) {
+  SimConfig cfg = SimConfig::paper_defaults();
+  cfg.num_peers = 100;
+  cfg.sim_duration = 1e12;  // effectively unbounded; the bench paces time
+  cfg.seed = 17;
+  System sys(cfg);
+  constexpr double kEpochDt = 120.0;
+  constexpr std::uint32_t kCrashBlock = 8;
+  SimTime t = 0.0;
+  std::uint32_t base = 0;
+  // Warm: let tables/scratch reach steady-state capacity first.
+  for (int i = 0; i < 8; ++i) {
+    t += kEpochDt;
+    sys.run_to(t);
+    for (std::uint32_t j = 0; j < kCrashBlock; ++j)
+      sys.peer_crash(PeerId{(base + j) % 100});
+    t += kEpochDt;
+    sys.run_to(t);
+    for (std::uint32_t j = 0; j < kCrashBlock; ++j)
+      sys.peer_join(PeerId{(base + j) % 100});
+    base = (base + kCrashBlock) % 100;
+  }
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t a0 = g_alloc_count.load(std::memory_order_relaxed);
+    t += kEpochDt;
+    sys.run_to(t);
+    for (std::uint32_t j = 0; j < kCrashBlock; ++j)
+      sys.peer_crash(PeerId{(base + j) % 100});
+    t += kEpochDt;
+    sys.run_to(t);
+    for (std::uint32_t j = 0; j < kCrashBlock; ++j)
+      sys.peer_join(PeerId{(base + j) % 100});
+    base = (base + kCrashBlock) % 100;
+    allocs += g_alloc_count.load(std::memory_order_relaxed) - a0;
+  }
+  const auto iters =
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allocs_per_epoch"] =
+      benchmark::Counter(static_cast<double>(allocs) / iters);
+  state.counters["crashes_per_epoch"] =
+      benchmark::Counter(static_cast<double>(kCrashBlock));
+}
+BENCHMARK(BM_SystemCrashChurn);
 
 void BM_RequestTreeBuild(benchmark::State& state) {
   const GraphSnapshot& g =

@@ -145,6 +145,17 @@ int main(int argc, char** argv) {
   std::printf("rings:    %llu formed, %llu preemptions\n",
               static_cast<unsigned long long>(r.rings_formed),
               static_cast<unsigned long long>(r.preemptions));
+  // Deterministic-domain counters: the line joins the --stable replay
+  // contract (all zero on fault-free scenarios).
+  std::printf(
+      "faults:   %llu crashes, %llu sessions failed, %llu retries "
+      "(%llu exhausted), %llu stale proposals, %llu partition collapses\n",
+      static_cast<unsigned long long>(c.peer_crashes),
+      static_cast<unsigned long long>(c.sessions_failed),
+      static_cast<unsigned long long>(c.transfer_retries),
+      static_cast<unsigned long long>(c.retry_exhausted),
+      static_cast<unsigned long long>(c.stale_proposals),
+      static_cast<unsigned long long>(c.partition_collapses));
   if (stable) {
     // Deterministic subset only: no wall-clock time, nothing that
     // varies with the thread count or the machine.

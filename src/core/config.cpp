@@ -46,6 +46,20 @@ void SimConfig::validate() const {
   if (sim_duration <= 0.0) fail("sim_duration must be positive");
   if (warmup_fraction < 0.0 || warmup_fraction >= 1.0)
     fail("warmup_fraction must be in [0, 1)");
+  if (faults.session_fault_rate < 0.0)
+    fail("session_fault_rate must be non-negative");
+  if (faults.lookup_loss < 0.0 || faults.lookup_loss >= 1.0)
+    fail("lookup_loss must be in [0, 1)");
+  if (faults.stale_lookup_ttl < 0.0)
+    fail("stale_lookup_ttl must be non-negative");
+  if (faults.retry.base_timeout <= 0.0)
+    fail("retry base_timeout must be positive");
+  if (faults.retry.backoff < 1.0)
+    fail("retry backoff must be at least 1");
+  if (faults.retry.jitter < 0.0 || faults.retry.jitter >= 1.0)
+    fail("retry jitter must be in [0, 1)");
+  if (faults.retry.max_attempts < 1)
+    fail("retry max_attempts must be positive");
   if (threads < 1 || threads > kMaxThreads)
     fail("threads must be in [1, " + std::to_string(kMaxThreads) + "]");
 }
@@ -101,6 +115,12 @@ std::string SimConfig::describe() const {
      << " search=" << search_interval << "s"
      << " evict=" << eviction_interval << "s"
      << " retry=" << request_retry_interval << "s"
+     << " fault_rate=" << faults.session_fault_rate
+     << " lookup_loss=" << faults.lookup_loss
+     << " stale_ttl=" << faults.stale_lookup_ttl << "s"
+     << " retry_policy=[" << faults.retry.base_timeout << "s,x"
+     << faults.retry.backoff << ",j" << faults.retry.jitter << ","
+     << faults.retry.max_attempts << "]"
      << " duration=" << sim_duration << "s"
      << " warmup=" << warmup_fraction
      << " seed=" << seed

@@ -8,6 +8,7 @@
 
 #include "catalog/catalog.h"
 #include "core/policy.h"
+#include "fault/fault.h"
 #include "util/types.h"
 
 namespace p2pex {
@@ -97,6 +98,9 @@ struct SimConfig {
   /// Retry period when a peer cannot currently issue a request (its
   /// candidate objects have no reachable owners).
   double request_retry_interval = 60.0;
+
+  // --- fault model (off by default; see fault/fault.h) ---
+  fault::FaultConfig faults;
 
   // --- run control ---
   double sim_duration = 30000.0;  ///< seconds of simulated time

@@ -82,6 +82,15 @@ struct Download {
   std::uint32_t disc_start = 0;  ///< ProviderArena span of discovered owners
   std::uint32_t disc_len = 0;
   std::uint32_t reg_count = 0;   ///< set registered flags within the span
+  /// Monotonic creation sequence (rows are recycled; retry events carry
+  /// this to detect a reused row — same contract as Session::seq).
+  std::uint64_t seq = 0;
+  /// Injected transfer failures this download has absorbed (fault
+  /// model); drives the retry backoff and the attempt cap.
+  std::uint32_t fault_attempts = 0;
+  /// Retry holdoff deadline after a transfer fault: while now < this,
+  /// the download's requests are skipped by the schedulers. 0 = none.
+  SimTime retry_until = 0.0;
   std::vector<SessionId> sessions;  ///< currently active sessions
   EventHandle completion;           ///< pending completion event
   bool watched = false;  ///< span enrolled in the watcher reverse index

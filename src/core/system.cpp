@@ -20,6 +20,7 @@ System::System(const SimConfig& config, const PopulationPlan& plan)
       finder_(cfg_.policy, cfg_.max_ring_size, cfg_.tree_mode,
               cfg_.bloom_hop_budget),
       metrics_(cfg_.warmup()),
+      faults_(cfg_.faults, cfg_.seed),
       threads_(cfg_.effective_threads()) {
   init_observability();
   build_peers(plan);
@@ -97,6 +98,9 @@ Download& System::alloc_download() {
     d.size = 0;
     d.received = 0.0;
     d.disc_start = d.disc_len = d.reg_count = 0;
+    d.seq = next_download_seq_++;
+    d.fault_attempts = 0;
+    d.retry_until = 0.0;
     d.sessions.clear();  // keeps the row's vector capacity
     d.completion = EventHandle{};
     d.watched = false;
@@ -106,6 +110,7 @@ Download& System::alloc_download() {
   const DownloadId did = DownloadId::from_index(downloads_.size());
   downloads_.push_back(Download{});
   downloads_.back().id = did;
+  downloads_.back().seq = next_download_seq_++;
   return downloads_.back();
 }
 
@@ -303,8 +308,22 @@ bool System::issue_one_request(PeerId p) {
     if (peer.storage.contains(o) || find_pending(peer, o).valid())
       continue;  // cache hit — ignored per the paper
 
-    const std::vector<PeerId> discovered =
+    std::vector<PeerId> discovered =
         lookup_.query(o, p, cfg_.lookup_fraction, rng_);
+    // Fault shims over the lookup result (both inert at defaults: no
+    // erase, no draw). A partition hides the far side's owners entirely;
+    // lookup loss drops each surviving owner independently on the
+    // injector's stream. Note neither filters *dead* owners — a crashed
+    // peer's entries linger until its late retraction fires, so the
+    // request can propose (and register nowhere at) a dead provider.
+    if (faults_.partitioned())
+      std::erase_if(discovered,
+                    [&](PeerId q) { return !faults_.reachable(p, q); });
+    if (faults_.lookup_loss() > 0.0)
+      std::erase_if(discovered, [&](PeerId q) {
+        (void)q;
+        return faults_.drop_lookup_entry();
+      });
     if (discovered.empty()) {
       ++counters_.lookup_failures;
       continue;
@@ -328,6 +347,13 @@ bool System::issue_one_request(PeerId p) {
     const std::vector<PeerId> targets =
         rng_.sample(discovered, cfg_.max_providers_per_request);
     for (PeerId provider : targets) {
+      if (!peers_[provider.value].online) {
+        // Stale lookup entry: a crashed owner whose late retraction has
+        // not fired yet. The registration is wasted — that is the cost
+        // of stale discovery state the fault model measures.
+        ++counters_.stale_proposals;
+        continue;
+      }
       IrqEntry entry;
       entry.requester = p;
       entry.object = o;
@@ -361,14 +387,20 @@ bool System::issue_one_request(PeerId p) {
   return false;
 }
 
-void System::cancel_download(DownloadId did, bool starved) {
+void System::cancel_download(DownloadId did, bool starved, SessionEnd reason,
+                             bool lossy) {
   Download& d = download(did);
   if (!d.active) return;
   touch_graph(d.peer);    // the root loses this pending download
   unwatch_providers(d);
   accrue_download(d);
-  for (SessionId sid : std::vector<SessionId>(d.sessions))
-    if (session(sid).active) end_session(sid, SessionEnd::kRequesterCancelled);
+  {
+    std::vector<SessionId>& doomed = acquire_session_scratch();
+    doomed.assign(d.sessions.begin(), d.sessions.end());
+    for (SessionId sid : doomed)
+      if (session(sid).active) end_session(sid, reason, lossy);
+    release_session_scratch();
+  }
   for (PeerId provider : registered_sorted(d)) {
     peers_[provider.value].irq.remove(RequestKey{d.peer, d.object});
     touch_graph(provider);  // its request edge from d.peer goes away

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <set>
 #include <span>
@@ -25,6 +26,7 @@
 #include "core/parallel/worker_pool.h"
 #include "core/population.h"
 #include "core/provider_arena.h"
+#include "fault/injector.h"
 #include "metrics/collector.h"
 #include "obs/metrics_registry.h"
 #include "sim/simulator.h"
@@ -59,6 +61,14 @@ struct SystemCounters {
   std::uint64_t download_rows_reused = 0;
   std::uint64_t session_rows_reused = 0;
   std::uint64_t ring_rows_reused = 0;
+  // --- fault injection (src/fault; scenario crash/faults/partition
+  // events). All zero when the fault model is off. ---
+  std::uint64_t peer_crashes = 0;         ///< peer_crash() applications
+  std::uint64_t sessions_failed = 0;      ///< injected transfer faults
+  std::uint64_t transfer_retries = 0;     ///< retry holdoffs scheduled
+  std::uint64_t retry_exhausted = 0;      ///< downloads past the attempt cap
+  std::uint64_t stale_proposals = 0;      ///< dead owners served by lookup
+  std::uint64_t partition_collapses = 0;  ///< sessions cut by partitions
 };
 
 /// Capacity-relevant heap accounting, by subsystem (estimated from
@@ -199,6 +209,41 @@ class System final {
   /// Mid-run non-exchange scheduler flip. Re-examines every sharing peer.
   void set_scheduler(SchedulerKind scheduler);
 
+  // --- fault injection (src/fault; scenario crash/faults/partition
+  // events). Inert at the default FaultConfig: none of these run, no
+  // fault RNG is drawn, and every existing run stays bit-identical. ---
+
+  /// Abrupt peer crash: like peer_leave, but the failure is lossy and
+  /// dirty. In-flight sessions at the peer die losing their uncommitted
+  /// bytes (SessionEnd::kPeerCrash; rings it was in collapse), and the
+  /// lookup index does NOT hear about the failure — the dead peer's
+  /// entries linger for faults.stale_lookup_ttl seconds (late
+  /// retraction), so searches in that window can still propose the dead
+  /// provider. No-op if already offline.
+  void peer_crash(PeerId p);
+
+  /// Runtime override of the transfer-fault and lookup-loss processes
+  /// (scenario `faults` windows). A positive session rate arms a
+  /// failure draw on every already-active session (new sessions arm at
+  /// start). Pass the config baselines to close a window.
+  void set_fault_rates(double session_fault_rate, double lookup_loss);
+
+  /// One-shot kill of `fraction` of the currently active sessions,
+  /// sampled from `rng` (the scenario driver's per-event fork). Each
+  /// victim fails as an injected transfer fault (retry machinery
+  /// included); ring cascades may end more sessions than sampled.
+  void kill_sessions(double fraction, Rng& rng);
+
+  /// Installs (split > 0) or heals (split = 0) a peer-id-space
+  /// partition: active cross-partition sessions end lossily
+  /// (SessionEnd::kPartitioned) and discovery, non-exchange service and
+  /// ring formation are confined to each side until healed.
+  void set_partition(std::uint32_t split);
+
+  [[nodiscard]] const fault::FaultInjector& fault_injector() const {
+    return faults_;
+  }
+
   // --- request-graph views ---
   /// CSR snapshot of the request graph the ring search walks, maintained
   /// lazily from the dirty-peer set (see touch_graph(PeerId)): peers
@@ -249,7 +294,11 @@ class System final {
   /// Withdraws an in-flight download (ends its sessions, unregisters it
   /// everywhere). `starved` distinguishes provider starvation (counted,
   /// requester re-issues) from requester-side withdrawal (churn).
-  void cancel_download(DownloadId d, bool starved = true);
+  /// `reason`/`lossy` label the session teardown (crashes end lossily
+  /// with kPeerCrash; every pre-fault caller keeps the defaults).
+  void cancel_download(DownloadId d, bool starved = true,
+                       SessionEnd reason = SessionEnd::kRequesterCancelled,
+                       bool lossy = false);
 
   /// `p`'s active download for `o` (linear scan of the bounded pending
   /// list — see Peer::pending_list); invalid id if none.
@@ -287,12 +336,41 @@ class System final {
   /// Ends every upload `p` is serving and drops every request queued at
   /// it, starving-out affected downloads. Requires the caller to have
   /// made `p` unable to serve (offline or non-sharing) first.
-  void retract_service(Peer& p);
+  /// `reason`/`lossy` label the upload teardown (crash vs graceful).
+  void retract_service(Peer& p,
+                       SessionEnd reason = SessionEnd::kProviderLeft,
+                       bool lossy = false);
+
+  // --- fault injection (src/fault) ---
+  /// Schedules a failure draw for `sid` when the session-fault process
+  /// is on (no-op, no draw, when off).
+  void arm_session_fault(SessionId sid);
+  /// Fires a scheduled session fault; `seq` guards against the row
+  /// having been recycled since the draw.
+  void on_session_fault(SessionId sid, std::uint64_t seq);
+  /// Fails one session as an injected transfer fault: bumps the
+  /// download's attempt count, schedules the retry holdoff (or declares
+  /// exhaustion past the cap) and ends the session lossily.
+  void fail_session(SessionId sid);
+  /// Retry holdoff expiry: re-examines the download's providers.
+  void on_retry_expired(DownloadId did, std::uint64_t seq);
+  /// Late lookup retraction after a crash: removes the peer from the
+  /// lookup index after faults.stale_lookup_ttl seconds unless it
+  /// rejoined in the meantime.
+  void schedule_stale_retraction(PeerId p);
+  /// Whether `d` is inside a post-fault retry holdoff right now (always
+  /// false with the fault model off — retry_until stays 0).
+  [[nodiscard]] bool fault_holdoff_active(const Download& d) const {
+    return d.retry_until > sim_.now();
+  }
 
   // --- transfers (fluid model) ---
   SessionId start_session(PeerId provider, IrqEntry& entry,
                           RingId ring, std::uint8_t ring_size);
-  void end_session(SessionId s, SessionEnd reason);
+  /// `lossy` drops the bytes the session accrued since its last
+  /// checkpoint (crash/fault/partition teardown loses the uncommitted
+  /// tail on both sides of the byte ledger).
+  void end_session(SessionId s, SessionEnd reason, bool lossy = false);
   void accrue_download(Download& d);
   void reschedule_completion(Download& d);
   void complete_download(DownloadId id);
@@ -435,6 +513,23 @@ class System final {
   std::vector<RingId> free_rings_;
   /// Session creation sequence (see Session::seq).
   std::uint64_t next_session_seq_ = 0;
+  /// Download creation sequence (see Download::seq).
+  std::uint64_t next_download_seq_ = 0;
+
+  /// Fault-model state + draw stream (src/fault; inert at defaults).
+  fault::FaultInjector faults_;
+
+  // --- session-id scratch (collapse/complete/cancel teardown loops) ---
+  /// Borrows a cleared scratch vector for copying a session list that
+  /// end_session will mutate while the caller iterates it. Depth-indexed
+  /// pool because those loops nest (complete_download -> end_session ->
+  /// collapse_ring); a deque so outer frames' references survive pool
+  /// growth. Rows keep their capacity, so steady-state teardown
+  /// allocates nothing (BM_ChurnedSearch pins this).
+  std::vector<SessionId>& acquire_session_scratch();
+  void release_session_scratch();
+  std::deque<std::vector<SessionId>> session_scratch_pool_;
+  std::size_t session_scratch_depth_ = 0;
 
   // Lazily maintained request-graph snapshot (mutable: building is
   // caching, not observable state; the simulation is single-threaded).

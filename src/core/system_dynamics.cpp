@@ -9,14 +9,18 @@
 
 namespace p2pex {
 
-void System::retract_service(Peer& p) {
+void System::retract_service(Peer& p, SessionEnd reason, bool lossy) {
   P2PEX_ASSERT_MSG(!p.online || !p.shares,
                    "retracting service from a live sharing peer");
   // End every upload this peer is serving; rings it participates in
   // collapse as a unit (end_session handles that).
-  for (SessionId sid : std::vector<SessionId>(p.uploads))
-    if (sessions_[sid.value].active)
-      end_session(sid, SessionEnd::kProviderLeft);
+  {
+    std::vector<SessionId>& uploads = acquire_session_scratch();
+    uploads.assign(p.uploads.begin(), p.uploads.end());
+    for (SessionId sid : uploads)
+      if (sessions_[sid.value].active) end_session(sid, reason, lossy);
+    release_session_scratch();
+  }
 
   if (p.irq.empty()) return;
   touch_graph(p.id);  // queued requests at this peer disappear
@@ -59,6 +63,35 @@ void System::peer_leave(PeerId pid) {
 
   // Stop serving: end uploads, drop the queue.
   retract_service(p);
+  drain_dirty();
+}
+
+void System::peer_crash(PeerId pid) {
+  Peer& p = peer_mut(pid);
+  if (!p.online) return;
+  p.online = false;
+  ++counters_.peer_crashes;
+  // A crash is a departure for population accounting (peer_join brings
+  // the peer back either way); the crash counter tells them apart.
+  ++counters_.peer_departures;
+  touch_graph(pid);     // its own rows vanish
+  touch_watchers(pid);  // roots that discovered it lose a closer
+
+  // Unlike peer_leave, the lookup index does NOT hear about the failure:
+  // the dead peer's entries linger for faults.stale_lookup_ttl seconds
+  // (late retraction), so searches in that window can still propose the
+  // dead provider — registrations there are wasted (stale_proposals).
+  schedule_stale_retraction(pid);
+
+  // Its in-flight downloads die abruptly: the sessions feeding them
+  // lose their uncommitted bytes.
+  for (DownloadId did : std::vector<DownloadId>(p.pending_list))
+    cancel_download(did, /*starved=*/false, SessionEnd::kPeerCrash,
+                    /*lossy=*/true);
+
+  // Stop serving, lossily: uploads die as kPeerCrash (rings the peer
+  // was in collapse as a unit), queued requests at it drop.
+  retract_service(p, SessionEnd::kPeerCrash, /*lossy=*/true);
   drain_dirty();
 }
 

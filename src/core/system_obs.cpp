@@ -62,6 +62,12 @@ const obs::MetricsRegistry& System::metrics_registry() const {
   det("core.download_rows_reused", c.download_rows_reused);
   det("core.session_rows_reused", c.session_rows_reused);
   det("core.ring_rows_reused", c.ring_rows_reused);
+  det("core.peer_crashes", c.peer_crashes);
+  det("core.sessions_failed", c.sessions_failed);
+  det("core.transfer_retries", c.transfer_retries);
+  det("core.retry_exhausted", c.retry_exhausted);
+  det("core.stale_proposals", c.stale_proposals);
+  det("core.partition_collapses", c.partition_collapses);
 
   const FinderStats& f = finder_.stats();
   det("finder.searches", f.searches);

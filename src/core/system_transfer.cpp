@@ -12,6 +12,24 @@
 namespace p2pex {
 
 // ---------------------------------------------------------------------------
+// Session-id scratch pool
+// ---------------------------------------------------------------------------
+
+std::vector<SessionId>& System::acquire_session_scratch() {
+  if (session_scratch_depth_ == session_scratch_pool_.size())
+    session_scratch_pool_.emplace_back();
+  std::vector<SessionId>& buf =
+      session_scratch_pool_[session_scratch_depth_++];
+  buf.clear();
+  return buf;
+}
+
+void System::release_session_scratch() {
+  P2PEX_INVARIANT(session_scratch_depth_ > 0);
+  --session_scratch_depth_;
+}
+
+// ---------------------------------------------------------------------------
 // Fluid transfer model
 // ---------------------------------------------------------------------------
 
@@ -108,14 +126,25 @@ SessionId System::start_session(PeerId provider, IrqEntry& entry,
   d.sessions.push_back(sid);
   reschedule_completion(d);
   ++counters_.sessions_started;
+  arm_session_fault(sid);  // fault model: no-op (and no draw) when off
   return sid;
 }
 
-void System::end_session(SessionId sid, SessionEnd reason) {
+void System::end_session(SessionId sid, SessionEnd reason, bool lossy) {
   Session& s = sessions_[sid.value];
   if (!s.active) return;
   Download& d = download(s.download);
+  // A lossy end (crash, injected fault, partition cut) loses the bytes
+  // the session accrued since its last checkpoint — the uncommitted
+  // tail of an abruptly dead stream. Both sides of the byte ledger see
+  // the same reduced figure, so upload/download conservation holds.
+  const double uncommitted =
+      lossy ? s.rate * (sim_.now() - s.last_update) : 0.0;
   accrue_download(d);  // brings s.bytes up to date
+  if (uncommitted > 0.0) {
+    s.bytes = std::max(0.0, s.bytes - uncommitted);
+    d.received = std::max(0.0, d.received - uncommitted);
+  }
   s.active = false;
   // An ended exchange session returns its ring-bound entry to the graph
   // below (provider edge row + requester closure row); ending a
@@ -195,10 +224,13 @@ void System::collapse_ring(RingId rid, SessionId cause) {
   Ring& r = rings_[rid.value];
   if (!r.active) return;
   r.active = false;
-  for (SessionId sid : std::vector<SessionId>(r.sessions)) {
+  std::vector<SessionId>& members = acquire_session_scratch();
+  members.assign(r.sessions.begin(), r.sessions.end());
+  for (SessionId sid : members) {
     if (sid != cause && sessions_[sid.value].active)
       end_session(sid, SessionEnd::kRingCollapsed);
   }
+  release_session_scratch();
   // All member sessions are down, so nothing references the ring row:
   // only active sessions carry a live RingId.
   release_ring(rid);
@@ -217,9 +249,14 @@ void System::complete_download(DownloadId did) {
   touch_graph(d.peer);  // the root loses this pending download
   unwatch_providers(d);
 
-  for (SessionId sid : std::vector<SessionId>(d.sessions))
-    if (sessions_[sid.value].active)
-      end_session(sid, SessionEnd::kDownloadComplete);
+  {
+    std::vector<SessionId>& feeding = acquire_session_scratch();
+    feeding.assign(d.sessions.begin(), d.sessions.end());
+    for (SessionId sid : feeding)
+      if (sessions_[sid.value].active)
+        end_session(sid, SessionEnd::kDownloadComplete);
+    release_session_scratch();
+  }
 
   for (PeerId provider : registered_sorted(d)) {
     peers_[provider.value].irq.remove(RequestKey{d.peer, d.object});
@@ -347,10 +384,14 @@ bool System::try_form_ring(const RingProposal& proposal) {
     Peer& x = peers_[link.provider.value];
     Peer& y = peers_[link.requester.value];
     if (!x.online || !y.online || !x.shares) return false;
+    // Fault gates (always pass with the model off): partitions confine
+    // rings to one side; a post-fault retry holdoff parks the want.
+    if (!faults_.reachable(link.provider, link.requester)) return false;
     if (!x.storage.contains(link.object)) return false;
     const DownloadId want = find_pending(y, link.object);
     if (!want.valid()) return false;
     if (!downloads_[want.value].active) return false;
+    if (fault_holdoff_active(downloads_[want.value])) return false;
 
     IrqEntry* e = x.irq.find(RequestKey{link.requester, link.object});
     plan[i].create_entry = (e == nullptr);
@@ -481,6 +522,9 @@ IrqEntry* System::pick_non_exchange(Peer& provider) {
     if (e.state != RequestState::kQueued) continue;
     const Peer& req = peers_[e.requester.value];
     if (!req.online || req.free_download_slots() < 1) continue;
+    // Fault gates (always pass with the model off; see try_form_ring).
+    if (!faults_.reachable(provider.id, e.requester)) continue;
+    if (fault_holdoff_active(downloads_[e.download.value])) continue;
     P2PEX_INVARIANT_MSG(provider.storage.contains(e.object),
                      "IRQ entry for an object not stored");
     switch (cfg_.scheduler) {

@@ -144,6 +144,9 @@ void System::build_peer_rows(const Peer& p, GraphSnapshot& snap) const {
     if (e.state == RequestState::kActiveExchange) continue;  // ring-bound
     if (snap_seen_[e.requester.value] == stamp) continue;
     if (!peers_[e.requester.value].online) continue;
+    // Partition confinement (no-op unpartitioned); must mirror
+    // requesters_of below.
+    if (!faults_.reachable(p.id, e.requester)) continue;
     snap_seen_[e.requester.value] = stamp;
     snap.add_edge(e.requester, e.object);
   }
@@ -159,7 +162,8 @@ void System::build_peer_rows(const Peer& p, GraphSnapshot& snap) const {
     snap_providers_.clear();
     for (PeerId prov : discovered(d)) {
       const Peer& pr = peers_[prov.value];
-      if (pr.online && pr.shares && pr.storage.contains(d.object))
+      if (pr.online && pr.shares && pr.storage.contains(d.object) &&
+          faults_.reachable(p.id, prov))  // mirror want_providers below
         snap_providers_.push_back(prov);
     }
     std::sort(snap_providers_.begin(), snap_providers_.end());
@@ -209,6 +213,7 @@ std::vector<PeerId> System::requesters_of(PeerId provider) const {
     if (e.state == RequestState::kActiveExchange) continue;  // ring-bound
     if (seen[e.requester.value]) continue;
     if (!peers_[e.requester.value].online) continue;
+    if (!faults_.reachable(provider, e.requester)) continue;
     seen[e.requester.value] = true;
     out.push_back(e.requester);
   }
@@ -216,6 +221,7 @@ std::vector<PeerId> System::requesters_of(PeerId provider) const {
 }
 
 ObjectId System::request_between(PeerId provider, PeerId requester) const {
+  if (!faults_.reachable(provider, requester)) return ObjectId{};
   const Peer& p = peers_[provider.value];
   for (const IrqEntry& e : p.irq.entries()) {
     if (e.requester != requester) continue;
@@ -231,6 +237,7 @@ std::vector<ObjectId> System::close_objects(PeerId root,
   const Peer& prov = peers_[provider.value];
   std::vector<ObjectId> out;
   if (!prov.online || !prov.shares) return out;
+  if (!faults_.reachable(root, provider)) return out;
   for (DownloadId did : r.pending_list) {
     const Download& d = downloads_[did.value];
     if (!d.active) continue;
@@ -256,7 +263,8 @@ std::vector<std::pair<ObjectId, std::vector<PeerId>>> System::want_providers(
     providers.reserve(d.disc_len);
     for (PeerId p : discovered(d)) {
       const Peer& prov = peers_[p.value];
-      if (prov.online && prov.shares && prov.storage.contains(d.object))
+      if (prov.online && prov.shares && prov.storage.contains(d.object) &&
+          faults_.reachable(root, p))
         providers.push_back(p);
     }
     std::sort(providers.begin(), providers.end());
@@ -321,6 +329,8 @@ MemoryFootprint System::memory_footprint() const {
 
   f.session_bytes = sessions_.capacity() * sizeof(Session) +
                     free_sessions_.capacity() * sizeof(SessionId);
+  for (const std::vector<SessionId>& buf : session_scratch_pool_)
+    f.session_bytes += buf.capacity() * sizeof(SessionId);
 
   f.ring_bytes = rings_.capacity() * sizeof(Ring) +
                  free_rings_.capacity() * sizeof(RingId);
@@ -428,6 +438,40 @@ void System::check_invariants() const {
   }
   P2PEX_ASSERT_MSG(live_disc_rows == disc_arena_.live_rows(),
                    "provider arena live-row accounting drift");
+
+#ifdef P2PEX_EXPENSIVE_INVARIANTS_ENABLED
+  // Watcher reverse-index audit (audit builds only — O(index)): every
+  // entry must point at a live watched download whose span ordinal
+  // names this provider, with a round-tripping back-reference, and the
+  // index must hold exactly one entry per watched span slot. A crash or
+  // leave path that forgot unwatch_providers leaves a dangling entry
+  // and fails here.
+  std::size_t watch_entries = 0;
+  for (std::size_t pv = 0; pv < watchers_.size(); ++pv) {
+    const std::vector<WatchEntry>& w = watchers_[pv];
+    for (std::size_t slot = 0; slot < w.size(); ++slot) {
+      const WatchEntry& e = w[slot];
+      const Download& d = downloads_[e.download.value];
+      P2PEX_EXPENSIVE_INVARIANT_MSG(
+          d.active && d.watched && d.peer == e.root,
+          "watcher entry points at a dead or foreign download");
+      P2PEX_EXPENSIVE_INVARIANT_MSG(e.ordinal < d.disc_len,
+                                    "watcher ordinal beyond the span");
+      P2PEX_EXPENSIVE_INVARIANT_MSG(
+          discovered(d)[e.ordinal] == PeerId::from_index(pv),
+          "watcher entry filed under the wrong provider");
+      P2PEX_EXPENSIVE_INVARIANT_MSG(
+          disc_arena_.watch_slot(d.disc_start + e.ordinal) == slot,
+          "watcher back-reference does not round-trip");
+    }
+    watch_entries += w.size();
+  }
+  std::size_t expected_watch_entries = 0;
+  for (const Download& d : downloads_)
+    if (d.active && d.watched) expected_watch_entries += d.disc_len;
+  P2PEX_EXPENSIVE_INVARIANT_MSG(watch_entries == expected_watch_entries,
+                                "watcher index leaked or lost entries");
+#endif
 
   P2PEX_ASSERT_MSG(metrics_.uploaded() == metrics_.downloaded(),
                    "byte conservation violated");

@@ -1,0 +1,48 @@
+// Fault-model configuration: transfer failure processes, retry/backoff,
+// and lookup degradation. Pure data — the injector in fault/injector.h
+// turns these knobs into deterministic draws; SimConfig embeds one
+// FaultConfig so every knob travels with the run's operating point.
+//
+// Everything here defaults to *off*: a default-constructed FaultConfig
+// draws no random numbers, perturbs no events, and leaves every existing
+// (seed, config) trajectory bit-identical.
+#pragma once
+
+#include <cstddef>
+
+namespace p2pex::fault {
+
+/// How a requester reacts to an injected transfer failure. After each
+/// failed attempt the download holds off for
+///   base_timeout * backoff^(attempt-1) * uniform[1-jitter, 1+jitter]
+/// seconds (jitter drawn from the fault RNG stream, so replays are
+/// bit-exact); once `max_attempts` failures accumulate the download
+/// stops holding off and degrades gracefully back to the ordinary
+/// waiting queue.
+struct RetryPolicy {
+  double base_timeout = 30.0;  ///< seconds before the first retry
+  double backoff = 2.0;        ///< multiplier per further attempt (>= 1)
+  double jitter = 0.25;        ///< +/- fraction on each holdoff, in [0, 1)
+  std::size_t max_attempts = 4;  ///< failures before graceful degradation
+
+  friend bool operator==(const RetryPolicy&, const RetryPolicy&) = default;
+};
+
+/// Baseline fault processes for a run. Scenario `faults` windows
+/// override `session_fault_rate` / `lookup_loss` for their duration and
+/// restore these baselines when they close.
+struct FaultConfig {
+  /// Per-session failure rate (faults per second of session lifetime);
+  /// each session draws an exponential fault time at start. 0 = never.
+  double session_fault_rate = 0.0;
+  /// Fraction of discovered owners dropped from each lookup result.
+  double lookup_loss = 0.0;
+  /// How long a crashed peer's lookup entries linger before the late
+  /// retraction (the window in which searches propose dead providers).
+  double stale_lookup_ttl = 60.0;
+  RetryPolicy retry;
+
+  friend bool operator==(const FaultConfig&, const FaultConfig&) = default;
+};
+
+}  // namespace p2pex::fault

@@ -1,0 +1,44 @@
+#include "fault/injector.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace p2pex::fault {
+
+namespace {
+
+/// Stream-splitting constant for the injector's Rng: fault draws must
+/// not perturb the System's main stream or the scenario Driver's (a run
+/// with faults disabled is bit-identical to one without the injector).
+constexpr std::uint64_t kFaultSeedSalt = 0xFA017D15EA5EULL;
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t seed)
+    : cfg_(config),
+      rng_(seed ^ kFaultSeedSalt),
+      session_fault_rate_(config.session_fault_rate),
+      lookup_loss_(config.lookup_loss) {}
+
+SimTime FaultInjector::draw_session_lifetime() {
+  P2PEX_ASSERT_MSG(session_fault_rate_ > 0.0,
+                   "lifetime draw with the fault process off");
+  // Inverse-CDF exponential; uniform01 is in [0, 1) so the log argument
+  // stays positive.
+  return -std::log(1.0 - rng_.uniform01()) / session_fault_rate_;
+}
+
+SimTime FaultInjector::draw_retry_holdoff(std::size_t attempt) {
+  P2PEX_ASSERT_MSG(attempt >= 1, "retry attempts are 1-based");
+  const RetryPolicy& r = cfg_.retry;
+  double holdoff = r.base_timeout;
+  for (std::size_t i = 1; i < attempt; ++i) holdoff *= r.backoff;
+  if (r.jitter > 0.0)
+    holdoff *= rng_.uniform_real(1.0 - r.jitter, 1.0 + r.jitter);
+  return holdoff;
+}
+
+bool FaultInjector::drop_lookup_entry() { return rng_.chance(lookup_loss_); }
+
+}  // namespace p2pex::fault

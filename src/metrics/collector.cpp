@@ -19,6 +19,9 @@ std::string to_string(SessionEnd e) {
     case SessionEnd::kObjectDeleted:      return "object-deleted";
     case SessionEnd::kRequesterCancelled: return "requester-cancelled";
     case SessionEnd::kSimulationEnd:      return "simulation-end";
+    case SessionEnd::kPeerCrash:          return "peer-crash";
+    case SessionEnd::kTransferFault:      return "transfer-fault";
+    case SessionEnd::kPartitioned:        return "partitioned";
   }
   return "unknown";
 }

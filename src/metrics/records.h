@@ -28,6 +28,9 @@ enum class SessionEnd : std::uint8_t {
   kObjectDeleted,     ///< provider evicted the object mid-transfer
   kRequesterCancelled,///< requester withdrew the request
   kSimulationEnd,     ///< still running when the run ended (censored)
+  kPeerCrash,         ///< an endpoint crashed; uncommitted bytes were lost
+  kTransferFault,     ///< injected transfer failure aborted the stream
+  kPartitioned,       ///< endpoints split across a network partition
 };
 
 [[nodiscard]] std::string to_string(SessionEnd e);

@@ -63,6 +63,22 @@ void Driver::expand_timeline() {
       case EventKind::kSetScheduler:
         add(e.time, Action::Op::kScheduler);
         break;
+      case EventKind::kCrash:
+        add(e.time, Action::Op::kCrash);
+        break;
+      case EventKind::kFaults:
+        add(e.time, Action::Op::kFaultsStart);
+        // Only rate/loss processes open a window needing a close; a
+        // pure one-shot kill (kill_fraction only) is instantaneous.
+        if ((e.fault_rate > 0.0 || e.lookup_loss > 0.0) &&
+            e.time + e.duration < cfg_.sim_duration)
+          add(e.time + e.duration, Action::Op::kFaultsEnd);
+        break;
+      case EventKind::kPartition:
+        add(e.time, Action::Op::kPartitionStart);
+        if (e.time + e.duration < cfg_.sim_duration)
+          add(e.time + e.duration, Action::Op::kPartitionEnd);
+        break;
     }
   }
   // Stable: simultaneous actions apply in timeline order, except that
@@ -71,7 +87,10 @@ void Driver::expand_timeline() {
   // declaration order (the end of the first must not clear the start of
   // the second).
   auto rank = [](const Action& a) {
-    return a.op == Action::Op::kFlashEnd || a.op == Action::Op::kFreerideEnd
+    return a.op == Action::Op::kFlashEnd ||
+                   a.op == Action::Op::kFreerideEnd ||
+                   a.op == Action::Op::kFaultsEnd ||
+                   a.op == Action::Op::kPartitionEnd
                ? 0
                : 1;
   };
@@ -107,6 +126,11 @@ const char* Driver::op_span_name(Action::Op op) {
     case Action::Op::kChurnTick: return "scenario.churn_tick";
     case Action::Op::kPolicy: return "scenario.policy";
     case Action::Op::kScheduler: return "scenario.scheduler";
+    case Action::Op::kCrash: return "scenario.crash";
+    case Action::Op::kFaultsStart: return "scenario.faults_start";
+    case Action::Op::kFaultsEnd: return "scenario.faults_end";
+    case Action::Op::kPartitionStart: return "scenario.partition_start";
+    case Action::Op::kPartitionEnd: return "scenario.partition_end";
   }
   return "scenario.unknown";
 }
@@ -186,6 +210,37 @@ void Driver::apply(const Action& a) {
       break;
     case Action::Op::kScheduler:
       sys.set_scheduler(e.scheduler);
+      break;
+    case Action::Op::kCrash: {
+      // Fault events draw from a per-event fork: the victim picks are a
+      // pure function of (seed, timeline position), independent of any
+      // other draw the driver interleaves.
+      auto online = collect([](const Peer& p) { return p.online; });
+      Rng ev = rng_.fork();
+      auto chosen = ev.sample(online, e.count);
+      std::sort(chosen.begin(), chosen.end());
+      for (PeerId id : chosen) sys.peer_crash(id);
+      break;
+    }
+    case Action::Op::kFaultsStart: {
+      if (e.fault_rate > 0.0 || e.lookup_loss > 0.0)
+        sys.set_fault_rates(e.fault_rate, e.lookup_loss);
+      if (e.kill_fraction > 0.0) {
+        Rng ev = rng_.fork();  // per-event stream (see kCrash)
+        sys.kill_sessions(e.kill_fraction, ev);
+      }
+      break;
+    }
+    case Action::Op::kFaultsEnd:
+      // Window close restores the config baselines (usually zero).
+      sys.set_fault_rates(cfg_.faults.session_fault_rate,
+                          cfg_.faults.lookup_loss);
+      break;
+    case Action::Op::kPartitionStart:
+      sys.set_partition(narrow_u32(e.split));
+      break;
+    case Action::Op::kPartitionEnd:
+      sys.set_partition(0);
       break;
   }
 }

@@ -65,6 +65,11 @@ class Driver {
       kChurnTick,
       kPolicy,
       kScheduler,
+      kCrash,
+      kFaultsStart,
+      kFaultsEnd,
+      kPartitionStart,
+      kPartitionEnd,
     };
     SimTime time = 0.0;
     Op op = Op::kDepart;

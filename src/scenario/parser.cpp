@@ -118,21 +118,29 @@ Event parse_event(const std::vector<std::string>& tokens) {
       throw ScenarioError("expected: at <time> scheduler <name>");
     e.scheduler = parse_scheduler(tokens[3]);
     first_kv = 4;
+  } else if (kind == "crash") {
+    e.kind = EventKind::kCrash;
+  } else if (kind == "faults") {
+    e.kind = EventKind::kFaults;
+  } else if (kind == "partition") {
+    e.kind = EventKind::kPartition;
   } else {
     throw ScenarioError(
         "unknown event kind '" + kind +
         "' (known: depart arrive flash_crowd freeride churn policy "
-        "scheduler)");
+        "scheduler crash faults partition)");
   }
 
   bool have_count = false, have_category = false, have_weight = false,
-       have_duration = false, have_fraction = false, have_interval = false;
+       have_duration = false, have_fraction = false, have_interval = false,
+       have_split = false;
   for (std::size_t i = first_kv; i < tokens.size(); ++i) {
     const auto [key, value] = split_kv(tokens[i]);
     if (key == "cohort") {
       e.cohort = value;
     } else if (key == "count" && (e.kind == EventKind::kDepart ||
-                                  e.kind == EventKind::kArrive)) {
+                                  e.kind == EventKind::kArrive ||
+                                  e.kind == EventKind::kCrash)) {
       e.count = parse_size(value);
       have_count = true;
     } else if (key == "category" && e.kind == EventKind::kFlashCrowd) {
@@ -149,9 +157,20 @@ Event parse_event(const std::vector<std::string>& tokens) {
       have_weight = true;
     } else if (key == "duration" && (e.kind == EventKind::kFlashCrowd ||
                                      e.kind == EventKind::kFreerideWave ||
-                                     e.kind == EventKind::kChurn)) {
+                                     e.kind == EventKind::kChurn ||
+                                     e.kind == EventKind::kFaults ||
+                                     e.kind == EventKind::kPartition)) {
       e.duration = parse_double(value);
       have_duration = true;
+    } else if (key == "rate" && e.kind == EventKind::kFaults) {
+      e.fault_rate = parse_double(value);
+    } else if (key == "lookup_loss" && e.kind == EventKind::kFaults) {
+      e.lookup_loss = parse_double(value);
+    } else if (key == "kill_fraction" && e.kind == EventKind::kFaults) {
+      e.kill_fraction = parse_double(value);
+    } else if (key == "split" && e.kind == EventKind::kPartition) {
+      e.split = parse_size(value);
+      have_split = true;
     } else if (key == "fraction" && e.kind == EventKind::kFreerideWave) {
       e.fraction = parse_double(value);
       have_fraction = true;
@@ -189,6 +208,17 @@ Event parse_event(const std::vector<std::string>& tokens) {
       break;
     case EventKind::kSetPolicy:
     case EventKind::kSetScheduler:
+      break;
+    case EventKind::kCrash:
+      if (!have_count) throw ScenarioError("missing count=N");
+      break;
+    case EventKind::kFaults:
+      // Field presence is free-form here; validate_event enforces that
+      // at least one fault dimension is set and windows make sense.
+      break;
+    case EventKind::kPartition:
+      if (!have_split) throw ScenarioError("missing split=N");
+      if (!have_duration) throw ScenarioError("missing duration=S");
       break;
   }
   return e;

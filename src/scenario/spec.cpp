@@ -96,6 +96,9 @@ std::string to_string(EventKind k) {
     case EventKind::kChurn:        return "churn";
     case EventKind::kSetPolicy:    return "policy";
     case EventKind::kSetScheduler: return "scheduler";
+    case EventKind::kCrash:        return "crash";
+    case EventKind::kFaults:       return "faults";
+    case EventKind::kPartition:    return "partition";
   }
   return "unknown";
 }
@@ -295,6 +298,49 @@ const Knob kKnobs[] = {
      [](const SimConfig& c) {
        return format_double(c.request_retry_interval);
      }},
+    {"session_fault_rate",
+     [](SimConfig& c, const std::string& v) {
+       c.faults.session_fault_rate = parse_double(v);
+     },
+     [](const SimConfig& c) {
+       return format_double(c.faults.session_fault_rate);
+     }},
+    {"lookup_loss",
+     [](SimConfig& c, const std::string& v) {
+       c.faults.lookup_loss = parse_double(v);
+     },
+     [](const SimConfig& c) { return format_double(c.faults.lookup_loss); }},
+    {"stale_lookup_ttl",
+     [](SimConfig& c, const std::string& v) {
+       c.faults.stale_lookup_ttl = parse_double(v);
+     },
+     [](const SimConfig& c) {
+       return format_double(c.faults.stale_lookup_ttl);
+     }},
+    {"retry_timeout",
+     [](SimConfig& c, const std::string& v) {
+       c.faults.retry.base_timeout = parse_double(v);
+     },
+     [](const SimConfig& c) {
+       return format_double(c.faults.retry.base_timeout);
+     }},
+    {"retry_backoff",
+     [](SimConfig& c, const std::string& v) {
+       c.faults.retry.backoff = parse_double(v);
+     },
+     [](const SimConfig& c) { return format_double(c.faults.retry.backoff); }},
+    {"retry_jitter",
+     [](SimConfig& c, const std::string& v) {
+       c.faults.retry.jitter = parse_double(v);
+     },
+     [](const SimConfig& c) { return format_double(c.faults.retry.jitter); }},
+    {"retry_max_attempts",
+     [](SimConfig& c, const std::string& v) {
+       c.faults.retry.max_attempts = parse_size(v);
+     },
+     [](const SimConfig& c) {
+       return std::to_string(c.faults.retry.max_attempts);
+     }},
     {"duration",
      [](SimConfig& c, const std::string& v) {
        c.sim_duration = parse_double(v);
@@ -448,6 +494,33 @@ void validate_event(const Spec& spec, const Event& e, std::size_t i) {
       break;
     case EventKind::kSetScheduler:
       break;
+    case EventKind::kCrash:
+      if (e.count < 1) fail("count must be positive");
+      break;
+    case EventKind::kFaults:
+      if (e.fault_rate < 0.0) fail("rate must be non-negative");
+      if (e.lookup_loss < 0.0 || e.lookup_loss >= 1.0)
+        fail("lookup_loss must be in [0, 1)");
+      if (e.kill_fraction < 0.0 || e.kill_fraction > 1.0)
+        fail("kill_fraction must be in [0, 1]");
+      if (e.fault_rate == 0.0 && e.lookup_loss == 0.0 &&
+          e.kill_fraction == 0.0)
+        fail("at least one of rate/lookup_loss/kill_fraction must be "
+             "positive");
+      if (e.duration < 0.0) fail("duration must be non-negative");
+      if ((e.fault_rate > 0.0 || e.lookup_loss > 0.0) && e.duration <= 0.0)
+        fail("rate/lookup_loss need a positive window duration");
+      if (!e.cohort.empty())
+        fail("faults apply to the whole population, not a cohort");
+      break;
+    case EventKind::kPartition:
+      if (e.split < 1 || e.split >= spec.compile_config().num_peers)
+        fail("split must land strictly inside the peer-id space [1, " +
+             std::to_string(spec.compile_config().num_peers - 1) + "]");
+      if (e.duration <= 0.0) fail("duration must be positive");
+      if (!e.cohort.empty())
+        fail("partitions split the whole id space, not a cohort");
+      break;
   }
 }
 
@@ -501,6 +574,33 @@ void Spec::validate() const {
           detail::format_double(flash_windows[i].first) + ".." +
           detail::format_double(flash_windows[i].second) +
           ") — only one demand spike can be active at a time");
+
+  // Fault-rate overrides and partitions are likewise single global
+  // slots: an overlapping window's close action would clear the later
+  // window's state mid-flight.
+  auto reject_overlap = [](std::vector<std::pair<double, double>> windows,
+                           const char* what) {
+    std::sort(windows.begin(), windows.end());
+    for (std::size_t i = 1; i < windows.size(); ++i)
+      if (windows[i].first < windows[i - 1].second)
+        throw ScenarioError(
+            std::string(what) + " windows overlap (" +
+            detail::format_double(windows[i - 1].first) + ".." +
+            detail::format_double(windows[i - 1].second) + " and " +
+            detail::format_double(windows[i].first) + ".." +
+            detail::format_double(windows[i].second) +
+            ") — only one can be active at a time");
+  };
+  std::vector<std::pair<double, double>> fault_windows, partition_windows;
+  for (const Event& e : timeline) {
+    if (e.kind == EventKind::kFaults &&
+        (e.fault_rate > 0.0 || e.lookup_loss > 0.0))
+      fault_windows.emplace_back(e.time, e.time + e.duration);
+    if (e.kind == EventKind::kPartition)
+      partition_windows.emplace_back(e.time, e.time + e.duration);
+  }
+  reject_overlap(std::move(fault_windows), "faults");
+  reject_overlap(std::move(partition_windows), "partition");
 }
 
 std::string Spec::to_text() const {
@@ -566,6 +666,23 @@ std::string Spec::to_text() const {
         break;
       case EventKind::kSetScheduler:
         os << " " << p2pex::to_string(e.scheduler);
+        break;
+      case EventKind::kCrash:
+        os << " count=" << e.count;
+        break;
+      case EventKind::kFaults:
+        if (e.fault_rate > 0.0)
+          os << " rate=" << format_double(e.fault_rate);
+        if (e.lookup_loss > 0.0)
+          os << " lookup_loss=" << format_double(e.lookup_loss);
+        if (e.kill_fraction > 0.0)
+          os << " kill_fraction=" << format_double(e.kill_fraction);
+        if (e.duration > 0.0)
+          os << " duration=" << format_double(e.duration);
+        break;
+      case EventKind::kPartition:
+        os << " split=" << e.split
+           << " duration=" << format_double(e.duration);
         break;
     }
     if (!e.cohort.empty()) os << " cohort=" << e.cohort;
@@ -686,6 +803,42 @@ SpecBuilder& SpecBuilder::scheduler_flip(SimTime t, SchedulerKind scheduler) {
   e.kind = EventKind::kSetScheduler;
   e.time = t;
   e.scheduler = scheduler;
+  spec_.timeline.push_back(std::move(e));
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::crash_at(SimTime t, std::size_t count,
+                                   std::string cohort) {
+  Event e;
+  e.kind = EventKind::kCrash;
+  e.time = t;
+  e.count = count;
+  e.cohort = std::move(cohort);
+  spec_.timeline.push_back(std::move(e));
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::faults_at(SimTime t, double rate,
+                                    double lookup_loss, double duration,
+                                    double kill_fraction) {
+  Event e;
+  e.kind = EventKind::kFaults;
+  e.time = t;
+  e.fault_rate = rate;
+  e.lookup_loss = lookup_loss;
+  e.duration = duration;
+  e.kill_fraction = kill_fraction;
+  spec_.timeline.push_back(std::move(e));
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::partition_at(SimTime t, std::size_t split,
+                                       double duration) {
+  Event e;
+  e.kind = EventKind::kPartition;
+  e.time = t;
+  e.split = split;
+  e.duration = duration;
   spec_.timeline.push_back(std::move(e));
   return *this;
 }

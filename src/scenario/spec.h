@@ -71,6 +71,9 @@ enum class EventKind : std::uint8_t {
   kChurn,         ///< Poisson-style leave/rejoin process over a window
   kSetPolicy,     ///< mid-run exchange-policy flip
   kSetScheduler,  ///< mid-run non-exchange-scheduler flip
+  kCrash,         ///< abruptly crash `count` random online peers
+  kFaults,        ///< transfer/lookup fault window (and one-shot kills)
+  kPartition,     ///< split the peer-id space at `split` for `duration`
 };
 
 [[nodiscard]] std::string to_string(EventKind k);
@@ -93,6 +96,10 @@ struct Event {
   ExchangePolicy policy = ExchangePolicy::kShortestFirst;  ///< kSetPolicy
   std::size_t max_ring = 5;                                ///< kSetPolicy
   SchedulerKind scheduler = SchedulerKind::kFifo;          ///< kSetScheduler
+  double fault_rate = 0.0;    ///< kFaults per-session failure rate (/s)
+  double lookup_loss = 0.0;   ///< kFaults fraction of owners dropped
+  double kill_fraction = 0.0; ///< kFaults one-shot share of active sessions
+  std::size_t split = 0;      ///< kPartition boundary in peer-id space
 
   friend bool operator==(const Event&, const Event&) = default;
 };
@@ -213,6 +220,14 @@ class SpecBuilder {
   SpecBuilder& policy_flip(SimTime t, ExchangePolicy policy,
                            std::size_t max_ring);
   SpecBuilder& scheduler_flip(SimTime t, SchedulerKind scheduler);
+  SpecBuilder& crash_at(SimTime t, std::size_t count,
+                        std::string cohort = "");
+  /// A fault window: `rate`/`lookup_loss` apply for `duration` seconds
+  /// (both may be 0), plus an optional one-shot `kill_fraction` of the
+  /// active sessions when the window opens.
+  SpecBuilder& faults_at(SimTime t, double rate, double lookup_loss,
+                         double duration, double kill_fraction = 0.0);
+  SpecBuilder& partition_at(SimTime t, std::size_t split, double duration);
 
   /// Read access while building (the wrapper presets use this).
   [[nodiscard]] const Spec& spec() const { return spec_; }

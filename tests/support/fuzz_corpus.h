@@ -45,6 +45,13 @@ inline constexpr std::uint64_t kScenarioFuzzSeeds[] = {41, 42, 43, 45, 48,
 inline constexpr std::uint64_t kParallelFuzzSeeds[] = {71, 72, 73, 75, 78,
                                                        91, 107};
 
+/// Seeds for the fault-storm fuzzer (test_scenario_fuzz.cpp): a random
+/// fault schedule (crash storms, fault/kill windows, partitions) derived
+/// from each seed must produce bit-identical counters and reports at
+/// every worker-thread count — faults join the replay contract.
+inline constexpr std::uint64_t kFaultStormSeeds[] = {81, 82, 83, 85, 88,
+                                                     101, 113};
+
 /// Names a parameterized fuzz instance "seed<N>" so the CTest case list
 /// reads as the corpus itself.
 inline std::string fuzz_seed_name(

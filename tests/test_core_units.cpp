@@ -71,6 +71,14 @@ TEST(Config, RejectsBadValues) {
   expect_bad([](SimConfig& c) { c.initial_fill_fraction = 0.0; });
   expect_bad([](SimConfig& c) { c.max_categories_per_peer = 1000; });
   expect_bad([](SimConfig& c) { c.bloom_fpp = 1.0; });
+  // Fault-model knobs.
+  expect_bad([](SimConfig& c) { c.faults.session_fault_rate = -0.1; });
+  expect_bad([](SimConfig& c) { c.faults.lookup_loss = 1.0; });
+  expect_bad([](SimConfig& c) { c.faults.stale_lookup_ttl = -1.0; });
+  expect_bad([](SimConfig& c) { c.faults.retry.base_timeout = 0.0; });
+  expect_bad([](SimConfig& c) { c.faults.retry.backoff = 0.5; });
+  expect_bad([](SimConfig& c) { c.faults.retry.jitter = 1.0; });
+  expect_bad([](SimConfig& c) { c.faults.retry.max_attempts = 0; });
 }
 
 TEST(Config, DescribeMentionsPolicy) {
@@ -91,6 +99,7 @@ TEST(Config, DescribePinsEveryKnob) {
       "cats/peer=[1,8] fill=0.5 irq=1000 pending=6 lookup=0.5 providers=8 "
       "policy=2-5-way attempts=8 scheduler=fifo liars=0 preemption=on "
       "tree=full-tree bloom=[64,0.02,256] search=30s evict=60s retry=60s "
+      "fault_rate=0 lookup_loss=0 stale_ttl=60s retry_policy=[30s,x2,j0.25,4] "
       "duration=30000s warmup=0.2 seed=1 threads=1");
 }
 

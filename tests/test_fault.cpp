@@ -1,0 +1,324 @@
+// Fault-injection subsystem: deterministic injector draws, crash
+// semantics (lossy teardown, late lookup retraction, stale proposals),
+// retry/backoff, one-shot kills, partitions — and the recovery
+// guarantees: invariants hold through every storm and repeated
+// crash/rejoin cycles reach a capacity plateau (leak-free recovery).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "core/system.h"
+#include "fault/injector.h"
+#include "scenario/driver.h"
+#include "scenario/spec.h"
+#include "support/scenario.h"
+
+namespace p2pex {
+namespace {
+
+using fault::FaultConfig;
+using fault::FaultInjector;
+using scenario::Driver;
+using scenario::SpecBuilder;
+
+// --- injector draws ---
+
+TEST(FaultInjector, DrawsAreDeterministicPerSeed) {
+  FaultConfig cfg;
+  cfg.session_fault_rate = 0.01;
+  cfg.lookup_loss = 0.3;
+  FaultInjector a(cfg, 99), b(cfg, 99), c(cfg, 100);
+  bool diverged = false;
+  for (int i = 0; i < 32; ++i) {
+    const double la = a.draw_session_lifetime();
+    EXPECT_DOUBLE_EQ(la, b.draw_session_lifetime());
+    diverged = diverged || la != c.draw_session_lifetime();
+  }
+  EXPECT_TRUE(diverged) << "different seeds must give different streams";
+}
+
+TEST(FaultInjector, LifetimesAreExponentialScale) {
+  FaultConfig cfg;
+  cfg.session_fault_rate = 0.02;  // mean 50 s
+  FaultInjector inj(cfg, 7);
+  double sum = 0.0;
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double t = inj.draw_session_lifetime();
+    ASSERT_GT(t, 0.0);
+    sum += t;
+  }
+  EXPECT_NEAR(sum / kDraws, 50.0, 5.0);
+}
+
+TEST(FaultInjector, HoldoffBacksOffWithinJitterBounds) {
+  FaultConfig cfg;
+  cfg.retry.base_timeout = 10.0;
+  cfg.retry.backoff = 2.0;
+  cfg.retry.jitter = 0.25;
+  FaultInjector inj(cfg, 5);
+  for (std::size_t attempt = 1; attempt <= 5; ++attempt) {
+    double nominal = 10.0;
+    for (std::size_t a = 1; a < attempt; ++a) nominal *= 2.0;
+    for (int i = 0; i < 100; ++i) {
+      const double h = inj.draw_retry_holdoff(attempt);
+      EXPECT_GE(h, nominal * 0.75) << "attempt " << attempt;
+      EXPECT_LE(h, nominal * 1.25) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(FaultInjector, ZeroJitterIsExact) {
+  FaultConfig cfg;
+  cfg.retry.base_timeout = 5.0;
+  cfg.retry.backoff = 3.0;
+  cfg.retry.jitter = 0.0;
+  FaultInjector inj(cfg, 5);
+  EXPECT_DOUBLE_EQ(inj.draw_retry_holdoff(1), 5.0);
+  EXPECT_DOUBLE_EQ(inj.draw_retry_holdoff(2), 15.0);
+  EXPECT_DOUBLE_EQ(inj.draw_retry_holdoff(3), 45.0);
+}
+
+TEST(FaultInjector, ReachabilitySplitsTheIdSpace) {
+  FaultInjector inj(FaultConfig{}, 1);
+  EXPECT_FALSE(inj.partitioned());
+  EXPECT_TRUE(inj.reachable(PeerId{0}, PeerId{41}));
+  inj.set_partition(10);
+  EXPECT_TRUE(inj.partitioned());
+  EXPECT_EQ(inj.partition_split(), 10u);
+  EXPECT_TRUE(inj.reachable(PeerId{3}, PeerId{9}));
+  EXPECT_TRUE(inj.reachable(PeerId{10}, PeerId{41}));
+  EXPECT_FALSE(inj.reachable(PeerId{9}, PeerId{10}));
+  EXPECT_FALSE(inj.reachable(PeerId{40}, PeerId{0}));
+  inj.set_partition(0);
+  EXPECT_TRUE(inj.reachable(PeerId{9}, PeerId{10}));
+}
+
+// --- crash semantics ---
+
+TEST(Crash, AbruptDepartureIsLossyAndKeepsInvariants) {
+  System s(test::Scenario::view(5).build());
+  s.run_to(2000.0);
+  // Crash a peer that is actively serving (upload slots in use), so the
+  // lossy teardown path actually runs through live sessions.
+  PeerId victim;
+  for (std::uint32_t p = 0; p < s.num_peers(); ++p)
+    if (s.peer(PeerId{p}).online && s.peer(PeerId{p}).upload_in_use > 0) {
+      victim = PeerId{p};
+      break;
+    }
+  ASSERT_TRUE(victim.valid()) << "no busy provider at t=2000";
+  s.peer_crash(victim);
+  ASSERT_NO_THROW(s.check_invariants());
+  EXPECT_FALSE(s.peer(victim).online);
+  EXPECT_EQ(s.peer(victim).upload_in_use, 0);
+  EXPECT_TRUE(s.peer(victim).irq.empty());
+  EXPECT_EQ(s.counters().peer_crashes, 1u);
+  // A crash is a departure subtype for population accounting.
+  EXPECT_EQ(s.counters().peer_departures, 1u);
+  // The run continues and stays consistent.
+  s.run_to(3000.0);
+  ASSERT_NO_THROW(s.check_invariants());
+}
+
+TEST(Crash, StaleLookupWindowProposesDeadProviders) {
+  SimConfig cfg = test::Scenario::view(5).build();
+  cfg.faults.stale_lookup_ttl = 120.0;
+  System s(cfg);
+  s.run_to(2000.0);
+  // Crash a block of sharing providers: their lookup entries linger for
+  // the TTL, so searches in the window propose dead providers (counted
+  // at registration time as stale_proposals).
+  std::vector<PeerId> victims;
+  for (std::uint32_t p = 0; p < s.num_peers() && victims.size() < 12; ++p)
+    if (s.peer(PeerId{p}).online && s.peer(PeerId{p}).shares)
+      victims.push_back(PeerId{p});
+  for (const PeerId v : victims) s.peer_crash(v);
+  s.run_to(2100.0);  // inside the stale window
+  EXPECT_GT(s.counters().stale_proposals, 0u);
+  s.run_to(3000.0);
+  ASSERT_NO_THROW(s.check_invariants());
+}
+
+TEST(Crash, ImmediateRetractionWhenTtlIsZero) {
+  SimConfig cfg = test::Scenario::view(5).build();
+  cfg.faults.stale_lookup_ttl = 0.0;
+  System s(cfg);
+  s.run_to(2000.0);
+  const std::uint64_t before = s.counters().stale_proposals;
+  for (std::uint32_t p = 0; p < s.num_peers(); p += 4)
+    if (s.peer(PeerId{p}).online) s.peer_crash(PeerId{p});
+  s.run_to(3000.0);
+  // With ttl=0 the retraction is immediate: dead providers never appear
+  // in lookup results, so no stale proposals accumulate.
+  EXPECT_EQ(s.counters().stale_proposals, before);
+  ASSERT_NO_THROW(s.check_invariants());
+}
+
+// Regression: a crash mid-ring must tear down every watcher-index entry
+// of the cancelled downloads — check_invariants audits the reverse index
+// entry-by-entry under P2PEX_EXPENSIVE_INVARIANTS (the asan CI preset).
+TEST(Crash, MidRingCrashLeavesNoDanglingWatcherEntries) {
+  System s(test::Scenario::view(5).build());
+  for (double t = 1000.0; t <= 4000.0; t += 500.0) {
+    s.run_to(t);
+    // Crash the busiest provider (most upload slots in use): most
+    // likely to sit inside an exchange ring right now.
+    PeerId victim;
+    int busiest = 0;
+    for (std::uint32_t p = 0; p < s.num_peers(); ++p) {
+      const Peer& peer = s.peer(PeerId{p});
+      if (peer.online && peer.upload_in_use > busiest) {
+        busiest = peer.upload_in_use;
+        victim = PeerId{p};
+      }
+    }
+    if (!victim.valid()) continue;
+    s.peer_crash(victim);
+    ASSERT_NO_THROW(s.check_invariants()) << "after crash at t=" << t;
+    s.peer_join(victim);
+  }
+  EXPECT_GT(s.counters().peer_crashes, 0u);
+}
+
+// Leak-free recovery: repeated crash/rejoin storms must plateau — once
+// the high-water mark is reached, the entity tables stop growing (a
+// leaked row per storm would add dozens of rows over six more cycles)
+// and the estimated heap footprint stays within the +/-5% band the live
+// workload state wobbles in.
+TEST(Crash, RepeatedStormsReachACapacityPlateau) {
+  System s(test::Scenario::view(5).build());
+  const auto storm = [&](double t, std::uint32_t base) {
+    s.run_to(t);
+    std::vector<PeerId> victims;
+    for (std::uint32_t j = 0; j < 10; ++j) {
+      const PeerId p{(base + j * 5) % static_cast<std::uint32_t>(
+                                          s.num_peers())};
+      if (s.peer(p).online) victims.push_back(p);
+    }
+    for (const PeerId v : victims) s.peer_crash(v);
+    s.run_to(t + 120.0);
+    for (const PeerId v : victims) s.peer_join(v);
+  };
+  std::uint32_t base = 0;
+  double t = 500.0;
+  for (int cycle = 0; cycle < 6; ++cycle, t += 250.0, ++base)
+    storm(t, base);
+  const std::size_t dl_rows = s.download_table_rows();
+  const std::size_t se_rows = s.session_table_rows();
+  const std::size_t ring_rows = s.ring_table_rows();
+  const std::size_t footprint = s.memory_footprint().total();
+  for (int cycle = 0; cycle < 6; ++cycle, t += 250.0, ++base)
+    storm(t, base);
+  EXPECT_LE(s.download_table_rows(), dl_rows + 2);
+  EXPECT_LE(s.session_table_rows(), se_rows + 2);
+  EXPECT_LE(s.ring_table_rows(), ring_rows + 2);
+  EXPECT_LE(s.memory_footprint().total(), footprint + footprint / 10);
+  ASSERT_NO_THROW(s.check_invariants());
+}
+
+// --- transfer faults, retries, kills, partitions (driver-level) ---
+
+TEST(Faults, WindowInjectsFailuresThatRetry) {
+  SpecBuilder b;
+  b.name("fault-window");
+  b.config() = test::Scenario::small(13).build();
+  b.config().faults.retry.base_timeout = 15.0;
+  b.faults_at(2000.0, 0.005, 0.0, 3000.0);
+  Driver d(b.build());
+  d.run();
+  const SystemCounters& c = d.system().counters();
+  EXPECT_GT(c.sessions_failed, 0u);
+  EXPECT_GT(c.transfer_retries, 0u);
+  EXPECT_GT(c.downloads_completed, 0u);  // the system keeps making progress
+  ASSERT_NO_THROW(d.system().check_invariants());
+}
+
+TEST(Faults, ExhaustedRetriesDegradeGracefully) {
+  SpecBuilder b;
+  b.name("exhausted");
+  b.config() = test::Scenario::small(13).build();
+  b.config().faults.retry.max_attempts = 1;
+  b.config().faults.retry.base_timeout = 10.0;
+  b.faults_at(1000.0, 0.02, 0.0, 6000.0);  // aggressive, long window
+  Driver d(b.build());
+  d.run();
+  const SystemCounters& c = d.system().counters();
+  EXPECT_GT(c.retry_exhausted, 0u);
+  // Graceful degradation: exhausted downloads rejoin the ordinary
+  // waiting queues — the run still completes work after the window.
+  EXPECT_GT(c.downloads_completed, 0u);
+  ASSERT_NO_THROW(d.system().check_invariants());
+}
+
+TEST(Faults, OneShotKillAbortsActiveSessions) {
+  SpecBuilder b;
+  b.name("kill");
+  b.config() = test::Scenario::small(13).build();
+  b.faults_at(4000.0, 0.0, 0.0, 0.0, /*kill_fraction=*/1.0);
+  Driver d(b.build());
+  d.run_to(3999.0);
+  const std::uint64_t started = d.system().counters().sessions_started;
+  ASSERT_GT(started, 0u);
+  d.run_to(4001.0);
+  EXPECT_GT(d.system().counters().sessions_failed, 0u);
+  d.run();
+  ASSERT_NO_THROW(d.system().check_invariants());
+}
+
+TEST(Faults, LossyLookupDropsOwnersDeterministically) {
+  SpecBuilder b;
+  b.name("lossy");
+  b.config() = test::Scenario::small(13).build();
+  b.faults_at(1000.0, 0.0, 0.4, 7000.0);
+  Driver d1(b.build()), d2(b.build());
+  d1.run();
+  d2.run();
+  const SystemCounters& c1 = d1.system().counters();
+  const SystemCounters& c2 = d2.system().counters();
+  // Dropping 40% of owners must show up as extra lookup failures
+  // relative to the fault-free run of the same config.
+  SpecBuilder clean;
+  clean.name("clean");
+  clean.config() = test::Scenario::small(13).build();
+  Driver d0(clean.build());
+  d0.run();
+  EXPECT_GT(c1.lookup_failures, d0.system().counters().lookup_failures);
+  // And bit-exact on replay.
+  EXPECT_EQ(c1.lookup_failures, c2.lookup_failures);
+  EXPECT_EQ(c1.downloads_completed, c2.downloads_completed);
+  EXPECT_EQ(c1.rings_formed, c2.rings_formed);
+}
+
+TEST(Partition, CollapsesCrossSessionsConfinesSearchesAndHeals) {
+  SpecBuilder b;
+  b.name("split");
+  b.config() = test::Scenario::small(13).build();
+  const std::size_t n = b.spec().compile_config().num_peers;
+  b.partition_at(4000.0, n / 2, 2000.0);
+  Driver d(b.build());
+  d.run_to(4001.0);
+  const System& s = d.system();
+  EXPECT_GT(s.counters().partition_collapses, 0u);
+  EXPECT_TRUE(s.fault_injector().partitioned());
+  ASSERT_NO_THROW(s.check_invariants());
+  // While split, no session may cross the partition boundary; the graph
+  // view respects the same reachability.
+  d.run_to(5000.0);
+  const auto split = static_cast<std::uint32_t>(n / 2);
+  for (std::uint32_t p = 0; p < s.num_peers(); ++p)
+    for (const PeerId r : s.requesters_of(PeerId{p}))
+      EXPECT_EQ(p < split, r.value < split)
+          << "cross-partition edge " << p << " <- " << r.value;
+  ASSERT_NO_THROW(s.check_invariants());
+  // Healed: cross-side traffic resumes and the run finishes clean.
+  d.run();
+  EXPECT_FALSE(s.fault_injector().partitioned());
+  ASSERT_NO_THROW(s.check_invariants());
+  EXPECT_GT(s.counters().downloads_completed, 0u);
+}
+
+}  // namespace
+}  // namespace p2pex

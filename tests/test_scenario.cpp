@@ -223,6 +223,113 @@ TEST(ScenarioValidate, RejectsInconsistentSpecs) {
       "overlapping flash-crowd windows");
 }
 
+// --- fault events ---
+
+TEST(ScenarioText, FaultEventsRoundTripThroughText) {
+  SpecBuilder b;
+  b.name("faulty");
+  b.duration(4000.0);
+  b.cohort({.name = "all", .count = 40});
+  b.set("session_fault_rate", "0.001");
+  b.set("lookup_loss", "0.05");
+  b.set("stale_lookup_ttl", "45");
+  b.set("retry_timeout", "20");
+  b.set("retry_backoff", "1.5");
+  b.set("retry_jitter", "0.1");
+  b.set("retry_max_attempts", "3");
+  b.crash_at(500.0, 3);
+  b.faults_at(1000.0, 0.002, 0.1, 600.0);
+  b.faults_at(2000.0, 0.0, 0.0, 0.0, /*kill_fraction=*/0.5);
+  b.partition_at(3000.0, 20, 400.0);
+  const Spec original = b.build();
+  const std::string text = original.to_text();
+  const Spec reparsed = Spec::parse_text(text);
+  EXPECT_TRUE(reparsed == original) << text;
+  EXPECT_EQ(reparsed.to_text(), text);
+  // The fault knobs land in the compiled config.
+  const SimConfig cfg = original.compile_config();
+  EXPECT_DOUBLE_EQ(cfg.faults.session_fault_rate, 0.001);
+  EXPECT_DOUBLE_EQ(cfg.faults.lookup_loss, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.faults.stale_lookup_ttl, 45.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.retry.base_timeout, 20.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.retry.backoff, 1.5);
+  EXPECT_DOUBLE_EQ(cfg.faults.retry.jitter, 0.1);
+  EXPECT_EQ(cfg.faults.retry.max_attempts, 3u);
+}
+
+TEST(ScenarioText, HandWrittenFaultEventsParse) {
+  const std::string text = R"(scenario faults
+set duration 5000
+cohort a count=30
+at 500 crash count=4
+at 1000 faults rate=0.003 lookup_loss=0.2 duration=800
+at 2500 faults kill_fraction=0.75
+at 3000 partition split=12 duration=600
+)";
+  const Spec s = Spec::parse_text(text, "faults.scn");
+  ASSERT_EQ(s.timeline.size(), 4u);
+  EXPECT_EQ(s.timeline[0].kind, EventKind::kCrash);
+  EXPECT_EQ(s.timeline[0].count, 4u);
+  EXPECT_EQ(s.timeline[1].kind, EventKind::kFaults);
+  EXPECT_DOUBLE_EQ(s.timeline[1].fault_rate, 0.003);
+  EXPECT_DOUBLE_EQ(s.timeline[1].lookup_loss, 0.2);
+  EXPECT_DOUBLE_EQ(s.timeline[1].duration, 800.0);
+  EXPECT_EQ(s.timeline[2].kind, EventKind::kFaults);
+  EXPECT_DOUBLE_EQ(s.timeline[2].kill_fraction, 0.75);
+  EXPECT_EQ(s.timeline[3].kind, EventKind::kPartition);
+  EXPECT_EQ(s.timeline[3].split, 12u);
+  EXPECT_TRUE(Spec::parse_text(s.to_text()) == s);
+}
+
+TEST(ScenarioValidate, RejectsBadFaultEvents) {
+  auto expect_bad = [](auto mutate, const char* why) {
+    SpecBuilder b;
+    b.duration(1000.0);
+    b.cohort({.name = "all", .count = 20});
+    mutate(b);
+    EXPECT_THROW((void)b.build(), ScenarioError) << why;
+  };
+  expect_bad([](SpecBuilder& b) { b.crash_at(500.0, 0); }, "zero victims");
+  expect_bad([](SpecBuilder& b) { b.faults_at(500.0, 0.0, 0.0, 100.0); },
+             "no fault dimension");
+  expect_bad([](SpecBuilder& b) { b.faults_at(500.0, 0.01, 0.0, 0.0); },
+             "rate without a window");
+  expect_bad([](SpecBuilder& b) { b.faults_at(500.0, 0.0, 1.0, 100.0); },
+             "lookup_loss must stay below 1");
+  expect_bad(
+      [](SpecBuilder& b) { b.faults_at(500.0, 0.0, 0.0, 0.0, 1.5); },
+      "kill fraction beyond 1");
+  expect_bad([](SpecBuilder& b) { b.partition_at(500.0, 0, 100.0); },
+             "empty left partition");
+  expect_bad([](SpecBuilder& b) { b.partition_at(500.0, 20, 100.0); },
+             "empty right partition");
+  expect_bad([](SpecBuilder& b) { b.partition_at(500.0, 5, 0.0); },
+             "zero-length partition");
+  expect_bad(
+      [](SpecBuilder& b) {
+        b.faults_at(100.0, 0.01, 0.0, 400.0);
+        b.faults_at(300.0, 0.02, 0.0, 400.0);
+      },
+      "overlapping fault windows");
+  expect_bad(
+      [](SpecBuilder& b) {
+        b.partition_at(100.0, 5, 400.0);
+        b.partition_at(300.0, 9, 400.0);
+      },
+      "overlapping partitions");
+}
+
+TEST(ScenarioValidate, BackToBackFaultWindowsAreFine) {
+  SpecBuilder b;
+  b.duration(2000.0);
+  b.cohort({.name = "all", .count = 20});
+  b.faults_at(100.0, 0.01, 0.0, 400.0);
+  b.faults_at(500.0, 0.02, 0.0, 400.0);  // starts as #1 ends
+  b.partition_at(1000.0, 5, 300.0);
+  b.partition_at(1300.0, 9, 300.0);
+  EXPECT_NO_THROW((void)b.build());
+}
+
 TEST(ScenarioValidate, BackToBackFlashCrowdsAreFine) {
   SpecBuilder b;
   b.duration(2000.0);

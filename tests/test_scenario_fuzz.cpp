@@ -3,9 +3,13 @@
 // seeded mutation fuzzer over a valid scenario.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "core/system.h"
+#include "metrics/report.h"
+#include "scenario/driver.h"
 #include "scenario/spec.h"
 #include "support/fuzz_corpus.h"
 #include "util/rng.h"
@@ -91,6 +95,36 @@ const std::vector<std::string> kMalformed = {
     "set peers 1\n",                       // too few peers
     "set warmup 1\n",                      // warmup must be < 1
     "set max_categories 100000\n",         // beyond the catalog
+    // fault events
+    "at 100 crash\n",                      // missing count
+    "at 100 crash count=0\n",              // zero victims
+    "at 100 faults duration=10\n",         // no fault dimension at all
+    "at 100 faults rate=0.1\n",            // rate needs a window duration
+    "at 100 faults rate=-1 duration=10\n", // negative rate
+    "at 100 faults lookup_loss=1 duration=10\n",   // loss must be < 1
+    "at 100 faults kill_fraction=1.5\n",           // fraction > 1
+    "cohort a count=10\n"
+    "at 100 faults rate=0.1 duration=10 cohort=a\n",  // faults take no cohort
+    "at 100 partition split=5\n",          // missing duration
+    "at 100 partition duration=10\n",      // missing split
+    "at 100 partition split=0 duration=10\n",      // empty left side
+    "at 100 partition split=99999 duration=10\n",  // beyond the id space
+    "at 100 partition split=5 duration=0\n",       // zero-length window
+    "cohort a count=10\n"
+    "at 100 partition split=5 duration=10 cohort=a\n",  // no cohort scope
+    // overlapping fault / partition windows
+    "at 100 faults rate=0.1 duration=1000\n"
+    "at 500 faults rate=0.2 duration=1000\n",
+    "at 100 partition split=5 duration=1000\n"
+    "at 500 partition split=9 duration=1000\n",
+    // fault knob ranges reached through the scenario layer
+    "set session_fault_rate -1\n",
+    "set lookup_loss 1\n",
+    "set stale_lookup_ttl -5\n",
+    "set retry_timeout 0\n",
+    "set retry_backoff 0.5\n",
+    "set retry_jitter 1\n",
+    "set retry_max_attempts 0\n",
 };
 
 class ScenarioMalformed : public ::testing::TestWithParam<std::size_t> {};
@@ -117,7 +151,10 @@ cohort b count=20 share=no
 at 1000 depart count=3 cohort=a
 at 2000 flash_crowd category=2 weight=0.4 duration=500
 at 3000 churn duration=2000 interval=100 depart_rate=0.001 arrive_rate=0.002
+at 4000 crash count=2
+at 5000 faults rate=0.001 lookup_loss=0.1 duration=500
 at 6000 policy longest-first max_ring=4
+at 7000 partition split=10 duration=300
 )";
 }
 
@@ -166,6 +203,90 @@ TEST_P(ScenarioMutationFuzz, RandomEditsNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(Corpus, ScenarioMutationFuzz,
                          ::testing::ValuesIn(test::kScenarioFuzzSeeds),
+                         test::fuzz_seed_name);
+
+// --- fault storm: seeded fault schedules join the replay contract ---
+//
+// Each corpus seed derives a random fault schedule (crash storms,
+// transfer-fault windows, one-shot kills, a partition) over a small
+// population, then runs it at 1, 2 and 8 worker threads. Every thread
+// count must reproduce the serial run's counters — fault draws come
+// from coordinator-owned streams, never from worker context.
+
+scenario::Spec storm_spec(std::uint64_t seed, std::size_t threads) {
+  Rng rng(seed * 0xD1B54A32D192ED03ULL + 5);
+  scenario::SpecBuilder b;
+  b.name("fault-storm-" + std::to_string(seed));
+  b.seed(seed);
+  b.duration(3000.0);
+  b.warmup(0.2);
+  b.set("threads", std::to_string(threads));
+  const std::size_t peers = 40 + rng.index(21);  // 40..60
+  b.cohort({.name = "all", .count = peers});
+  b.config().faults.retry.base_timeout = 10.0 + 10.0 * rng.uniform01();
+  b.config().faults.retry.max_attempts = 1 + rng.index(3);
+  b.config().faults.stale_lookup_ttl = 30.0 * rng.uniform01();
+  // Crash storms.
+  const std::size_t storms = 1 + rng.index(3);
+  for (std::size_t i = 0; i < storms; ++i)
+    b.crash_at(400.0 + 700.0 * static_cast<double>(i) + 50.0 * rng.uniform01(),
+               1 + rng.index(5));
+  // One fault window (rate and/or lookup loss) and one one-shot kill.
+  b.faults_at(600.0 + 200.0 * rng.uniform01(),
+              rng.chance(0.7) ? 0.002 + 0.004 * rng.uniform01() : 0.0,
+              rng.chance(0.5) ? 0.3 * rng.uniform01() : 0.05, 400.0);
+  b.faults_at(1800.0 + 100.0 * rng.uniform01(), 0.0, 0.0, 0.0,
+              0.3 + 0.6 * rng.uniform01());
+  // A partition window.
+  b.partition_at(2200.0 + 100.0 * rng.uniform01(), 1 + rng.index(peers - 1),
+                 300.0);
+  return b.build();
+}
+
+class FaultStorm : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultStorm, IdenticalAcrossThreadCounts) {
+  ASSERT_EQ(unsetenv("P2PEX_THREADS"), 0);
+  const std::uint64_t seed = GetParam();
+  SystemCounters base;
+  std::string base_report;
+  bool first = true;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    scenario::Driver d(storm_spec(seed, threads));
+    d.run();
+    const System& s = d.system();
+    s.check_invariants();
+    const SystemCounters& c = s.counters();
+    const std::string report = format_report(s.metrics());
+    if (first) {
+      base = c;
+      base_report = report;
+      // The schedule actually exercised the fault paths.
+      EXPECT_GT(c.peer_crashes, 0u) << "seed " << seed;
+      EXPECT_GT(c.sessions_failed, 0u) << "seed " << seed;
+      first = false;
+      continue;
+    }
+    SCOPED_TRACE("seed " + std::to_string(seed) + ", threads " +
+                 std::to_string(threads));
+    EXPECT_EQ(base.peer_crashes, c.peer_crashes);
+    EXPECT_EQ(base.sessions_failed, c.sessions_failed);
+    EXPECT_EQ(base.transfer_retries, c.transfer_retries);
+    EXPECT_EQ(base.retry_exhausted, c.retry_exhausted);
+    EXPECT_EQ(base.stale_proposals, c.stale_proposals);
+    EXPECT_EQ(base.partition_collapses, c.partition_collapses);
+    EXPECT_EQ(base.requests_issued, c.requests_issued);
+    EXPECT_EQ(base.downloads_completed, c.downloads_completed);
+    EXPECT_EQ(base.rings_formed, c.rings_formed);
+    EXPECT_EQ(base.sessions_started, c.sessions_started);
+    EXPECT_EQ(base.peer_departures, c.peer_departures);
+    EXPECT_EQ(base_report, report);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FaultStorm,
+                         ::testing::ValuesIn(test::kFaultStormSeeds),
                          test::fuzz_seed_name);
 
 }  // namespace

@@ -102,5 +102,57 @@ TEST(ScenarioGolden, ChurnGoldenReplay) {
   EXPECT_DOUBLE_EQ(r.exchange_fraction, 0.36767976278724984);
 }
 
+// --- seeded crash/fault scenario: deterministic and pinned ---
+
+Spec crash_churn_spec() {
+  SpecBuilder b;
+  b.name("golden-crash-churn");
+  b.config() = test::Scenario::small(kGoldenSeed).build();
+  b.config().faults.stale_lookup_ttl = 45.0;
+  b.config().faults.retry.base_timeout = 20.0;
+  b.config().faults.retry.max_attempts = 2;
+  b.crash_at(1500.0, 6);
+  b.faults_at(2500.0, 0.004, 0.1, 2000.0);
+  b.crash_at(5000.0, 8);
+  b.faults_at(6000.0, 0.0, 0.0, 0.0, /*kill_fraction=*/0.5);
+  b.partition_at(7000.0, 30, 1000.0);
+  return b.build();
+}
+
+TEST(ScenarioGolden, CrashChurnReplayIsBitExact) {
+  Driver a(crash_churn_spec()), b(crash_churn_spec());
+  a.run();
+  b.run();
+  const SystemCounters& ca = a.system().counters();
+  const SystemCounters& cb = b.system().counters();
+  EXPECT_EQ(ca.peer_crashes, cb.peer_crashes);
+  EXPECT_EQ(ca.sessions_failed, cb.sessions_failed);
+  EXPECT_EQ(ca.transfer_retries, cb.transfer_retries);
+  EXPECT_EQ(ca.retry_exhausted, cb.retry_exhausted);
+  EXPECT_EQ(ca.stale_proposals, cb.stale_proposals);
+  EXPECT_EQ(ca.partition_collapses, cb.partition_collapses);
+  EXPECT_EQ(ca.downloads_completed, cb.downloads_completed);
+  EXPECT_EQ(a.system().metrics().uploaded(), b.system().metrics().uploaded());
+  EXPECT_DOUBLE_EQ(summarize_run(a.system()).exchange_fraction,
+                   summarize_run(b.system()).exchange_fraction);
+}
+
+TEST(ScenarioGolden, CrashChurnGoldenReplay) {
+  Driver driver(crash_churn_spec());
+  driver.run();
+  const RunResult r = summarize_run(driver.system());
+  const SystemCounters& c = driver.system().counters();
+
+  // The timeline actually exercised every fault path.
+  EXPECT_GT(c.sessions_failed, 0u);
+  EXPECT_GT(c.transfer_retries, 0u);
+  EXPECT_GT(c.partition_collapses, 0u);
+
+  // Pinned replay (see the file header for how to re-record).
+  EXPECT_EQ(c.peer_crashes, 14u);
+  EXPECT_EQ(c.retry_exhausted, 194u);
+  EXPECT_DOUBLE_EQ(r.exchange_fraction, 0.53322528363047006);
+}
+
 }  // namespace
 }  // namespace p2pex
