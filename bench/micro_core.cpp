@@ -41,9 +41,11 @@
 
 #include "core/exchange_finder.h"
 #include "core/graph_snapshot.h"
+#include "core/lookup.h"
 #include "core/system.h"
 #include "core/parallel/shard_map.h"
 #include "core/parallel/worker_pool.h"
+#include "discovery/lookup_backend.h"
 #include "obs/trace.h"
 #include "proto/irq.h"
 #include "proto/request_tree.h"
@@ -560,6 +562,114 @@ void BM_SystemCrashChurn(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(kCrashBlock));
 }
 BENCHMARK(BM_SystemCrashChurn);
+
+// --- discovery backend queries --------------------------------------------
+//
+// BM_Lookup* measures LookupBackend::query at 10k/100k peers per
+// backend: the oracle reads the truth index, PEX scans the requester's
+// gossip cache (warmed by 30 rounds), the DHT routes a prefix walk per
+// query. Backend construction and population are cached per (kind, n) —
+// google-benchmark re-invokes the function while calibrating, and a
+// 100k-peer PEX warm-up must not re-run each time. wire_bytes_per_query
+// and hops_per_query record the modeled network cost alongside the CPU
+// cost.
+
+/// Everyone online, everyone reachable: query cost with no fault noise.
+class BenchWorld final : public discovery::WorldView {
+ public:
+  explicit BenchWorld(std::size_t n) : n_(n) {}
+  [[nodiscard]] std::size_t num_peers() const override { return n_; }
+  [[nodiscard]] bool peer_online(PeerId) const override { return true; }
+  [[nodiscard]] bool peers_reachable(PeerId, PeerId) const override {
+    return true;
+  }
+
+ private:
+  std::size_t n_;
+};
+
+struct LookupFixture {
+  std::unique_ptr<BenchWorld> world;
+  std::unique_ptr<LookupService> truth;
+  std::unique_ptr<Rng> oracle_rng;
+  std::unique_ptr<discovery::LookupBackend> backend;
+  SimTime now = 0.0;
+};
+
+constexpr std::size_t kLookupObjects = 2000;
+constexpr std::size_t kProvidersPerObject = 4;
+constexpr std::size_t kPexWarmRounds = 30;
+
+LookupFixture& lookup_fixture(discovery::BackendKind kind, std::size_t n) {
+  static std::map<std::pair<int, std::size_t>, LookupFixture> cache;
+  const auto key = std::make_pair(static_cast<int>(kind), n);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  LookupFixture f;
+  f.world = std::make_unique<BenchWorld>(n);
+  f.truth = std::make_unique<LookupService>();
+  f.oracle_rng = std::make_unique<Rng>(11);
+  discovery::DiscoveryConfig cfg;
+  cfg.backend = kind;
+  f.backend = discovery::make_backend(cfg, 0.5, *f.truth, *f.oracle_rng, 11,
+                                      *f.world);
+  Rng rng(13);
+  for (std::size_t o = 0; o < kLookupObjects; ++o) {
+    for (std::size_t r = 0; r < kProvidersPerObject; ++r) {
+      const PeerId p{static_cast<std::uint32_t>(rng.index(n))};
+      if (f.truth->has_owner(ObjectId{static_cast<std::uint32_t>(o)}, p))
+        continue;
+      f.truth->add_owner(ObjectId{static_cast<std::uint32_t>(o)}, p);
+      f.backend->add_owner(ObjectId{static_cast<std::uint32_t>(o)}, p, 0.0);
+    }
+  }
+  if (kind == discovery::BackendKind::kPex) {
+    const SimTime dt = cfg.gossip_interval;
+    for (std::size_t r = 0; r < kPexWarmRounds; ++r)
+      f.backend->tick(static_cast<double>(r + 1) * dt);
+    f.now = static_cast<double>(kPexWarmRounds) * dt;
+  }
+  (void)f.backend->drain_costs();  // setup traffic is not the measurement
+  return cache.emplace(key, std::move(f)).first->second;
+}
+
+void run_lookup_bench(benchmark::State& state, discovery::BackendKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  LookupFixture& f = lookup_fixture(kind, n);
+  std::uint64_t providers = 0;
+  std::uint32_t q = 0;
+  for (auto _ : state) {
+    const discovery::LookupQuery query{
+        ObjectId{q % static_cast<std::uint32_t>(kLookupObjects)},
+        PeerId{(q * 7919u) % static_cast<std::uint32_t>(n)}, f.now};
+    providers += f.backend->query(query).providers.size();
+    ++q;
+  }
+  const discovery::DiscoveryCosts costs = f.backend->drain_costs();
+  const auto iters =
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+  state.SetItemsProcessed(state.iterations());
+  state.counters["wire_bytes_per_query"] =
+      benchmark::Counter(static_cast<double>(costs.wire_bytes) / iters);
+  state.counters["hops_per_query"] =
+      benchmark::Counter(static_cast<double>(costs.hops) / iters);
+  state.counters["providers_per_query"] =
+      benchmark::Counter(static_cast<double>(providers) / iters);
+}
+
+void BM_LookupBackendOracle(benchmark::State& state) {
+  run_lookup_bench(state, discovery::BackendKind::kOracle);
+}
+void BM_LookupBackendPex(benchmark::State& state) {
+  run_lookup_bench(state, discovery::BackendKind::kPex);
+}
+void BM_LookupBackendDht(benchmark::State& state) {
+  run_lookup_bench(state, discovery::BackendKind::kDht);
+}
+BENCHMARK(BM_LookupBackendOracle)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_LookupBackendPex)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_LookupBackendDht)->Arg(10000)->Arg(100000);
 
 void BM_RequestTreeBuild(benchmark::State& state) {
   const GraphSnapshot& g =

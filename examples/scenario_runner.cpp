@@ -12,6 +12,8 @@
 // check what a hand-written file actually means) without running it.
 // --threads N overrides the scenario's worker-thread knob (execution
 // strategy only: results are bit-identical at any thread count).
+// --lookup overrides the scenario's discovery backend (`set
+// lookup_backend ...`), so one .scn compares oracle vs pex vs dht.
 // --stable omits the wall-clock figures from the output, so two runs of
 // the same scenario — at any thread counts — must be byte-identical;
 // the CI replay-determinism job diffs exactly this output across
@@ -34,7 +36,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: scenario_runner [--print] [--stable] [--threads N] "
-               "[--metrics-json <path>] [--trace <path>] <file.scn>\n");
+               "[--lookup oracle|pex|dht] [--metrics-json <path>] "
+               "[--trace <path>] <file.scn>\n");
   return 2;
 }
 
@@ -57,6 +60,7 @@ int main(int argc, char** argv) {
   bool print_only = false;
   bool stable = false;
   std::size_t threads_override = 0;  // 0 = keep the scenario's knob
+  std::string lookup_override;       // empty = keep the scenario's knob
   std::string path;
   std::string metrics_path;
   std::string trace_path;
@@ -71,6 +75,9 @@ int main(int argc, char** argv) {
       const unsigned long parsed = std::strtoul(argv[++i], &end, 10);
       if (end == nullptr || *end != '\0' || parsed < 1) return usage();
       threads_override = parsed;
+    } else if (std::strcmp(argv[i], "--lookup") == 0) {
+      if (i + 1 >= argc) return usage();
+      lookup_override = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
       if (i + 1 >= argc) return usage();
       metrics_path = argv[++i];
@@ -94,6 +101,11 @@ int main(int argc, char** argv) {
       // (indistinguishable from the config default).
       unsetenv("P2PEX_THREADS");
       spec.config.threads = threads_override;
+      spec.validate();
+    }
+    if (!lookup_override.empty()) {
+      spec.config.discovery.backend =
+          scenario::parse_lookup_backend(lookup_override);
       spec.validate();
     }
   } catch (const scenario::ScenarioError& e) {
@@ -156,6 +168,17 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(c.retry_exhausted),
       static_cast<unsigned long long>(c.stale_proposals),
       static_cast<unsigned long long>(c.partition_collapses));
+  // Discovery-backend counters, deterministic domain: part of the
+  // --stable replay contract (all zero on the oracle default).
+  std::printf(
+      "discovery: %s backend, %llu wire bytes, %llu gossip rounds, "
+      "%llu hops, %llu misses, %llu stale entries served\n",
+      discovery::to_string(system.discovery_backend().kind()).c_str(),
+      static_cast<unsigned long long>(c.lookup_wire_bytes),
+      static_cast<unsigned long long>(c.gossip_rounds),
+      static_cast<unsigned long long>(c.dht_hops),
+      static_cast<unsigned long long>(c.lookup_misses),
+      static_cast<unsigned long long>(c.stale_entries_served));
   if (stable) {
     // Deterministic subset only: no wall-clock time, nothing that
     // varies with the thread count or the machine.

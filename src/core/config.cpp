@@ -46,6 +46,19 @@ void SimConfig::validate() const {
   if (sim_duration <= 0.0) fail("sim_duration must be positive");
   if (warmup_fraction < 0.0 || warmup_fraction >= 1.0)
     fail("warmup_fraction must be in [0, 1)");
+  if (discovery.gossip_interval <= 0.0)
+    fail("gossip_interval must be positive");
+  if (discovery.gossip_digest_cap < 1)
+    fail("gossip_digest_cap must be positive");
+  if (discovery.pex_cache_cap < discovery.gossip_digest_cap)
+    fail("pex_cache_cap must be at least gossip_digest_cap");
+  if (discovery.pex_entry_ttl <= 0.0)
+    fail("pex_entry_ttl must be positive");
+  if (discovery.dht_bucket_size < 1)
+    fail("dht_bucket_size must be positive");
+  if (discovery.dht_alpha < 1) fail("dht_alpha must be positive");
+  if (discovery.dht_hop_budget < 1)
+    fail("dht_hop_budget must be positive");
   if (faults.session_fault_rate < 0.0)
     fail("session_fault_rate must be non-negative");
   if (faults.lookup_loss < 0.0 || faults.lookup_loss >= 1.0)
@@ -104,6 +117,12 @@ std::string SimConfig::describe() const {
      << " pending=" << max_pending
      << " lookup=" << lookup_fraction
      << " providers=" << max_providers_per_request
+     << " backend=" << discovery::to_string(discovery.backend)
+     << " gossip=[" << discovery.gossip_interval << "s,"
+     << discovery.gossip_digest_cap << "," << discovery.pex_cache_cap << ","
+     << discovery.pex_entry_ttl << "s]"
+     << " dht=[" << discovery.dht_bucket_size << "," << discovery.dht_alpha
+     << "," << discovery.dht_hop_budget << "]"
      << " policy=" << policy_label(policy, max_ring_size)
      << " attempts=" << max_ring_attempts_per_search
      << " scheduler=" << to_string(scheduler)

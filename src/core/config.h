@@ -8,6 +8,7 @@
 
 #include "catalog/catalog.h"
 #include "core/policy.h"
+#include "discovery/discovery_config.h"
 #include "fault/fault.h"
 #include "util/types.h"
 
@@ -98,6 +99,10 @@ struct SimConfig {
   /// Retry period when a peer cannot currently issue a request (its
   /// candidate objects have no reachable owners).
   double request_retry_interval = 60.0;
+
+  // --- discovery backend (oracle by default — bit-exact with the
+  // pre-backend LookupService path; see discovery/discovery_config.h) ---
+  discovery::DiscoveryConfig discovery;
 
   // --- fault model (off by default; see fault/fault.h) ---
   fault::FaultConfig faults;

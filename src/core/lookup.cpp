@@ -6,6 +6,7 @@ namespace p2pex {
 
 void LookupService::add_owner(ObjectId object, PeerId peer) {
   owners_[object].insert(peer);
+  by_peer_[peer].insert(object);
 }
 
 void LookupService::remove_owner(ObjectId object, PeerId peer) {
@@ -13,18 +14,26 @@ void LookupService::remove_owner(ObjectId object, PeerId peer) {
   if (it == owners_.end()) return;
   it->second.erase(peer);
   if (it->second.empty()) owners_.erase(it);
+  const auto rit = by_peer_.find(peer);
+  if (rit != by_peer_.end()) {
+    rit->second.erase(object);
+    if (rit->second.empty()) by_peer_.erase(rit);
+  }
 }
 
 void LookupService::remove_peer(PeerId peer) {
-  // p2pex-lint: order-insensitive (erases `peer` from every value; the
-  // final index state is the same whatever order buckets are visited)
-  for (auto it = owners_.begin(); it != owners_.end();) {
+  const auto rit = by_peer_.find(peer);
+  if (rit == by_peer_.end()) return;
+  // p2pex-lint: order-insensitive (erases `peer` from every listed
+  // bucket; the final index state is the same whatever order the
+  // peer's objects are visited)
+  for (ObjectId o : rit->second) {
+    const auto it = owners_.find(o);
+    if (it == owners_.end()) continue;
     it->second.erase(peer);
-    if (it->second.empty())
-      it = owners_.erase(it);
-    else
-      ++it;
+    if (it->second.empty()) owners_.erase(it);
   }
+  by_peer_.erase(rit);
 }
 
 std::vector<PeerId> LookupService::owners(ObjectId object,
@@ -54,6 +63,16 @@ std::vector<PeerId> LookupService::query(ObjectId object, PeerId except,
 std::size_t LookupService::owner_count(ObjectId object) const {
   const auto it = owners_.find(object);
   return it == owners_.end() ? 0 : it->second.size();
+}
+
+bool LookupService::has_owner(ObjectId object, PeerId peer) const {
+  const auto it = owners_.find(object);
+  return it != owners_.end() && it->second.contains(peer);
+}
+
+std::size_t LookupService::objects_owned(PeerId peer) const {
+  const auto it = by_peer_.find(peer);
+  return it == by_peer_.end() ? 0 : it->second.size();
 }
 
 }  // namespace p2pex

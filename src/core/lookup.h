@@ -7,6 +7,12 @@
 // this with a global ownership index that the simulation keeps current
 // (sharing peers only), sampled with per-owner discovery probability
 // `lookup_fraction`.
+//
+// Since the LookupBackend redesign (src/discovery/) this index is the
+// *ground truth* behind every discovery backend: OracleBackend samples it
+// directly (the paper's model), while the decentralized backends (PEX
+// gossip, DHT) maintain their own partial views and are audited against
+// it under P2PEX_LOOKUP_AUDIT.
 #pragma once
 
 #include <unordered_map>
@@ -27,7 +33,9 @@ class LookupService {
   /// Removes an ownership fact (eviction or peer departure).
   void remove_owner(ObjectId object, PeerId peer);
 
-  /// Drops every ownership fact for `peer`.
+  /// Drops every ownership fact for `peer`. O(objects held by `peer`)
+  /// via the peer -> objects reverse index — crash storms used to pay a
+  /// full-map scan per departure.
   void remove_peer(PeerId peer);
 
   /// All current owners of `object` except `except` (unsampled, for tests
@@ -43,8 +51,19 @@ class LookupService {
 
   [[nodiscard]] std::size_t owner_count(ObjectId object) const;
 
+  /// Whether `peer` currently owns `object` (O(1); the discovery audit
+  /// and staleness accounting check backend results against this).
+  [[nodiscard]] bool has_owner(ObjectId object, PeerId peer) const;
+
+  /// Objects `peer` currently owns (unordered view of the reverse
+  /// index; tests sort before comparing).
+  [[nodiscard]] std::size_t objects_owned(PeerId peer) const;
+
  private:
   std::unordered_map<ObjectId, std::unordered_set<PeerId>> owners_;
+  /// Reverse index: peer -> objects it owns, kept in lockstep with
+  /// owners_ so remove_peer touches only that peer's facts.
+  std::unordered_map<PeerId, std::unordered_set<ObjectId>> by_peer_;
 };
 
 }  // namespace p2pex

@@ -24,6 +24,7 @@ System::System(const SimConfig& config, const PopulationPlan& plan)
       threads_(cfg_.effective_threads()) {
   init_observability();
   build_peers(plan);
+  init_discovery();
   place_initial_objects();
 }
 
@@ -244,7 +245,7 @@ void System::place_initial_objects() {
     // Offline members (late-arrival cohorts) keep their storage private
     // until they join.
     if (p.shares && p.online)
-      for (ObjectId o : p.storage.objects()) lookup_.add_owner(o, p.id);
+      for (ObjectId o : p.storage.objects()) lookup_add_owner(o, p.id);
   }
 }
 
@@ -262,6 +263,17 @@ void System::run_to(SimTime t) {
       drain_dirty();
     });
     sim_.schedule_periodic(cfg_.search_interval, [this] { search_sweep(); });
+    // Backend maintenance (PEX gossip rounds). The oracle reports
+    // interval 0, so the default path schedules no event at all and the
+    // event stream stays bit-identical with the pre-backend engine.
+    if (const SimTime gossip = backend_->tick_interval(); gossip > 0.0) {
+      sim_.schedule_periodic(gossip, [this] {
+        // p2pex-lint: no-graph-effect (gossip moves discovery metadata
+        // only; no request edge, storage or session state changes)
+        backend_->tick(sim_.now());
+        drain_discovery_costs();
+      });
+    }
     if (cfg_.tree_mode == TreeMode::kBloom)
       refresh_bloom_summaries();  // first refresh is always a full build
     // Closed-loop workload: every peer immediately fills its pending set
@@ -308,8 +320,21 @@ bool System::issue_one_request(PeerId p) {
     if (peer.storage.contains(o) || find_pending(peer, o).valid())
       continue;  // cache hit — ignored per the paper
 
-    std::vector<PeerId> discovered =
-        lookup_.query(o, p, cfg_.lookup_fraction, rng_);
+    discovery::LookupResult found =
+        backend_->query({o, p, sim_.now()});
+    drain_discovery_costs();
+    std::vector<PeerId>& discovered = found.providers;
+    if (backend_->kind() != discovery::BackendKind::kOracle) {
+      // Decentralized-backend quality accounting, against the ground
+      // truth the oracle would have read. Counted before the fault
+      // shims below so the figures describe the backend, not the fault
+      // model. The oracle path skips this block entirely: its answers
+      // are truth by construction and the counters pin 0.
+      for (const PeerId q : discovered)
+        if (!lookup_.has_owner(o, q)) ++counters_.stale_entries_served;
+      if (discovered.empty() && lookup_.owner_count(o) > 0)
+        ++counters_.lookup_misses;
+    }
     // Fault shims over the lookup result (both inert at defaults: no
     // erase, no draw). A partition hides the far side's owners entirely;
     // lookup loss drops each surviving owner independently on the
@@ -347,10 +372,15 @@ bool System::issue_one_request(PeerId p) {
     const std::vector<PeerId> targets =
         rng_.sample(discovered, cfg_.max_providers_per_request);
     for (PeerId provider : targets) {
-      if (!peers_[provider.value].online) {
+      const Peer& prov = peers_[provider.value];
+      if (!prov.online || !prov.shares || !prov.storage.contains(o)) {
         // Stale lookup entry: a crashed owner whose late retraction has
-        // not fired yet. The registration is wasted — that is the cost
-        // of stale discovery state the fault model measures.
+        // not fired yet, or (decentralized backends only — the oracle
+        // reads the truth index, which evictions and sharing flips
+        // update synchronously) a gossiped/DHT record whose provider
+        // evicted the object or stopped sharing. The registration is
+        // wasted — that is the cost of stale discovery state the fault
+        // model and backend counters measure.
         ++counters_.stale_proposals;
         continue;
       }
@@ -439,7 +469,7 @@ void System::eviction_sweep() {
     touch_graph(p.id);     // doomed IRQ entries drop from its edge row
     touch_watchers(p.id);  // roots wanting an evicted object lose closers
     for (ObjectId o : evicted)
-      if (p.shares) lookup_.remove_owner(o, p.id);
+      if (p.shares) lookup_remove_owner(o, p.id);
     // Queued requests for an evicted object can never be served here any
     // more: drop them and tell the requesters. (Requests being served are
     // impossible — serving pins the object.)

@@ -26,6 +26,7 @@
 #include "core/parallel/worker_pool.h"
 #include "core/population.h"
 #include "core/provider_arena.h"
+#include "discovery/lookup_backend.h"
 #include "fault/injector.h"
 #include "metrics/collector.h"
 #include "obs/metrics_registry.h"
@@ -69,6 +70,14 @@ struct SystemCounters {
   std::uint64_t retry_exhausted = 0;      ///< downloads past the attempt cap
   std::uint64_t stale_proposals = 0;      ///< dead owners served by lookup
   std::uint64_t partition_collapses = 0;  ///< sessions cut by partitions
+  // --- discovery backends (src/discovery; scenario lookup_backend
+  // knob). All zero on the oracle default: it walks no hops, gossips
+  // nothing and charges no wire bytes. ---
+  std::uint64_t lookup_wire_bytes = 0;    ///< discovery traffic charged
+  std::uint64_t gossip_rounds = 0;        ///< PEX rounds executed
+  std::uint64_t dht_hops = 0;             ///< routing hops walked (all queries)
+  std::uint64_t lookup_misses = 0;        ///< empty answers despite true owners
+  std::uint64_t stale_entries_served = 0; ///< proposed providers not in truth
 };
 
 /// Capacity-relevant heap accounting, by subsystem (estimated from
@@ -101,7 +110,11 @@ struct SpeculationStats {
 };
 
 /// One complete simulation instance.
-class System final {
+///
+/// Privately a discovery::WorldView: the configured LookupBackend
+/// observes the population (liveness, partitions) through that narrow
+/// interface only — src/discovery never sees core types.
+class System final : private discovery::WorldView {
  public:
   /// Validates the config and builds the initial world (peers, catalog,
   /// initial object placement). The workload starts on run().
@@ -144,8 +157,16 @@ class System final {
   [[nodiscard]] SimTime now() const { return sim_.now(); }
   [[nodiscard]] const Catalog& catalog() const { return catalog_; }
   [[nodiscard]] const LookupService& lookup() const { return lookup_; }
+  /// The configured discovery backend (src/discovery; see
+  /// SimConfig::discovery). The oracle default reproduces the old
+  /// LookupService::query path bit-for-bit.
+  [[nodiscard]] const discovery::LookupBackend& discovery_backend() const {
+    return *backend_;
+  }
 
-  [[nodiscard]] std::size_t num_peers() const { return peers_.size(); }
+  [[nodiscard]] std::size_t num_peers() const override {
+    return peers_.size();
+  }
   [[nodiscard]] const Peer& peer(PeerId p) const;
   [[nodiscard]] std::size_t num_sharing() const { return num_sharing_; }
   /// Whether `p` has an active download for `o` outstanding.
@@ -287,6 +308,27 @@ class System final {
   // --- construction ---
   void build_peers(const PopulationPlan& plan);
   void place_initial_objects();
+
+  // --- discovery backend plumbing (system_discovery.cpp) ---
+  //
+  // Every lookup-index mutation goes through these wrappers so the
+  // ground-truth LookupService and the configured backend stay in
+  // lockstep (the oracle ignores the backend half; PEX/DHT maintain
+  // their own decentralized state and charge wire costs, drained into
+  // SystemCounters after every interaction).
+  /// Builds backend_ from cfg_.discovery (ctor, between build_peers and
+  /// place_initial_objects so initial placement publishes through it).
+  void init_discovery();
+  void lookup_add_owner(ObjectId o, PeerId p);
+  void lookup_remove_owner(ObjectId o, PeerId p);
+  void lookup_remove_peer(PeerId p);
+  /// Moves the backend's accrued DiscoveryCosts into counters_.
+  void drain_discovery_costs();
+
+  // discovery::WorldView (what backends may observe; num_peers() is the
+  // public accessor above).
+  [[nodiscard]] bool peer_online(PeerId p) const override;
+  [[nodiscard]] bool peers_reachable(PeerId a, PeerId b) const override;
 
   // --- workload ---
   void issue_requests(PeerId p);
@@ -518,6 +560,10 @@ class System final {
 
   /// Fault-model state + draw stream (src/fault; inert at defaults).
   fault::FaultInjector faults_;
+
+  /// The configured discovery backend (init_discovery; never null after
+  /// construction). Oracle by default — zero extra state, zero events.
+  std::unique_ptr<discovery::LookupBackend> backend_;
 
   // --- session-id scratch (collapse/complete/cancel teardown loops) ---
   /// Borrows a cleared scratch vector for copying a session list that

@@ -54,7 +54,7 @@ void System::peer_leave(PeerId pid) {
   // Leave the lookup index FIRST: dropping the queue below makes starved
   // requesters re-issue immediately, and they must not rediscover the
   // departing peer.
-  lookup_.remove_peer(pid);
+  lookup_remove_peer(pid);
 
   // Withdraw its own in-flight downloads (ends the sessions feeding
   // them and unregisters them at every provider).
@@ -103,7 +103,7 @@ void System::peer_join(PeerId pid) {
   touch_graph(pid);
   touch_watchers(pid);  // roots that discovered it regain a closer
   if (p.shares)
-    for (ObjectId o : p.storage.objects()) lookup_.add_owner(o, pid);
+    for (ObjectId o : p.storage.objects()) lookup_add_owner(o, pid);
   issue_requests(pid);
   mark_dirty(pid);
   drain_dirty();
@@ -119,7 +119,7 @@ void System::set_sharing(PeerId pid, bool shares) {
   if (shares) {
     ++num_sharing_;
     if (p.online) {
-      for (ObjectId o : p.storage.objects()) lookup_.add_owner(o, pid);
+      for (ObjectId o : p.storage.objects()) lookup_add_owner(o, pid);
       mark_dirty(pid);
     }
   } else {
@@ -127,7 +127,7 @@ void System::set_sharing(PeerId pid, bool shares) {
     --num_sharing_;
     // Index first (see peer_leave): starved requesters re-issue inside
     // retract_service and must not rediscover this peer.
-    lookup_.remove_peer(pid);
+    lookup_remove_peer(pid);
     retract_service(p);
   }
   drain_dirty();

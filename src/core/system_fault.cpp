@@ -82,14 +82,14 @@ void System::schedule_stale_retraction(PeerId pid) {
   if (ttl <= 0.0) {
     // Lookup ownership is not snapshot-visible: it only shapes future
     // query() results, and the crashed peer (offline) has no graph rows.
-    lookup_.remove_peer(pid);  // p2pex-lint: no-graph-effect (lookup state feeds discovery, not the snapshot)
+    lookup_remove_peer(pid);  // p2pex-lint: no-graph-effect (lookup state feeds discovery, not the snapshot)
     return;
   }
   sim_.schedule_in(ttl, [this, pid] {
     // Retract only if the peer is still down: a rejoin re-registered
     // its storage, and removing now would erase live ownership.
     if (!peers_[pid.value].online)
-      lookup_.remove_peer(pid);  // p2pex-lint: no-graph-effect (see above; offline peer has no rows)
+      lookup_remove_peer(pid);  // p2pex-lint: no-graph-effect (see above; offline peer has no rows)
   });
 }
 

@@ -68,6 +68,11 @@ const obs::MetricsRegistry& System::metrics_registry() const {
   det("core.retry_exhausted", c.retry_exhausted);
   det("core.stale_proposals", c.stale_proposals);
   det("core.partition_collapses", c.partition_collapses);
+  det("core.lookup_wire_bytes", c.lookup_wire_bytes);
+  det("core.gossip_rounds", c.gossip_rounds);
+  det("core.dht_hops", c.dht_hops);
+  det("core.lookup_misses", c.lookup_misses);
+  det("core.stale_entries_served", c.stale_entries_served);
 
   const FinderStats& f = finder_.stats();
   det("finder.searches", f.searches);

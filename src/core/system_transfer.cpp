@@ -286,7 +286,7 @@ void System::complete_download(DownloadId did) {
   const ObjectId object = d.object;
   const PeerId owner = d.peer;
   if (peer.storage.add(object)) {
-    if (peer.shares) lookup_.add_owner(object, owner);
+    if (peer.shares) lookup_add_owner(object, owner);
     // Roots that discovered this peer as a provider may now see it as a
     // ring closer again (own-evict-then-redownload path).
     touch_watchers(owner);

@@ -1,0 +1,74 @@
+#include "discovery/audit_backend.h"
+
+#include "util/contracts.h"
+
+namespace p2pex::discovery {
+
+void AuditBackend::add_owner(ObjectId object, PeerId peer, SimTime now) {
+  owners_[object].insert(peer);
+  by_peer_[peer].insert(object);
+  retracted_.erase({object, peer});
+  inner_->add_owner(object, peer, now);
+}
+
+void AuditBackend::remove_owner(ObjectId object, PeerId peer, SimTime now) {
+  const auto it = owners_.find(object);
+  if (it != owners_.end()) {
+    if (it->second.erase(peer) > 0) retracted_[{object, peer}] = now;
+    if (it->second.empty()) owners_.erase(it);
+  }
+  const auto pit = by_peer_.find(peer);
+  if (pit != by_peer_.end()) {
+    pit->second.erase(object);
+    if (pit->second.empty()) by_peer_.erase(pit);
+  }
+  inner_->remove_owner(object, peer, now);
+}
+
+void AuditBackend::remove_peer(PeerId peer, SimTime now) {
+  const auto pit = by_peer_.find(peer);
+  if (pit != by_peer_.end()) {
+    for (const ObjectId o : pit->second) {
+      const auto it = owners_.find(o);
+      if (it == owners_.end()) continue;
+      it->second.erase(peer);
+      if (it->second.empty()) owners_.erase(it);
+      retracted_[{o, peer}] = now;
+    }
+    by_peer_.erase(pit);
+  }
+  inner_->remove_peer(peer, now);
+}
+
+LookupResult AuditBackend::query(const LookupQuery& q) {
+  LookupResult r = inner_->query(q);
+
+  // Shape: ascending, unique, no self-proposals, ages parallel or empty.
+  P2PEX_ASSERT_MSG(r.ages.empty() || r.ages.size() == r.providers.size(),
+                   "lookup audit: ages not parallel to providers");
+  for (std::size_t i = 0; i < r.providers.size(); ++i) {
+    const PeerId p = r.providers[i];
+    P2PEX_ASSERT_MSG(p != q.requester,
+                     "lookup audit: backend proposed the requester");
+    if (i > 0) {
+      P2PEX_ASSERT_MSG(r.providers[i - 1] < p,
+                       "lookup audit: providers not strictly ascending");
+    }
+
+    // Substance: a true owner, or one retracted within the declared
+    // staleness horizon. Anything else is an invented provider.
+    const auto it = owners_.find(q.object);
+    const bool owner_now =
+        it != owners_.end() && it->second.find(p) != it->second.end();
+    if (!owner_now) {
+      const auto rit = retracted_.find({q.object, p});
+      P2PEX_ASSERT_MSG(rit != retracted_.end(),
+                       "lookup audit: provider was never an owner");
+      P2PEX_ASSERT_MSG(q.now - rit->second <= horizon_,
+                       "lookup audit: stale entry served past its horizon");
+    }
+  }
+  return r;
+}
+
+}  // namespace p2pex::discovery

@@ -1,0 +1,70 @@
+// AuditBackend: oracle-backed cross-check for decentralized backends.
+//
+// Decorates any LookupBackend and mirrors the ground-truth ownership
+// stream (the same add/remove calls System issues). On every query it
+// asserts the wrapped backend's answer against the truth:
+//
+//   * result shape: providers ascending, unique, never the requester;
+//     ages empty or exactly parallel;
+//   * every proposed provider is a true owner of the object *or* was a
+//     true owner retracted no longer than `horizon` seconds ago —
+//     i.e. backends may serve declared staleness (PEX entries inside
+//     pex_entry_ttl) but can never invent a provider from thin air.
+//
+// The class is always compiled (tests exercise it directly); builds
+// configured with -DP2PEX_LOOKUP_AUDIT=ON (the asan preset) wrap every
+// non-oracle backend in it automatically, mirroring how
+// P2PEX_SNAPSHOT_AUDIT shadows the incremental snapshot. Bookkeeping
+// uses ordered containers and is O(log n) per upkeep call — audit
+// builds trade speed for proof, like the other audit options.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "discovery/lookup_backend.h"
+
+namespace p2pex::discovery {
+
+class AuditBackend final : public LookupBackend {
+ public:
+  /// Wraps `inner`; `horizon` is the declared staleness allowance in
+  /// seconds (pex_entry_ttl for PEX, 0 for oracle/DHT whose retractions
+  /// are synchronous).
+  AuditBackend(std::unique_ptr<LookupBackend> inner, SimTime horizon)
+      : inner_(std::move(inner)), horizon_(horizon) {}
+
+  [[nodiscard]] BackendKind kind() const override { return inner_->kind(); }
+
+  void add_owner(ObjectId object, PeerId peer, SimTime now) override;
+  void remove_owner(ObjectId object, PeerId peer, SimTime now) override;
+  void remove_peer(PeerId peer, SimTime now) override;
+
+  [[nodiscard]] LookupResult query(const LookupQuery& q) override;
+
+  [[nodiscard]] SimTime tick_interval() const override {
+    return inner_->tick_interval();
+  }
+  void tick(SimTime now) override { inner_->tick(now); }
+
+  [[nodiscard]] DiscoveryCosts drain_costs() override {
+    return inner_->drain_costs();
+  }
+
+  /// The wrapped backend (tests).
+  [[nodiscard]] LookupBackend& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<LookupBackend> inner_;
+  SimTime horizon_;
+  /// Mirrored truth: current owners per object, plus when each
+  /// (object, provider) fact was last retracted. Ordered containers:
+  /// audit-only state, determinism over speed.
+  std::map<ObjectId, std::set<PeerId>> owners_;
+  std::map<PeerId, std::set<ObjectId>> by_peer_;
+  std::map<std::pair<ObjectId, PeerId>, SimTime> retracted_;
+};
+
+}  // namespace p2pex::discovery

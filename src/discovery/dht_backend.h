@@ -1,0 +1,92 @@
+// DhtBackend: Kademlia-flavored DHT discovery (ROADMAP: modeled on the
+// torrent-style dht_routing_table / dht_manager designs — bucketed ids,
+// iterative lookup with hop accounting).
+//
+// Every peer and object gets a 64-bit key (splitmix-mixed from the run
+// seed, so the id space is deterministic per seed and never draws from
+// any stream). Provider records for an object live at the k nodes whose
+// keys are XOR-closest to the object key (`dht_bucket_size`). A query
+// walks iteratively from the requester toward the object key: at each
+// hop the current node consults the bucket of nodes sharing one more
+// key-prefix bit with the target (at most k visible per bucket, chosen
+// deterministically by key order; offline nodes punch holes in it) and
+// forwards to the XOR-closest online, reachable candidate. Every hop
+// charges `dht_alpha` messages of wire bytes; a walk that exhausts
+// `dht_hop_budget` or hits a routing hole reports a miss — even though
+// the object may well have owners (lookup_misses counts exactly this).
+//
+// Publishes (add_owner) walk from the owner to the store set and charge
+// replication traffic; remove_owner unpublishes synchronously, so DHT
+// answers are always a subset of the ground truth *except* for crashed
+// owners, whose retraction the fault model's stale-TTL machinery delays
+// — those records are served stale until the late retraction fires.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "discovery/lookup_backend.h"
+
+namespace p2pex::discovery {
+
+class DhtBackend final : public LookupBackend {
+ public:
+  DhtBackend(const DiscoveryConfig& cfg, std::uint64_t seed,
+             const WorldView& world);
+
+  [[nodiscard]] BackendKind kind() const override { return BackendKind::kDht; }
+
+  void add_owner(ObjectId object, PeerId peer, SimTime now) override;
+  void remove_owner(ObjectId object, PeerId peer, SimTime now) override;
+  void remove_peer(PeerId peer, SimTime now) override;
+
+  [[nodiscard]] LookupResult query(const LookupQuery& q) override;
+
+  /// Node key of `peer` (tests).
+  [[nodiscard]] std::uint64_t node_key(PeerId peer) const {
+    return key_[peer.value];
+  }
+  /// The store set of `object`: the k peers XOR-closest to its key,
+  /// ascending peer order (tests).
+  [[nodiscard]] std::vector<PeerId> store_peers(ObjectId object) const;
+
+  /// Modeled wire cost per routing message / stored record, bytes.
+  static constexpr std::uint64_t kMessageBytes = 48;
+  static constexpr std::uint64_t kRecordBytes = 16;
+
+ private:
+  /// One published provider record: "`provider` served the object,
+  /// published/refreshed at `origin`".
+  struct Record {
+    PeerId provider;
+    SimTime origin = 0.0;
+  };
+
+  [[nodiscard]] std::uint64_t object_key(ObjectId object) const;
+  /// Peer indices (ascending) of the k nodes XOR-closest to `target`.
+  [[nodiscard]] std::vector<std::uint32_t> store_set(
+      std::uint64_t target) const;
+  /// Iterative walk from `from` toward `target` until a member of
+  /// `store` is reached. Charges wire/hop costs; returns the hop count
+  /// or, on miss (routing hole / budget exhausted), returns
+  /// `kWalkFailed`.
+  [[nodiscard]] std::uint32_t walk(PeerId from, std::uint64_t target,
+                                   const std::vector<std::uint32_t>& store);
+  static constexpr std::uint32_t kWalkFailed = 0xFFFFFFFFu;
+
+  DiscoveryConfig cfg_;
+  const WorldView* world_;
+  std::uint64_t seed_;
+  std::vector<std::uint64_t> key_;       ///< peer index -> node key
+  std::vector<std::uint32_t> by_key_;    ///< peer indices sorted by key
+  std::vector<std::uint64_t> sorted_keys_;  ///< key_[by_key_[i]]
+  /// Published records per object (the store set's shared contents; the
+  /// population is fixed, so the set of responsible nodes is static and
+  /// one record list per object models all k replicas). Keyed access
+  /// only — never iterated.
+  std::unordered_map<ObjectId, std::vector<Record>> store_;
+  /// provider -> published objects (reverse index for remove_peer).
+  std::vector<std::vector<ObjectId>> published_;
+};
+
+}  // namespace p2pex::discovery

@@ -1,0 +1,58 @@
+#include "discovery/lookup_backend.h"
+
+#include "discovery/dht_backend.h"
+#include "discovery/oracle_backend.h"
+#include "discovery/pex_backend.h"
+#include "util/contracts.h"
+
+#ifdef P2PEX_LOOKUP_AUDIT
+#include "discovery/audit_backend.h"
+#endif
+
+namespace p2pex::discovery {
+
+std::string to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kOracle:
+      return "oracle";
+    case BackendKind::kPex:
+      return "pex";
+    case BackendKind::kDht:
+      return "dht";
+  }
+  P2PEX_ASSERT_MSG(false, "unknown BackendKind");
+  return "?";
+}
+
+std::unique_ptr<LookupBackend> make_backend(const DiscoveryConfig& cfg,
+                                            double lookup_fraction,
+                                            const LookupService& truth,
+                                            Rng& main_rng, std::uint64_t seed,
+                                            const WorldView& world) {
+  std::unique_ptr<LookupBackend> backend;
+  switch (cfg.backend) {
+    case BackendKind::kOracle:
+      // Never audited (it *is* the truth index) and never wrapped:
+      // the decorator would change nothing and cost indirection on the
+      // bit-exact default path.
+      return std::make_unique<OracleBackend>(truth, lookup_fraction,
+                                             main_rng);
+    case BackendKind::kPex:
+      backend = std::make_unique<PexBackend>(cfg, seed, world);
+      break;
+    case BackendKind::kDht:
+      backend = std::make_unique<DhtBackend>(cfg, seed, world);
+      break;
+  }
+  P2PEX_ASSERT_MSG(backend != nullptr, "unknown discovery backend");
+#ifdef P2PEX_LOOKUP_AUDIT
+  // PEX may serve entries up to pex_entry_ttl after retraction (that is
+  // its declared staleness); DHT/oracle retractions are synchronous.
+  const SimTime horizon =
+      cfg.backend == BackendKind::kPex ? cfg.pex_entry_ttl : 0.0;
+  backend = std::make_unique<AuditBackend>(std::move(backend), horizon);
+#endif
+  return backend;
+}
+
+}  // namespace p2pex::discovery

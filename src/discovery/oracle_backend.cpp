@@ -1,0 +1,17 @@
+#include "discovery/oracle_backend.h"
+
+#include "core/lookup.h"
+
+namespace p2pex::discovery {
+
+LookupResult OracleBackend::query(const LookupQuery& q) {
+  // Exactly LookupService::query: the same owners() collection and the
+  // same per-owner Bernoulli draws on the same stream, in the same
+  // order. Changing anything here breaks every pinned golden.
+  LookupResult r;
+  r.providers = truth_->query(q.object, q.requester, fraction_, *rng_);
+  // ages stays empty: every oracle answer is authoritative (age 0).
+  return r;
+}
+
+}  // namespace p2pex::discovery

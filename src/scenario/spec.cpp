@@ -87,6 +87,14 @@ TreeMode parse_tree_mode(const std::string& s) {
                       "' (expected full-tree|bloom)");
 }
 
+discovery::BackendKind parse_lookup_backend(const std::string& s) {
+  if (s == "oracle") return discovery::BackendKind::kOracle;
+  if (s == "pex") return discovery::BackendKind::kPex;
+  if (s == "dht") return discovery::BackendKind::kDht;
+  throw ScenarioError("unknown lookup backend '" + s +
+                      "' (expected oracle|pex|dht)");
+}
+
 std::string to_string(EventKind k) {
   switch (k) {
     case EventKind::kDepart:       return "depart";
@@ -232,6 +240,60 @@ const Knob kKnobs[] = {
      },
      [](const SimConfig& c) {
        return std::to_string(c.max_providers_per_request);
+     }},
+    {"lookup_backend",
+     [](SimConfig& c, const std::string& v) {
+       c.discovery.backend = parse_lookup_backend(v);
+     },
+     [](const SimConfig& c) {
+       return discovery::to_string(c.discovery.backend);
+     }},
+    {"gossip_interval",
+     [](SimConfig& c, const std::string& v) {
+       c.discovery.gossip_interval = parse_double(v);
+     },
+     [](const SimConfig& c) {
+       return format_double(c.discovery.gossip_interval);
+     }},
+    {"gossip_digest",
+     [](SimConfig& c, const std::string& v) {
+       c.discovery.gossip_digest_cap = parse_size(v);
+     },
+     [](const SimConfig& c) {
+       return std::to_string(c.discovery.gossip_digest_cap);
+     }},
+    {"pex_cache",
+     [](SimConfig& c, const std::string& v) {
+       c.discovery.pex_cache_cap = parse_size(v);
+     },
+     [](const SimConfig& c) {
+       return std::to_string(c.discovery.pex_cache_cap);
+     }},
+    {"pex_ttl",
+     [](SimConfig& c, const std::string& v) {
+       c.discovery.pex_entry_ttl = parse_double(v);
+     },
+     [](const SimConfig& c) {
+       return format_double(c.discovery.pex_entry_ttl);
+     }},
+    {"dht_k",
+     [](SimConfig& c, const std::string& v) {
+       c.discovery.dht_bucket_size = parse_size(v);
+     },
+     [](const SimConfig& c) {
+       return std::to_string(c.discovery.dht_bucket_size);
+     }},
+    {"dht_alpha",
+     [](SimConfig& c, const std::string& v) {
+       c.discovery.dht_alpha = parse_size(v);
+     },
+     [](const SimConfig& c) { return std::to_string(c.discovery.dht_alpha); }},
+    {"dht_hop_budget",
+     [](SimConfig& c, const std::string& v) {
+       c.discovery.dht_hop_budget = parse_size(v);
+     },
+     [](const SimConfig& c) {
+       return std::to_string(c.discovery.dht_hop_budget);
      }},
     {"policy",
      [](SimConfig& c, const std::string& v) { c.policy = parse_policy(v); },

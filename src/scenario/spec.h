@@ -163,6 +163,8 @@ void set_config_knob(SimConfig& config, const std::string& knob,
 [[nodiscard]] ExchangePolicy parse_policy(const std::string& s);
 [[nodiscard]] SchedulerKind parse_scheduler(const std::string& s);
 [[nodiscard]] TreeMode parse_tree_mode(const std::string& s);
+[[nodiscard]] discovery::BackendKind parse_lookup_backend(
+    const std::string& s);
 
 namespace detail {
 // Canonical scalar formatting/parsing shared by the knob table, the

@@ -97,6 +97,7 @@ TEST(Config, DescribePinsEveryKnob) {
       "peers=200 nonsharing=0.5 dl=800kbps ul=80kbps slot=10kbps "
       "categories=300 f_cat=0.2 f_obj=0.2 object=20MB storage=[5,40] "
       "cats/peer=[1,8] fill=0.5 irq=1000 pending=6 lookup=0.5 providers=8 "
+      "backend=oracle gossip=[30s,32,256,600s] dht=[8,3,64] "
       "policy=2-5-way attempts=8 scheduler=fifo liars=0 preemption=on "
       "tree=full-tree bloom=[64,0.02,256] search=30s evict=60s retry=60s "
       "fault_rate=0 lookup_loss=0 stale_ttl=60s retry_policy=[30s,x2,j0.25,4] "

@@ -1,0 +1,596 @@
+// Discovery-backend suite (src/discovery).
+//
+// Unit coverage for the LookupBackend redesign: the ground-truth
+// LookupService reverse index, oracle bit-exactness against the old
+// query path, PEX gossip semantics (spread, TTL, digest bounds,
+// staleness, determinism), DHT routing (store sets, publish/query
+// walks, holes, budgets, unpublish) and the oracle-backed audit
+// decorator — plus system-level runs per backend and the
+// backend-equivalence sweep across thread counts and tree modes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lookup.h"
+#include "core/system.h"
+#include "discovery/audit_backend.h"
+#include "discovery/dht_backend.h"
+#include "discovery/lookup_backend.h"
+#include "discovery/oracle_backend.h"
+#include "discovery/pex_backend.h"
+#include "metrics/report.h"
+#include "support/scenario.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace p2pex {
+namespace {
+
+using discovery::AuditBackend;
+using discovery::BackendKind;
+using discovery::DhtBackend;
+using discovery::DiscoveryConfig;
+using discovery::DiscoveryCosts;
+using discovery::LookupBackend;
+using discovery::LookupQuery;
+using discovery::LookupResult;
+using discovery::OracleBackend;
+using discovery::PexBackend;
+using discovery::WorldView;
+
+/// Minimal world: everyone online and reachable unless told otherwise;
+/// an optional id-space split mirrors the fault model's partitions.
+class TestWorld final : public WorldView {
+ public:
+  explicit TestWorld(std::size_t n) : online_(n, true) {}
+  [[nodiscard]] std::size_t num_peers() const override {
+    return online_.size();
+  }
+  [[nodiscard]] bool peer_online(PeerId p) const override {
+    return online_[p.value];
+  }
+  [[nodiscard]] bool peers_reachable(PeerId a, PeerId b) const override {
+    if (split_ == 0) return true;
+    return (a.value < split_) == (b.value < split_);
+  }
+  void set_online(PeerId p, bool on) { online_[p.value] = on; }
+  void set_split(std::uint32_t s) { split_ = s; }
+
+ private:
+  std::vector<bool> online_;
+  std::uint32_t split_ = 0;
+};
+
+// --- LookupService reverse index (remove_peer must not scan the map) ---
+
+TEST(LookupReverseIndex, RemovePeerDropsEveryEntry) {
+  LookupService l;
+  for (std::uint32_t o = 0; o < 50; ++o) {
+    l.add_owner(ObjectId{o}, PeerId{1});
+    l.add_owner(ObjectId{o}, PeerId{2});
+  }
+  EXPECT_EQ(l.objects_owned(PeerId{1}), 50u);
+  l.remove_peer(PeerId{1});
+  EXPECT_EQ(l.objects_owned(PeerId{1}), 0u);
+  for (std::uint32_t o = 0; o < 50; ++o) {
+    EXPECT_FALSE(l.has_owner(ObjectId{o}, PeerId{1}));
+    EXPECT_TRUE(l.has_owner(ObjectId{o}, PeerId{2}));
+    EXPECT_EQ(l.owner_count(ObjectId{o}), 1u);
+  }
+  // Idempotent, and re-adding after removal works.
+  l.remove_peer(PeerId{1});
+  l.add_owner(ObjectId{7}, PeerId{1});
+  EXPECT_TRUE(l.has_owner(ObjectId{7}, PeerId{1}));
+  EXPECT_EQ(l.objects_owned(PeerId{1}), 1u);
+}
+
+TEST(LookupReverseIndex, RemoveOwnerMaintainsBothSides) {
+  LookupService l;
+  l.add_owner(ObjectId{1}, PeerId{4});
+  l.add_owner(ObjectId{2}, PeerId{4});
+  l.remove_owner(ObjectId{1}, PeerId{4});
+  EXPECT_FALSE(l.has_owner(ObjectId{1}, PeerId{4}));
+  EXPECT_EQ(l.objects_owned(PeerId{4}), 1u);
+  l.remove_peer(PeerId{4});
+  EXPECT_EQ(l.owner_count(ObjectId{2}), 0u);
+}
+
+// --- OracleBackend: bit-exact with the pre-redesign query path ---
+
+TEST(OracleBackend, ReproducesLookupServiceDrawForDraw) {
+  LookupService truth;
+  for (std::uint32_t p = 0; p < 20; ++p)
+    for (std::uint32_t o = 0; o < 5; ++o)
+      if ((p + o) % 3 != 0) truth.add_owner(ObjectId{o}, PeerId{p});
+
+  for (const double fraction : {0.3, 0.7, 1.0}) {
+    Rng a(99);
+    Rng b(99);
+    OracleBackend oracle(truth, fraction, b);
+    for (std::uint32_t i = 0; i < 40; ++i) {
+      const ObjectId o{i % 5};
+      const PeerId req{i % 20};
+      const std::vector<PeerId> want = truth.query(o, req, fraction, a);
+      const LookupResult got = oracle.query({o, req, static_cast<double>(i)});
+      EXPECT_EQ(got.providers, want) << "fraction " << fraction << " i " << i;
+      EXPECT_TRUE(got.ages.empty());  // authoritative answers
+      EXPECT_EQ(got.hops, 0u);
+      EXPECT_EQ(got.wire_bytes, 0u);
+    }
+    // The oracle charges nothing: discovery is free by assumption.
+    const DiscoveryCosts costs = oracle.drain_costs();
+    EXPECT_EQ(costs.wire_bytes, 0u);
+    EXPECT_EQ(costs.hops, 0u);
+    EXPECT_EQ(costs.gossip_rounds, 0u);
+  }
+}
+
+// --- PexBackend ---
+
+DiscoveryConfig pex_config() {
+  DiscoveryConfig cfg;
+  cfg.backend = BackendKind::kPex;
+  return cfg;
+}
+
+/// Gossips `rounds` ticks at cfg.gossip_interval spacing from t0.
+SimTime run_gossip(PexBackend& pex, const DiscoveryConfig& cfg,
+                   std::size_t rounds, SimTime t0 = 0.0) {
+  SimTime now = t0;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    now += cfg.gossip_interval;
+    pex.tick(now);
+  }
+  return now;
+}
+
+TEST(PexBackend, GossipSpreadsKnowledge) {
+  const DiscoveryConfig cfg = pex_config();
+  TestWorld world(8);
+  PexBackend pex(cfg, 7, world);
+  pex.add_owner(ObjectId{1}, PeerId{0}, 0.0);
+
+  // Before any gossip nobody knows anything.
+  EXPECT_TRUE(pex.query({ObjectId{1}, PeerId{5}, 0.0}).providers.empty());
+
+  const SimTime now = run_gossip(pex, cfg, 20);
+  std::size_t informed = 0;
+  for (std::uint32_t q = 1; q < 8; ++q) {
+    const LookupResult r = pex.query({ObjectId{1}, PeerId{q}, now});
+    if (r.providers == std::vector<PeerId>{PeerId{0}}) {
+      ++informed;
+      ASSERT_EQ(r.ages.size(), 1u);
+      EXPECT_GE(r.ages[0], 0.0);
+      EXPECT_LE(r.ages[0], cfg.pex_entry_ttl);
+    }
+  }
+  EXPECT_GE(informed, 5u) << "gossip failed to spread in 20 rounds";
+
+  const DiscoveryCosts costs = pex.drain_costs();
+  EXPECT_EQ(costs.gossip_rounds, 20u);
+  EXPECT_GT(costs.wire_bytes, 0u);
+  EXPECT_EQ(pex.rounds(), 20u);
+}
+
+TEST(PexBackend, EntriesExpireAfterTtl) {
+  const DiscoveryConfig cfg = pex_config();
+  TestWorld world(6);
+  PexBackend pex(cfg, 11, world);
+  pex.add_owner(ObjectId{2}, PeerId{0}, 0.0);
+  const SimTime now = run_gossip(pex, cfg, 15);
+
+  // Somebody learned the fact; long after the TTL it is gone again —
+  // with no further gossip, expiry is the only change.
+  std::uint32_t informed_peer = 0;
+  for (std::uint32_t q = 1; q < 6; ++q) {
+    if (!pex.query({ObjectId{2}, PeerId{q}, now}).providers.empty()) {
+      informed_peer = q;
+      break;
+    }
+  }
+  ASSERT_NE(informed_peer, 0u);
+  const SimTime later = now + cfg.pex_entry_ttl + 1.0;
+  EXPECT_TRUE(
+      pex.query({ObjectId{2}, PeerId{informed_peer}, later}).providers.empty());
+}
+
+TEST(PexBackend, RetractedAdvertsLingerAsStaleEntries) {
+  const DiscoveryConfig cfg = pex_config();
+  TestWorld world(6);
+  PexBackend pex(cfg, 13, world);
+  pex.add_owner(ObjectId{3}, PeerId{0}, 0.0);
+  const SimTime now = run_gossip(pex, cfg, 15);
+
+  std::uint32_t informed_peer = 0;
+  for (std::uint32_t q = 1; q < 6; ++q) {
+    if (!pex.query({ObjectId{3}, PeerId{q}, now}).providers.empty()) {
+      informed_peer = q;
+      break;
+    }
+  }
+  ASSERT_NE(informed_peer, 0u);
+
+  // The owner retracts (eviction); relayed cache entries are not
+  // recalled — the receiver keeps proposing the ex-owner until TTL.
+  pex.remove_owner(ObjectId{3}, PeerId{0}, now);
+  EXPECT_EQ(pex.query({ObjectId{3}, PeerId{informed_peer}, now + 1.0})
+                .providers,
+            std::vector<PeerId>{PeerId{0}});
+}
+
+TEST(PexBackend, DigestCapBoundsWireBytes) {
+  DiscoveryConfig cfg = pex_config();
+  cfg.gossip_digest_cap = 4;
+  TestWorld world(4);
+  PexBackend pex(cfg, 21, world);
+  // One hoarder with far more adverts than one digest can carry.
+  for (std::uint32_t o = 0; o < 40; ++o)
+    pex.add_owner(ObjectId{o}, PeerId{0}, 0.0);
+  pex.tick(cfg.gossip_interval);
+  const DiscoveryCosts costs = pex.drain_costs();
+  // 4 pairs x 2 directions, each at most one header + cap entries.
+  const std::uint64_t worst =
+      4 * (2 * PexBackend::kMessageBytes +
+           2 * cfg.gossip_digest_cap * PexBackend::kEntryBytes);
+  EXPECT_GT(costs.wire_bytes, 0u);
+  EXPECT_LE(costs.wire_bytes, worst);
+}
+
+TEST(PexBackend, DeterministicAcrossInstances) {
+  const DiscoveryConfig cfg = pex_config();
+  TestWorld world(10);
+  PexBackend a(cfg, 31, world);
+  PexBackend b(cfg, 31, world);
+  for (std::uint32_t p = 0; p < 10; ++p) {
+    a.add_owner(ObjectId{p % 3}, PeerId{p}, 0.0);
+    b.add_owner(ObjectId{p % 3}, PeerId{p}, 0.0);
+  }
+  SimTime now = 0.0;
+  for (int i = 0; i < 25; ++i) {
+    now += cfg.gossip_interval;
+    a.tick(now);
+    b.tick(now);
+  }
+  for (std::uint32_t q = 0; q < 10; ++q) {
+    const LookupQuery query{ObjectId{q % 3}, PeerId{q}, now};
+    const LookupResult ra = a.query(query);
+    const LookupResult rb = b.query(query);
+    EXPECT_EQ(ra.providers, rb.providers) << "requester " << q;
+    EXPECT_EQ(ra.ages, rb.ages) << "requester " << q;
+  }
+}
+
+TEST(PexBackend, PartitionConfinesGossip) {
+  const DiscoveryConfig cfg = pex_config();
+  TestWorld world(8);
+  world.set_split(4);  // {0..3} | {4..7} from the start
+  PexBackend pex(cfg, 17, world);
+  pex.add_owner(ObjectId{1}, PeerId{0}, 0.0);
+  const SimTime now = run_gossip(pex, cfg, 30);
+  for (std::uint32_t q = 4; q < 8; ++q)
+    EXPECT_TRUE(pex.query({ObjectId{1}, PeerId{q}, now}).providers.empty())
+        << "fact crossed the partition to " << q;
+}
+
+// --- DhtBackend ---
+
+DiscoveryConfig dht_config() {
+  DiscoveryConfig cfg;
+  cfg.backend = BackendKind::kDht;
+  return cfg;
+}
+
+TEST(DhtBackend, StoreSetIsKClosestAndDeterministic) {
+  const DiscoveryConfig cfg = dht_config();
+  TestWorld world(64);
+  DhtBackend dht(cfg, 5, world);
+  const std::vector<PeerId> store = dht.store_peers(ObjectId{9});
+  EXPECT_EQ(store.size(), cfg.dht_bucket_size);
+  EXPECT_EQ(store, dht.store_peers(ObjectId{9}));  // pure function
+  for (std::size_t i = 1; i < store.size(); ++i)
+    EXPECT_LT(store[i - 1], store[i]);  // ascending peer order
+  // A different seed permutes the key space, hence the placement.
+  DhtBackend other(cfg, 6, world);
+  EXPECT_NE(other.store_peers(ObjectId{9}), store);
+}
+
+TEST(DhtBackend, PublishQueryRoundtrip) {
+  const DiscoveryConfig cfg = dht_config();
+  TestWorld world(64);
+  DhtBackend dht(cfg, 5, world);
+  dht.add_owner(ObjectId{9}, PeerId{3}, 10.0);
+  dht.add_owner(ObjectId{9}, PeerId{40}, 20.0);
+  (void)dht.drain_costs();  // publish traffic, tested separately
+
+  // Pick a requester that is not itself a store node, so the walk must
+  // route at least one hop.
+  const std::vector<PeerId> store = dht.store_peers(ObjectId{9});
+  PeerId requester{};
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    const PeerId cand{p};
+    if (std::find(store.begin(), store.end(), cand) == store.end() &&
+        cand != PeerId{3} && cand != PeerId{40}) {
+      requester = cand;
+      break;
+    }
+  }
+  const LookupResult r = dht.query({ObjectId{9}, requester, 30.0});
+  EXPECT_EQ(r.providers, (std::vector<PeerId>{PeerId{3}, PeerId{40}}));
+  ASSERT_EQ(r.ages.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.ages[0], 20.0);  // published at 10, queried at 30
+  EXPECT_DOUBLE_EQ(r.ages[1], 10.0);
+  EXPECT_GT(r.hops, 0u);
+  EXPECT_GT(r.wire_bytes, 0u);
+  const DiscoveryCosts costs = dht.drain_costs();
+  EXPECT_EQ(costs.hops, r.hops);
+  EXPECT_GT(costs.wire_bytes, 0u);
+}
+
+TEST(DhtBackend, PublishChargesWire) {
+  const DiscoveryConfig cfg = dht_config();
+  TestWorld world(64);
+  DhtBackend dht(cfg, 5, world);
+  dht.add_owner(ObjectId{9}, PeerId{3}, 0.0);
+  const DiscoveryCosts costs = dht.drain_costs();
+  EXPECT_GT(costs.wire_bytes, 0u);  // replication records at least
+}
+
+TEST(DhtBackend, UnpublishAndRemovePeer) {
+  const DiscoveryConfig cfg = dht_config();
+  TestWorld world(64);
+  DhtBackend dht(cfg, 5, world);
+  dht.add_owner(ObjectId{9}, PeerId{3}, 0.0);
+  dht.add_owner(ObjectId{9}, PeerId{40}, 0.0);
+  dht.add_owner(ObjectId{12}, PeerId{40}, 0.0);
+
+  dht.remove_owner(ObjectId{9}, PeerId{3}, 1.0);
+  LookupResult r = dht.query({ObjectId{9}, PeerId{50}, 2.0});
+  EXPECT_EQ(r.providers, std::vector<PeerId>{PeerId{40}});
+
+  dht.remove_peer(PeerId{40}, 3.0);
+  EXPECT_TRUE(dht.query({ObjectId{9}, PeerId{50}, 4.0}).providers.empty());
+  EXPECT_TRUE(dht.query({ObjectId{12}, PeerId{50}, 4.0}).providers.empty());
+}
+
+TEST(DhtBackend, OfflineStoreSetIsARoutingHole) {
+  const DiscoveryConfig cfg = dht_config();
+  TestWorld world(64);
+  DhtBackend dht(cfg, 5, world);
+  dht.add_owner(ObjectId{9}, PeerId{3}, 0.0);
+  for (const PeerId p : dht.store_peers(ObjectId{9})) world.set_online(p, false);
+  // Records exist, but no live node can answer for that key range.
+  const LookupResult r = dht.query({ObjectId{9}, PeerId{50}, 1.0});
+  EXPECT_TRUE(r.providers.empty());
+}
+
+TEST(DhtBackend, HopBudgetCutsWalks) {
+  DiscoveryConfig strict = dht_config();
+  strict.dht_hop_budget = 1;
+  DiscoveryConfig roomy = dht_config();
+  TestWorld world(256);
+  DhtBackend cut(strict, 5, world);
+  DhtBackend free_walk(roomy, 5, world);
+
+  // With 256 peers most walks need several hops (some object keys land
+  // so close to their bucket's edge that every walk resolves in one —
+  // scan a few objects); find an (object, requester) whose unbudgeted
+  // walk takes >1 hop and assert the budgeted one misses.
+  for (std::uint32_t o = 0; o < 16; ++o) {
+    cut.add_owner(ObjectId{o}, PeerId{3}, 0.0);
+    free_walk.add_owner(ObjectId{o}, PeerId{3}, 0.0);
+    for (std::uint32_t p = 0; p < 256; ++p) {
+      const LookupResult full = free_walk.query({ObjectId{o}, PeerId{p}, 1.0});
+      if (full.hops > 1) {
+        const LookupResult r = cut.query({ObjectId{o}, PeerId{p}, 1.0});
+        EXPECT_TRUE(r.providers.empty()) << "budget 1 walked " << full.hops;
+        return;
+      }
+    }
+  }
+  FAIL() << "no multi-hop (object, requester) pair in a 256-peer world";
+}
+
+// --- AuditBackend ---
+
+/// Canned inner backend: answers every query with a fixed provider
+/// list, ignoring upkeep — the audit's mirror is the only bookkeeping.
+class CannedBackend final : public LookupBackend {
+ public:
+  explicit CannedBackend(std::vector<PeerId> answer)
+      : answer_(std::move(answer)) {}
+  [[nodiscard]] BackendKind kind() const override { return BackendKind::kPex; }
+  void add_owner(ObjectId, PeerId, SimTime) override {}
+  void remove_owner(ObjectId, PeerId, SimTime) override {}
+  void remove_peer(PeerId, SimTime) override {}
+  [[nodiscard]] LookupResult query(const LookupQuery&) override {
+    LookupResult r;
+    r.providers = answer_;
+    return r;
+  }
+
+ private:
+  std::vector<PeerId> answer_;
+};
+
+TEST(AuditBackend, AcceptsTruthfulAnswers) {
+  AuditBackend audit(std::make_unique<CannedBackend>(
+                         std::vector<PeerId>{PeerId{2}, PeerId{5}}),
+                     /*horizon=*/0.0);
+  audit.add_owner(ObjectId{1}, PeerId{2}, 0.0);
+  audit.add_owner(ObjectId{1}, PeerId{5}, 0.0);
+  const LookupResult r = audit.query({ObjectId{1}, PeerId{9}, 1.0});
+  EXPECT_EQ(r.providers.size(), 2u);
+}
+
+TEST(AuditBackend, RejectsInventedProvider) {
+  AuditBackend audit(
+      std::make_unique<CannedBackend>(std::vector<PeerId>{PeerId{7}}),
+      /*horizon=*/0.0);
+  audit.add_owner(ObjectId{1}, PeerId{2}, 0.0);  // 7 was never an owner
+  EXPECT_THROW((void)audit.query({ObjectId{1}, PeerId{9}, 1.0}),
+               AssertionError);
+}
+
+TEST(AuditBackend, HorizonAllowsDeclaredStalenessOnly) {
+  AuditBackend audit(
+      std::make_unique<CannedBackend>(std::vector<PeerId>{PeerId{2}}),
+      /*horizon=*/100.0);
+  audit.add_owner(ObjectId{1}, PeerId{2}, 0.0);
+  audit.remove_owner(ObjectId{1}, PeerId{2}, 10.0);
+  // Inside the horizon: a declared-stale answer, accepted.
+  EXPECT_EQ(audit.query({ObjectId{1}, PeerId{9}, 50.0}).providers.size(), 1u);
+  // Past it: the backend should have forgotten long ago.
+  EXPECT_THROW((void)audit.query({ObjectId{1}, PeerId{9}, 200.0}),
+               AssertionError);
+}
+
+TEST(AuditBackend, RejectsUnsortedAnswers) {
+  AuditBackend audit(std::make_unique<CannedBackend>(
+                         std::vector<PeerId>{PeerId{5}, PeerId{2}}),
+                     /*horizon=*/0.0);
+  audit.add_owner(ObjectId{1}, PeerId{2}, 0.0);
+  audit.add_owner(ObjectId{1}, PeerId{5}, 0.0);
+  EXPECT_THROW((void)audit.query({ObjectId{1}, PeerId{9}, 1.0}),
+               AssertionError);
+}
+
+TEST(AuditBackend, RejectsSelfProposal) {
+  AuditBackend audit(
+      std::make_unique<CannedBackend>(std::vector<PeerId>{PeerId{9}}),
+      /*horizon=*/0.0);
+  audit.add_owner(ObjectId{1}, PeerId{9}, 0.0);
+  EXPECT_THROW((void)audit.query({ObjectId{1}, PeerId{9}, 1.0}),
+               AssertionError);
+}
+
+// --- factory ---
+
+TEST(MakeBackend, BuildsTheConfiguredKind) {
+  LookupService truth;
+  Rng rng(1);
+  TestWorld world(8);
+  for (const BackendKind kind :
+       {BackendKind::kOracle, BackendKind::kPex, BackendKind::kDht}) {
+    DiscoveryConfig cfg;
+    cfg.backend = kind;
+    const std::unique_ptr<LookupBackend> b =
+        discovery::make_backend(cfg, 0.5, truth, rng, 42, world);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->kind(), kind);
+  }
+  EXPECT_EQ(discovery::to_string(BackendKind::kOracle), "oracle");
+  EXPECT_EQ(discovery::to_string(BackendKind::kPex), "pex");
+  EXPECT_EQ(discovery::to_string(BackendKind::kDht), "dht");
+}
+
+// --- system-level runs per backend ---
+
+SimConfig backend_config(BackendKind kind, std::uint64_t seed) {
+  test::Scenario s = test::Scenario::small(seed);
+  s.raw().discovery.backend = kind;
+  return s.build();
+}
+
+TEST(SystemDiscovery, OracleChargesNothing) {
+  System system(backend_config(BackendKind::kOracle, 42));
+  system.run();
+  const SystemCounters& c = system.counters();
+  EXPECT_EQ(system.discovery_backend().kind(), BackendKind::kOracle);
+  EXPECT_EQ(c.lookup_wire_bytes, 0u);
+  EXPECT_EQ(c.gossip_rounds, 0u);
+  EXPECT_EQ(c.dht_hops, 0u);
+  EXPECT_EQ(c.lookup_misses, 0u);
+  EXPECT_EQ(c.stale_entries_served, 0u);
+}
+
+TEST(SystemDiscovery, PexRunGossipsAndCharges) {
+  System system(backend_config(BackendKind::kPex, 42));
+  system.run();
+  system.check_invariants();
+  const SystemCounters& c = system.counters();
+  EXPECT_EQ(system.discovery_backend().kind(), BackendKind::kPex);
+  EXPECT_GT(c.gossip_rounds, 0u);
+  EXPECT_GT(c.lookup_wire_bytes, 0u);
+  EXPECT_EQ(c.dht_hops, 0u);
+  EXPECT_GT(c.requests_issued, 0u);  // partial knowledge still sustains work
+}
+
+TEST(SystemDiscovery, DhtRunWalksAndCharges) {
+  System system(backend_config(BackendKind::kDht, 42));
+  system.run();
+  system.check_invariants();
+  const SystemCounters& c = system.counters();
+  EXPECT_EQ(system.discovery_backend().kind(), BackendKind::kDht);
+  EXPECT_GT(c.dht_hops, 0u);
+  EXPECT_GT(c.lookup_wire_bytes, 0u);
+  EXPECT_EQ(c.gossip_rounds, 0u);
+  EXPECT_GT(c.requests_issued, 0u);
+}
+
+// --- backend equivalence: every backend x tree mode is bit-identical
+// across thread counts (the tentpole determinism contract) ---
+
+struct EquivalenceCase {
+  BackendKind kind;
+  TreeMode tree;
+};
+
+class BackendEquivalence : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(BackendEquivalence, IdenticalAcrossThreadCounts) {
+  ASSERT_EQ(unsetenv("P2PEX_THREADS"), 0);
+  const EquivalenceCase param = GetParam();
+  SimConfig base = backend_config(param.kind, 1234);
+  base.tree_mode = param.tree;
+
+  std::string baseline_report;
+  SystemCounters baseline{};
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    SimConfig c = base;
+    c.threads = threads;
+    System system(c);
+    system.run();
+    system.check_invariants();
+    const SystemCounters& got = system.counters();
+    const std::string report = format_report(system.metrics(), got);
+    if (threads == 1) {
+      baseline = got;
+      baseline_report = report;
+      continue;
+    }
+    const std::string what = "threads " + std::to_string(threads);
+    EXPECT_EQ(got.requests_issued, baseline.requests_issued) << what;
+    EXPECT_EQ(got.rings_formed, baseline.rings_formed) << what;
+    EXPECT_EQ(got.downloads_completed, baseline.downloads_completed) << what;
+    EXPECT_EQ(got.lookup_wire_bytes, baseline.lookup_wire_bytes) << what;
+    EXPECT_EQ(got.gossip_rounds, baseline.gossip_rounds) << what;
+    EXPECT_EQ(got.dht_hops, baseline.dht_hops) << what;
+    EXPECT_EQ(got.lookup_misses, baseline.lookup_misses) << what;
+    EXPECT_EQ(got.stale_entries_served, baseline.stale_entries_served)
+        << what;
+    EXPECT_EQ(report, baseline_report) << what;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, BackendEquivalence,
+    ::testing::Values(
+        EquivalenceCase{BackendKind::kOracle, TreeMode::kFullTree},
+        EquivalenceCase{BackendKind::kOracle, TreeMode::kBloom},
+        EquivalenceCase{BackendKind::kPex, TreeMode::kFullTree},
+        EquivalenceCase{BackendKind::kPex, TreeMode::kBloom},
+        EquivalenceCase{BackendKind::kDht, TreeMode::kFullTree},
+        EquivalenceCase{BackendKind::kDht, TreeMode::kBloom}),
+    [](const ::testing::TestParamInfo<EquivalenceCase>& tpi) {
+      return discovery::to_string(tpi.param.kind) + "_" +
+             std::string(tpi.param.tree == TreeMode::kBloom ? "bloom"
+                                                            : "full");
+    });
+
+}  // namespace
+}  // namespace p2pex

@@ -66,6 +66,11 @@ void expect_counters_equal(const SystemCounters& a, const SystemCounters& b,
   EXPECT_EQ(a.snapshot_rebuilds, b.snapshot_rebuilds);
   EXPECT_EQ(a.snapshot_patches, b.snapshot_patches);
   EXPECT_EQ(a.dirty_rows_patched, b.dirty_rows_patched);
+  EXPECT_EQ(a.lookup_wire_bytes, b.lookup_wire_bytes);
+  EXPECT_EQ(a.gossip_rounds, b.gossip_rounds);
+  EXPECT_EQ(a.dht_hops, b.dht_hops);
+  EXPECT_EQ(a.lookup_misses, b.lookup_misses);
+  EXPECT_EQ(a.stale_entries_served, b.stale_entries_served);
 }
 
 /// Ring proposals from a fresh finder over the system's final snapshot,

@@ -44,6 +44,24 @@ const std::vector<std::string> kMalformed = {
     "set policy sometimes\n",              // unknown policy
     "set scheduler roulette\n",            // unknown scheduler
     "set tree shrub\n",                    // unknown tree mode
+    // discovery backends
+    "set lookup_backend carrier-pigeon\n", // unknown backend
+    "set lookup_backend\n",                // missing backend name
+    "set lookup_backend pex dht\n",        // two backends
+    "set lookup_backend ORACLE\n",         // names are case-sensitive
+    "set gossip_interval 0\n",             // gossip must tick
+    "set gossip_interval -30\n",           // negative interval
+    "set gossip_interval nan\n",           // non-finite interval
+    "set gossip_interval soon\n",          // non-numeric interval
+    "set gossip_digest 0\n",               // empty digests carry nothing
+    "set gossip_digest -4\n",              // negative unsigned
+    "set pex_cache 8\n",                   // below the digest cap default
+    "set pex_ttl 0\n",                     // entries must live
+    "set pex_ttl -600\n",                  // negative TTL
+    "set dht_k 0\n",                       // zero replication
+    "set dht_alpha 0\n",                   // zero parallel lookups
+    "set dht_hop_budget 0\n",              // walks could never move
+    "set dht_hop_budget 64x\n",            // trailing garbage
     // cohorts
     "cohort\n",                            // missing everything
     "cohort a\n",                          // missing fields

@@ -154,5 +154,64 @@ TEST(ScenarioGolden, CrashChurnGoldenReplay) {
   EXPECT_DOUBLE_EQ(r.exchange_fraction, 0.53322528363047006);
 }
 
+// --- decentralized discovery backends: deterministic and pinned ---
+//
+// The churn timeline rides on the same small config, with the lookup
+// swapped for PEX gossip / the Kademlia DHT. Discovery is now partial,
+// stale and charged for, so the run diverges from the oracle golden —
+// these pins freeze each backend's own trajectory (and its new
+// discovery counters) exactly like the oracle pins above.
+
+Spec discovery_spec(discovery::BackendKind kind) {
+  SpecBuilder b;
+  b.name("golden-discovery");
+  b.config() = test::Scenario::small(kGoldenSeed).build();
+  b.config().discovery.backend = kind;
+  b.churn(0.0, 9000.0, 120.0, 5e-4, 2e-3);
+  b.crash_at(4000.0, 6);
+  return b.build();
+}
+
+TEST(ScenarioGolden, PexGoldenReplay) {
+  Driver driver(discovery_spec(discovery::BackendKind::kPex));
+  driver.run();
+  const SystemCounters& c = driver.system().counters();
+
+  // Gossip ran and was charged; staleness actually bit.
+  EXPECT_GT(c.gossip_rounds, 0u);
+  EXPECT_GT(c.lookup_wire_bytes, 0u);
+  EXPECT_EQ(c.dht_hops, 0u);
+
+  // Pinned replay (see the file header for how to re-record).
+  EXPECT_EQ(c.gossip_rounds, 300u);
+  EXPECT_EQ(c.lookup_wire_bytes, 11729040u);
+  EXPECT_EQ(c.lookup_misses, 16806u);
+  EXPECT_EQ(c.stale_entries_served, 10969u);
+  EXPECT_EQ(c.rings_formed, 301u);
+  EXPECT_DOUBLE_EQ(summarize_run(driver.system()).exchange_fraction,
+                   0.38584316446911865);
+}
+
+TEST(ScenarioGolden, DhtGoldenReplay) {
+  Driver driver(discovery_spec(discovery::BackendKind::kDht));
+  driver.run();
+  const SystemCounters& c = driver.system().counters();
+
+  // Walks routed and paid per hop.
+  EXPECT_GT(c.dht_hops, 0u);
+  EXPECT_GT(c.lookup_wire_bytes, 0u);
+  EXPECT_EQ(c.gossip_rounds, 0u);
+
+  // Pinned replay (see the file header for how to re-record). At this
+  // scale (60 peers, full reachability outside events) every walk finds
+  // a live route, so misses pin to zero.
+  EXPECT_EQ(c.dht_hops, 647821u);
+  EXPECT_EQ(c.lookup_wire_bytes, 93427952u);
+  EXPECT_EQ(c.lookup_misses, 0u);
+  EXPECT_EQ(c.rings_formed, 293u);
+  EXPECT_DOUBLE_EQ(summarize_run(driver.system()).exchange_fraction,
+                   0.3580071174377224);
+}
+
 }  // namespace
 }  // namespace p2pex
